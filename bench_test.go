@@ -1,0 +1,203 @@
+package websearchbench
+
+// The benchmark harness: one testing.B benchmark per reconstructed table
+// and figure (E1..E13 in DESIGN.md) plus the design-choice ablations.
+// Each benchmark runs its experiment end-to-end at a reduced scale; the
+// full-scale numbers recorded in EXPERIMENTS.md come from cmd/benchrunner.
+//
+// Run them all with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"websearchbench/internal/experiments"
+)
+
+// benchScale keeps every experiment benchmark in the sub-second range.
+const benchScale = 0.05
+
+var (
+	benchCtxOnce sync.Once
+	benchCtx     *experiments.Context
+)
+
+// sharedCtx returns a context whose corpus, workload, measurements and
+// calibration are built once and reused, so each benchmark times its own
+// experiment rather than the shared setup.
+func sharedCtx(b *testing.B) *experiments.Context {
+	b.Helper()
+	benchCtxOnce.Do(func() {
+		benchCtx = experiments.NewContext(io.Discard, benchScale)
+		// Force the shared artifacts eagerly.
+		benchCtx.Segment()
+		benchCtx.Stream()
+		benchCtx.Analyzed()
+		benchCtx.Demands()
+		benchCtx.Calibration()
+	})
+	return benchCtx
+}
+
+func benchExperiment(b *testing.B, run func(c *experiments.Context)) {
+	c := sharedCtx(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(c)
+	}
+}
+
+// BenchmarkE1Characterization regenerates the index-characterization
+// table (paper's benchmark anatomy).
+func BenchmarkE1Characterization(b *testing.B) {
+	benchExperiment(b, func(c *experiments.Context) { c.E1Characterization() })
+}
+
+// BenchmarkE2Workload regenerates the query-workload table.
+func BenchmarkE2Workload(b *testing.B) {
+	benchExperiment(b, func(c *experiments.Context) { c.E2Workload() })
+}
+
+// BenchmarkE3PhaseBreakdown regenerates the per-phase service-time
+// breakdown figure.
+func BenchmarkE3PhaseBreakdown(b *testing.B) {
+	benchExperiment(b, func(c *experiments.Context) { c.E3PhaseBreakdown() })
+}
+
+// BenchmarkE4ServiceTimeAnatomy regenerates the service-time-anatomy
+// figure (latency vs query length and posting volume).
+func BenchmarkE4ServiceTimeAnatomy(b *testing.B) {
+	benchExperiment(b, func(c *experiments.Context) { c.E4ServiceTimeAnatomy() })
+}
+
+// BenchmarkE5LoadCurve regenerates the response-time-vs-load figure.
+func BenchmarkE5LoadCurve(b *testing.B) {
+	benchExperiment(b, func(c *experiments.Context) { c.E5LoadCurve() })
+}
+
+// BenchmarkE6Throughput regenerates the throughput-vs-clients figure and
+// QoS ceiling.
+func BenchmarkE6Throughput(b *testing.B) {
+	benchExperiment(b, func(c *experiments.Context) { c.E6Throughput() })
+}
+
+// BenchmarkE7PartitionTail regenerates the key tail-latency-vs-partitions
+// figure.
+func BenchmarkE7PartitionTail(b *testing.B) {
+	benchExperiment(b, func(c *experiments.Context) { c.E7PartitionTail() })
+}
+
+// BenchmarkE8PartitionThroughput regenerates the peak-throughput-vs-
+// partitions figure.
+func BenchmarkE8PartitionThroughput(b *testing.B) {
+	benchExperiment(b, func(c *experiments.Context) { c.E8PartitionThroughput() })
+}
+
+// BenchmarkE9CDF regenerates the response-time CDF figure (1 vs 8
+// partitions).
+func BenchmarkE9CDF(b *testing.B) {
+	benchExperiment(b, func(c *experiments.Context) { c.E9CDF() })
+}
+
+// BenchmarkE10LowPower regenerates the low-power-vs-high-performance
+// server figure.
+func BenchmarkE10LowPower(b *testing.B) {
+	benchExperiment(b, func(c *experiments.Context) { c.E10LowPower() })
+}
+
+// BenchmarkE11Energy regenerates the energy-per-query comparison.
+func BenchmarkE11Energy(b *testing.B) {
+	benchExperiment(b, func(c *experiments.Context) { c.E11Energy() })
+}
+
+// BenchmarkE12RealPartition regenerates the real-engine partitioning
+// measurement (and simulator calibration).
+func BenchmarkE12RealPartition(b *testing.B) {
+	benchExperiment(b, func(c *experiments.Context) { c.E12RealPartition() })
+}
+
+// BenchmarkE13Cluster regenerates the distributed scatter/gather
+// measurement over loopback HTTP.
+func BenchmarkE13Cluster(b *testing.B) {
+	benchExperiment(b, func(c *experiments.Context) { c.E13Cluster() })
+}
+
+// BenchmarkE14ResultCache regenerates the result-cache extension
+// experiment.
+func BenchmarkE14ResultCache(b *testing.B) {
+	benchExperiment(b, func(c *experiments.Context) { c.E14ResultCache() })
+}
+
+// BenchmarkE15DVFS regenerates the DVFS frequency-sweep extension
+// experiment.
+func BenchmarkE15DVFS(b *testing.B) {
+	benchExperiment(b, func(c *experiments.Context) { c.E15DVFS() })
+}
+
+// BenchmarkE16TailAtScale regenerates the tail-at-scale fan-out extension
+// experiment.
+func BenchmarkE16TailAtScale(b *testing.B) {
+	benchExperiment(b, func(c *experiments.Context) { c.E16TailAtScale() })
+}
+
+// BenchmarkE17Diurnal regenerates the diurnal-load QoS extension
+// experiment.
+func BenchmarkE17Diurnal(b *testing.B) {
+	benchExperiment(b, func(c *experiments.Context) { c.E17Diurnal() })
+}
+
+// BenchmarkE18Hedging regenerates the hedged-requests extension
+// experiment.
+func BenchmarkE18Hedging(b *testing.B) {
+	benchExperiment(b, func(c *experiments.Context) { c.E18Hedging() })
+}
+
+// BenchmarkAblationMaxScore regenerates the MaxScore pruning ablation.
+func BenchmarkAblationMaxScore(b *testing.B) {
+	benchExperiment(b, func(c *experiments.Context) { c.AblationMaxScore() })
+}
+
+// BenchmarkAblationCompression regenerates the postings-compression
+// ablation.
+func BenchmarkAblationCompression(b *testing.B) {
+	benchExperiment(b, func(c *experiments.Context) { c.AblationCompression() })
+}
+
+// BenchmarkAblationAssignment regenerates the document-assignment
+// ablation.
+func BenchmarkAblationAssignment(b *testing.B) {
+	benchExperiment(b, func(c *experiments.Context) { c.AblationAssignment() })
+}
+
+// BenchmarkAblationTopK regenerates the top-k sensitivity ablation.
+func BenchmarkAblationTopK(b *testing.B) {
+	benchExperiment(b, func(c *experiments.Context) { c.AblationTopK() })
+}
+
+// BenchmarkAblationScheduling regenerates the FCFS-vs-SJF scheduling
+// ablation.
+func BenchmarkAblationScheduling(b *testing.B) {
+	benchExperiment(b, func(c *experiments.Context) { c.AblationScheduling() })
+}
+
+// BenchmarkAblationSkipLists regenerates the skip-table ablation.
+func BenchmarkAblationSkipLists(b *testing.B) {
+	benchExperiment(b, func(c *experiments.Context) { c.AblationSkipLists() })
+}
+
+// BenchmarkEngineSearch measures the end-to-end facade query path.
+func BenchmarkEngineSearch(b *testing.B) {
+	e, err := New(Config{Docs: 2000, VocabSize: 5000, Partitions: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := e.Index().Doc(0).Title
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Search(q)
+	}
+}

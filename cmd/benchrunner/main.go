@@ -1,0 +1,73 @@
+// Command benchrunner regenerates every table and figure of the paper's
+// reconstructed evaluation (E1..E13 plus the design ablations), printing
+// each as a text table. See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for the recorded results.
+//
+// Usage:
+//
+//	benchrunner            # full scale (~ a couple of minutes)
+//	benchrunner -scale 0.1 # quick pass
+//	benchrunner -only E7   # a single experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"websearchbench/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchrunner: ")
+
+	var (
+		scale = flag.Float64("scale", 1.0, "scale factor for corpus/queries/sim durations")
+		only  = flag.String("only", "", "run a single experiment (E1..E18, ABL-1..ABL-6)")
+	)
+	flag.Parse()
+
+	c := experiments.NewContext(os.Stdout, *scale)
+	if *only == "" {
+		c.RunAll()
+		return
+	}
+	steps := map[string]func(){
+		"E1":    func() { c.E1Characterization() },
+		"E2":    func() { c.E2Workload() },
+		"E3":    func() { c.E3PhaseBreakdown() },
+		"E4":    func() { c.E4ServiceTimeAnatomy() },
+		"E5":    func() { c.E5LoadCurve() },
+		"E6":    func() { c.E6Throughput() },
+		"E7":    func() { c.E7PartitionTail() },
+		"E8":    func() { c.E8PartitionThroughput() },
+		"E9":    func() { c.E9CDF() },
+		"E10":   func() { c.E10LowPower() },
+		"E11":   func() { c.E11Energy() },
+		"E12":   func() { c.E12RealPartition() },
+		"E13":   func() { c.E13Cluster() },
+		"E14":   func() { c.E14ResultCache() },
+		"E15":   func() { c.E15DVFS() },
+		"E16":   func() { c.E16TailAtScale() },
+		"E17":   func() { c.E17Diurnal() },
+		"E18":   func() { c.E18Hedging() },
+		"ABL-1": func() { c.AblationMaxScore() },
+		"ABL-2": func() { c.AblationCompression() },
+		"ABL-3": func() { c.AblationAssignment() },
+		"ABL-4": func() { c.AblationTopK() },
+		"ABL-5": func() { c.AblationScheduling() },
+		"ABL-6": func() { c.AblationSkipLists() },
+	}
+	run, ok := steps[*only]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid:", *only)
+		for k := range steps {
+			fmt.Fprintf(os.Stderr, " %s", k)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+	run()
+}

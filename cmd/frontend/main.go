@@ -1,0 +1,52 @@
+// Command frontend serves the scatter/gather tier in front of searchd
+// nodes.
+//
+// Usage:
+//
+//	frontend -addr :8080 -nodes http://127.0.0.1:8081,http://127.0.0.1:8082
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"websearchbench/internal/cluster"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("frontend: ")
+
+	var (
+		addr  = flag.String("addr", "127.0.0.1:8080", "listen address")
+		nodes = flag.String("nodes", "http://127.0.0.1:8081", "comma-separated node base URLs")
+		topK  = flag.Int("topk", 10, "merged results per query")
+	)
+	flag.Parse()
+
+	urls := strings.Split(*nodes, ",")
+	for i := range urls {
+		urls[i] = strings.TrimSpace(urls[i])
+	}
+	fe, err := cluster.NewFrontend(urls, *topK)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound, err := fe.Start(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("frontend on http://%s scattering to %d nodes\n", bound, len(urls))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	if err := fe.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+// Command indexer generates the synthetic web corpus and builds an index
+// segment file, optionally alongside a query trace.
+//
+// Usage:
+//
+//	indexer -docs 20000 -vocab 30000 -out index.seg -trace queries.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"websearchbench/internal/corpus"
+	"websearchbench/internal/index"
+	"websearchbench/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("indexer: ")
+
+	var (
+		docs    = flag.Int("docs", 20000, "number of documents to generate")
+		vocab   = flag.Int("vocab", 30000, "vocabulary size")
+		meanLen = flag.Int("meanlen", 250, "mean document length in terms")
+		seed    = flag.Int64("seed", 1, "corpus seed")
+		raw     = flag.Bool("raw", false, "use raw (uncompressed) postings")
+		out     = flag.String("out", "index.seg", "output segment file")
+		trace   = flag.String("trace", "", "also write a query trace to this file")
+		timed   = flag.String("timed", "", "also write a timed (replayable) trace to this file")
+		rate    = flag.Float64("rate", 100, "arrival rate for the timed trace (qps)")
+		queries = flag.Int("queries", 10000, "queries to write to the trace")
+	)
+	flag.Parse()
+
+	cfg := corpus.DefaultConfig()
+	cfg.NumDocs = *docs
+	cfg.VocabSize = *vocab
+	cfg.MeanBodyTerms = *meanLen
+	cfg.Seed = *seed
+
+	var opts []index.BuilderOption
+	if *raw {
+		opts = append(opts, index.WithCompression(index.CompressionRaw))
+	}
+	seg, err := index.BuildFromCorpus(cfg, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := seg.WriteTo(f)
+	if err == nil {
+		err = f.Close()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := seg.ComputeStats(5)
+	fmt.Printf("wrote %s: %d docs, %d terms, %d postings, %d bytes (compression %.2fx)\n",
+		*out, st.NumDocs, st.NumTerms, st.TotalPostings, n, st.CompressionRatio)
+
+	if *trace != "" || *timed != "" {
+		gen, err := workload.NewGenerator(workload.DefaultConfig(), corpus.NewVocabulary(*vocab))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *trace != "" {
+			tf, err := os.Create(*trace)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := workload.WriteTrace(tf, gen.Generate(*queries)); err != nil {
+				log.Fatal(err)
+			}
+			if err := tf.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s: %d queries\n", *trace, *queries)
+		}
+		if *timed != "" {
+			tt, err := gen.GenerateTimed(*queries, *rate, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tf, err := os.Create(*timed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := workload.WriteTimedTrace(tf, tt); err != nil {
+				log.Fatal(err)
+			}
+			if err := tf.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s: %d timed queries at %.0f qps\n", *timed, *queries, *rate)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Command searchd serves an index over HTTP: one index-serving node of
+// the benchmark's cluster tier, with intra-server partitioning.
+//
+// Usage:
+//
+//	searchd -addr :8081 -docs 20000 -partitions 8 -parallel
+//
+// searchd builds its slice of the synthetic corpus in memory on startup
+// (deterministic for a given seed), so multi-node clusters are started by
+// giving each node its shard via -shard/-shards.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"websearchbench/internal/cluster"
+	"websearchbench/internal/corpus"
+	"websearchbench/internal/partition"
+	"websearchbench/internal/search"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("searchd: ")
+
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8081", "listen address")
+		name     = flag.String("name", "node-0", "node name")
+		docs     = flag.Int("docs", 20000, "corpus documents (whole collection)")
+		vocab    = flag.Int("vocab", 30000, "vocabulary size")
+		seed     = flag.Int64("seed", 1, "corpus seed")
+		parts    = flag.Int("partitions", 4, "intra-server partitions")
+		parallel = flag.Bool("parallel", true, "search partitions with parallel workers")
+		shard    = flag.Int("shard", 0, "this node's shard number")
+		shards   = flag.Int("shards", 1, "total index-serving nodes")
+		topK     = flag.Int("topk", 10, "results per query")
+	)
+	flag.Parse()
+	if *shard < 0 || *shards <= 0 || *shard >= *shards {
+		log.Fatalf("invalid shard %d of %d", *shard, *shards)
+	}
+
+	cfg := corpus.DefaultConfig()
+	cfg.NumDocs = *docs
+	cfg.VocabSize = *vocab
+	cfg.Seed = *seed
+	gen, err := corpus.NewGenerator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := partition.NewBuilder(*parts, partition.RoundRobin, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	i := 0
+	gen.GenerateFunc(func(d corpus.Document) {
+		if i%*shards == *shard {
+			b.AddCorpusDoc(d)
+		}
+		i++
+	})
+	idx := b.Finalize()
+
+	node := cluster.NewNode(*name, idx, search.Options{TopK: *topK}, *parallel)
+	bound, err := node.Start(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s serving %d docs in %d partitions on http://%s (shard %d/%d)\n",
+		*name, idx.NumDocs(), idx.NumPartitions(), bound, *shard, *shards)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	if err := node.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

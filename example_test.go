@@ -1,0 +1,93 @@
+package websearchbench_test
+
+// Godoc examples for the public facade. They run as tests, so the
+// documented snippets are guaranteed to stay correct.
+
+import (
+	"fmt"
+	"strings"
+
+	websearchbench "websearchbench"
+)
+
+// ExampleNew builds a small engine and runs one query.
+func ExampleNew() {
+	engine, err := websearchbench.New(websearchbench.Config{
+		Docs:      300,
+		VocabSize: 1000,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("docs:", engine.NumDocs())
+	fmt.Println("partitions:", engine.NumPartitions())
+	// Output:
+	// docs: 300
+	// partitions: 1
+}
+
+// ExampleEngine_Search shows ranked retrieval: the document whose title
+// we query comes back first.
+func ExampleEngine_Search() {
+	engine, err := websearchbench.New(websearchbench.Config{
+		Docs:       300,
+		VocabSize:  1000,
+		Partitions: 4,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	title := engine.Index().Doc(0).Title
+	results := engine.Search(title)
+	fmt.Println("top hit is doc 0:", results[0].Title == title)
+	// Output:
+	// top hit is doc 0: true
+}
+
+// ExampleEngine_Search_phrases shows quoted phrase queries over a
+// positional index.
+func ExampleEngine_Search_phrases() {
+	engine, err := websearchbench.New(websearchbench.Config{
+		Docs:      300,
+		VocabSize: 1000,
+		Positions: true,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// Find a document whose title has at least two words to quote.
+	var words []string
+	for d := int32(0); d < 300; d++ {
+		words = strings.Fields(engine.Index().Doc(d).Title)
+		if len(words) >= 2 {
+			break
+		}
+	}
+	phrase := `"` + words[0] + " " + words[1] + `"`
+	results := engine.Search(phrase)
+	fmt.Println("phrase matched:", len(results) > 0)
+	// Output:
+	// phrase matched: true
+}
+
+// ExampleEngine_CacheHitRate shows the result cache absorbing a repeat.
+func ExampleEngine_CacheHitRate() {
+	engine, err := websearchbench.New(websearchbench.Config{
+		Docs:      300,
+		VocabSize: 1000,
+		CacheSize: 16,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	q := engine.Index().Doc(0).Title
+	engine.Search(q) // miss
+	engine.Search(q) // hit
+	fmt.Printf("hit rate: %.0f%%\n", engine.CacheHitRate()*100)
+	// Output:
+	// hit rate: 50%
+}

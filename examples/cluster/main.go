@@ -1,0 +1,100 @@
+// Cluster: the benchmark's full serving architecture in one process —
+// index-serving nodes behind a scatter/gather front-end, all over real
+// loopback HTTP, driven by the Faban-style closed-loop load generator
+// with a QoS check.
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"websearchbench/internal/cluster"
+	"websearchbench/internal/corpus"
+	"websearchbench/internal/loadgen"
+	"websearchbench/internal/partition"
+	"websearchbench/internal/search"
+	"websearchbench/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const nodes = 3
+	ccfg := corpus.DefaultConfig()
+	ccfg.NumDocs = 3000
+	ccfg.VocabSize = 8000
+	ccfg.MeanBodyTerms = 100
+
+	fmt.Printf("building a %d-node cluster (each node 2 intra-server partitions)...\n", nodes)
+	gen, err := corpus.NewGenerator(ccfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	builders := make([]*partition.Builder, nodes)
+	for i := range builders {
+		builders[i], err = partition.NewBuilder(2, partition.RoundRobin, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	i := 0
+	gen.GenerateFunc(func(d corpus.Document) {
+		builders[i%nodes].AddCorpusDoc(d)
+		i++
+	})
+
+	urls := make([]string, nodes)
+	for j, b := range builders {
+		node := cluster.NewNode(fmt.Sprintf("node-%d", j), b.Finalize(),
+			search.Options{TopK: 10}, true)
+		addr, err := node.Start("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer node.Close()
+		urls[j] = "http://" + addr
+		fmt.Printf("  %s on %s\n", fmt.Sprintf("node-%d", j), urls[j])
+	}
+	fe, err := cluster.NewFrontend(urls, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	feAddr, err := fe.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fe.Close()
+	fmt.Printf("  frontend on http://%s\n\n", feAddr)
+
+	wgen, err := workload.NewGenerator(workload.DefaultConfig(), gen.Vocabulary())
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream := wgen.Generate(2000)
+
+	fmt.Println("driving the cluster: 4 closed-loop clients, 5ms think time, 3s window")
+	res, err := loadgen.RunClosedLoop(loadgen.ClosedLoopConfig{
+		Clients:       4,
+		MeanThinkTime: 5 * time.Millisecond,
+		RampUp:        500 * time.Millisecond,
+		Measure:       3 * time.Second,
+		QoS:           loadgen.QoS{Percentile: 90, Target: 100 * time.Millisecond},
+		Seed:          1,
+	}, stream, cluster.NewClient("http://"+feAddr, 10))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\ncompleted %d queries (%d errors) at %.0f qps\n",
+		res.Completed, res.Errors, res.Throughput)
+	fmt.Printf("latency: %s\n", res.Latency)
+	status := "MET"
+	if !res.QoSMet {
+		status = "VIOLATED"
+	}
+	fmt.Printf("QoS (90%% <= 100ms): %s — %.1f%% of queries under target\n",
+		status, res.QoSFraction*100)
+}

@@ -1,0 +1,66 @@
+// Quickstart: build an in-process web search engine over the synthetic
+// corpus and run a few queries against it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	websearchbench "websearchbench"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("building a 5,000-document index in 4 partitions...")
+	start := time.Now()
+	engine, err := websearchbench.New(websearchbench.Config{
+		Docs:        5000,
+		VocabSize:   10000,
+		Partitions:  4,
+		Parallel:    true,
+		GlobalStats: true, // identical ranking regardless of partitioning
+		Positions:   true, // enable quoted phrase queries
+		CacheSize:   128,  // LRU result cache for repeated queries
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d docs across %d partitions in %v\n\n",
+		engine.NumDocs(), engine.NumPartitions(), time.Since(start).Round(time.Millisecond))
+
+	// Query with words we know exist: titles of stored documents.
+	queries := []string{
+		engine.Index().Doc(0).Title,
+		engine.Index().Doc(42).Title,
+		strings.Fields(engine.Index().Doc(100).Title)[0],
+	}
+	for _, q := range queries {
+		begin := time.Now()
+		results := engine.Search(q)
+		took := time.Since(begin)
+		fmt.Printf("query %q (%d hits, %v):\n", q, len(results), took.Round(time.Microsecond))
+		for i, r := range results {
+			if i >= 3 {
+				break
+			}
+			fmt.Printf("  %d. [%.3f] %s\n     %s\n     %s\n", i+1, r.Score, r.Title, r.URL, r.Highlighted)
+		}
+		fmt.Println()
+	}
+
+	// Quoted phrases require adjacent terms (positional index).
+	phrase := `"` + engine.Index().Doc(7).Title + `"`
+	results := engine.Search(phrase)
+	fmt.Printf("phrase query %s: %d hits\n", phrase, len(results))
+
+	// Repeated queries hit the result cache.
+	begin := time.Now()
+	engine.Search(queries[0])
+	fmt.Printf("repeated query served in %v (cache hit rate %.0f%%)\n",
+		time.Since(begin).Round(time.Microsecond), engine.CacheHitRate()*100)
+}

@@ -1,0 +1,3 @@
+module websearchbench
+
+go 1.22

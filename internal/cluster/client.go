@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"websearchbench/internal/search"
+	"websearchbench/internal/workload"
+)
+
+// Client issues search requests against a front-end or node URL. It
+// implements loadgen.Backend, so the load driver can push HTTP traffic at
+// a live cluster.
+type Client struct {
+	base   string
+	client *http.Client
+	topK   int
+}
+
+// NewClient returns a client for the service at base (no trailing slash).
+func NewClient(base string, topK int) *Client {
+	if topK <= 0 {
+		topK = 10
+	}
+	return &Client{
+		base: base,
+		client: &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: 256,
+			},
+		},
+		topK: topK,
+	}
+}
+
+// Search issues one request and returns the parsed response.
+func (c *Client) Search(query string, mode search.Mode) (SearchResponse, error) {
+	req := SearchRequest{Query: query, Mode: mode.String(), TopK: c.topK}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return SearchResponse{}, err
+	}
+	resp, err := c.client.Post(c.base+"/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return SearchResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return SearchResponse{}, fmt.Errorf("cluster: status %d: %s", resp.StatusCode, msg)
+	}
+	var out SearchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return SearchResponse{}, err
+	}
+	return out, nil
+}
+
+// Do implements loadgen.Backend.
+func (c *Client) Do(q workload.Query) error {
+	_, err := c.Search(q.Text, q.Mode)
+	return err
+}
+
+// Stats fetches a node's index shape.
+func (c *Client) Stats() (StatsResponse, error) {
+	resp, err := c.client.Get(c.base + "/stats")
+	if err != nil {
+		return StatsResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return StatsResponse{}, fmt.Errorf("cluster: status %d", resp.StatusCode)
+	}
+	var out StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return StatsResponse{}, err
+	}
+	return out, nil
+}

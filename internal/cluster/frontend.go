@@ -1,0 +1,203 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"websearchbench/internal/qcache"
+)
+
+// Frontend scatters queries to index-serving nodes and merges their
+// responses, like the benchmark's Tomcat front-end tier.
+type Frontend struct {
+	nodes  []string // base URLs
+	client *http.Client
+	topK   int
+	mux    *http.ServeMux
+	cache  *qcache.Cache[SearchResponse]
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewFrontend creates a front-end over the given node base URLs
+// (e.g. "http://127.0.0.1:8081"). topK caps merged results (default 10).
+func NewFrontend(nodeURLs []string, topK int) (*Frontend, error) {
+	if len(nodeURLs) == 0 {
+		return nil, fmt.Errorf("cluster: frontend needs at least one node")
+	}
+	if topK <= 0 {
+		topK = 10
+	}
+	f := &Frontend{
+		nodes: append([]string(nil), nodeURLs...),
+		client: &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: 256,
+			},
+		},
+		topK: topK,
+		mux:  http.NewServeMux(),
+	}
+	f.mux.HandleFunc("POST /search", f.handleSearch)
+	return f, nil
+}
+
+// Handler returns the front-end's HTTP handler.
+func (f *Frontend) Handler() http.Handler { return f.mux }
+
+// EnableCache adds an LRU result cache of the given capacity in front of
+// the scatter/gather path. Call before serving traffic.
+func (f *Frontend) EnableCache(capacity int) {
+	f.cache = qcache.New[SearchResponse](capacity)
+}
+
+// CacheHitRate reports the result cache's lifetime hit rate (0 when no
+// cache is enabled).
+func (f *Frontend) CacheHitRate() float64 {
+	if f.cache == nil {
+		return 0
+	}
+	return f.cache.HitRate()
+}
+
+// cacheKey identifies a request for caching.
+func cacheKey(req SearchRequest) string {
+	return fmt.Sprintf("%s\x00%s\x00%d", req.Mode, req.Query, req.TopK)
+}
+
+// Search scatters req to all nodes and merges the responses. It is the
+// in-process API used both by the HTTP handler and by local clients.
+func (f *Frontend) Search(req SearchRequest) (SearchResponse, error) {
+	if req.TopK <= 0 {
+		req.TopK = f.topK
+	}
+	if f.cache != nil {
+		if resp, ok := f.cache.Get(cacheKey(req)); ok {
+			resp.Node = "frontend-cache"
+			resp.TookMicros = 0
+			return resp, nil
+		}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return SearchResponse{}, err
+	}
+
+	type nodeResult struct {
+		resp SearchResponse
+		err  error
+	}
+	results := make([]nodeResult, len(f.nodes))
+	var wg sync.WaitGroup
+	for i, base := range f.nodes {
+		wg.Add(1)
+		go func(i int, base string) {
+			defer wg.Done()
+			results[i].resp, results[i].err = f.queryNode(base, body)
+		}(i, base)
+	}
+	wg.Wait()
+
+	var merged SearchResponse
+	var firstErr error
+	var maxTook int64
+	for i := range results {
+		if results[i].err != nil {
+			// Degraded results: the benchmark front-end answers with
+			// whatever nodes responded; total failure is an error.
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: node %s: %w", f.nodes[i], results[i].err)
+			}
+			continue
+		}
+		merged.Hits = append(merged.Hits, results[i].resp.Hits...)
+		merged.Matches += results[i].resp.Matches
+		if results[i].resp.TookMicros > maxTook {
+			maxTook = results[i].resp.TookMicros
+		}
+	}
+	if len(merged.Hits) == 0 && firstErr != nil {
+		return SearchResponse{}, firstErr
+	}
+	sort.SliceStable(merged.Hits, func(i, j int) bool {
+		if merged.Hits[i].Score != merged.Hits[j].Score {
+			return merged.Hits[i].Score > merged.Hits[j].Score
+		}
+		return merged.Hits[i].URL < merged.Hits[j].URL
+	})
+	if len(merged.Hits) > req.TopK {
+		merged.Hits = merged.Hits[:req.TopK]
+	}
+	merged.TookMicros = maxTook
+	merged.Node = "frontend"
+	if f.cache != nil {
+		f.cache.Put(cacheKey(req), merged)
+	}
+	return merged, nil
+}
+
+func (f *Frontend) queryNode(base string, body []byte) (SearchResponse, error) {
+	resp, err := f.client.Post(base+"/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return SearchResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return SearchResponse{}, fmt.Errorf("status %d: %s", resp.StatusCode, msg)
+	}
+	var out SearchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return SearchResponse{}, err
+	}
+	return out, nil
+}
+
+// handleSearch is the HTTP entry point.
+func (f *Frontend) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if _, err := req.ParseMode(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := f.Search(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// Start listens on addr and serves in the background, returning the bound
+// address.
+func (f *Frontend) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("cluster: frontend listen: %w", err)
+	}
+	f.ln = ln
+	f.srv = &http.Server{Handler: f.mux}
+	go func() { _ = f.srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Close shuts the front-end down.
+func (f *Frontend) Close() error {
+	if f.srv == nil {
+		return nil
+	}
+	return f.srv.Close()
+}

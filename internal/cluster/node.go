@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"websearchbench/internal/partition"
+	"websearchbench/internal/search"
+)
+
+// Node is one index-serving server: it owns a slice of the document
+// collection as a partitioned index and answers /search requests.
+type Node struct {
+	name     string
+	searcher *partition.Searcher
+	topK     int
+	mux      *http.ServeMux
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewNode creates a serving node over idx. Queries are evaluated with
+// opts across the node's intra-server partitions (in parallel when
+// parallel is set).
+func NewNode(name string, idx *partition.Index, opts search.Options, parallel bool) *Node {
+	if opts.TopK <= 0 {
+		opts.TopK = 10
+	}
+	n := &Node{
+		name:     name,
+		searcher: partition.NewSearcher(idx, opts, parallel),
+		topK:     opts.TopK,
+		mux:      http.NewServeMux(),
+	}
+	n.mux.HandleFunc("POST /search", n.handleSearch)
+	n.mux.HandleFunc("GET /stats", n.handleStats)
+	return n
+}
+
+// Handler returns the node's HTTP handler, for in-process serving or
+// tests.
+func (n *Node) Handler() http.Handler { return n.mux }
+
+// handleSearch evaluates one query.
+func (n *Node) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	mode, err := req.ParseMode()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	start := time.Now()
+	res := n.searcher.ParseAndSearch(req.Query, mode)
+	took := time.Since(start)
+
+	k := req.TopK
+	if k <= 0 || k > len(res.Hits) {
+		k = len(res.Hits)
+	}
+	resp := SearchResponse{
+		Hits:       make([]WireHit, 0, k),
+		Matches:    res.Matches,
+		TookMicros: took.Microseconds(),
+		Node:       n.name,
+	}
+	idx := n.searcher.Index()
+	for _, h := range res.Hits[:k] {
+		doc := idx.Doc(h.Doc)
+		resp.Hits = append(resp.Hits, WireHit{URL: doc.URL, Title: doc.Title, Score: h.Score})
+	}
+	writeJSON(w, resp)
+}
+
+// handleStats reports the node's index shape.
+func (n *Node) handleStats(w http.ResponseWriter, r *http.Request) {
+	idx := n.searcher.Index()
+	var avg float64
+	if parts := idx.NumPartitions(); parts > 0 {
+		var totalLen, totalDocs int64
+		for p := 0; p < parts; p++ {
+			totalLen += idx.Segment(p).TotalLen()
+			totalDocs += int64(idx.Segment(p).NumDocs())
+		}
+		if totalDocs > 0 {
+			avg = float64(totalLen) / float64(totalDocs)
+		}
+	}
+	writeJSON(w, StatsResponse{
+		Node:       n.name,
+		Docs:       idx.NumDocs(),
+		Partitions: idx.NumPartitions(),
+		AvgDocLen:  avg,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already out; nothing to do but drop the conn.
+		return
+	}
+}
+
+// Start listens on addr ("127.0.0.1:0" picks a free port) and serves in
+// the background. It returns the bound address.
+func (n *Node) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("cluster: node %s listen: %w", n.name, err)
+	}
+	n.ln = ln
+	n.srv = &http.Server{Handler: n.mux}
+	go func() {
+		// Serve exits with ErrServerClosed on Close; other errors mean
+		// the listener died, which tests will observe as conn refused.
+		_ = n.srv.Serve(ln)
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close shuts the node down.
+func (n *Node) Close() error {
+	if n.srv == nil {
+		return nil
+	}
+	return n.srv.Close()
+}

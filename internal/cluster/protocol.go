@@ -1,0 +1,65 @@
+// Package cluster implements the benchmark's distributed serving
+// architecture: index-serving nodes (each holding a document-partitioned
+// slice of the collection, itself intra-server partitioned) behind a
+// front-end that scatters each query to every node, gathers the per-node
+// top-k lists, and merges them — the Nutch-style tier structure the paper
+// characterizes. Transport is HTTP with JSON bodies over the standard
+// library.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"websearchbench/internal/search"
+)
+
+// SearchRequest is the wire form of a query.
+type SearchRequest struct {
+	Query string `json:"query"`
+	Mode  string `json:"mode,omitempty"` // "OR" (default) or "AND"
+	TopK  int    `json:"topK,omitempty"`
+}
+
+// ParseMode converts the wire mode string.
+func (r SearchRequest) ParseMode() (search.Mode, error) {
+	switch r.Mode {
+	case "", "OR", "or":
+		return search.ModeOr, nil
+	case "AND", "and":
+		return search.ModeAnd, nil
+	default:
+		return 0, fmt.Errorf("cluster: unknown mode %q", r.Mode)
+	}
+}
+
+// WireHit is one result on the wire. Documents are identified by URL so
+// the front-end can merge without sharing doc-store state with nodes.
+type WireHit struct {
+	URL   string  `json:"url"`
+	Title string  `json:"title"`
+	Score float64 `json:"score"`
+}
+
+// SearchResponse is the wire form of a result list.
+type SearchResponse struct {
+	Hits    []WireHit `json:"hits"`
+	Matches int       `json:"matches"`
+	// TookMicros is the node-side service time in microseconds.
+	TookMicros int64 `json:"tookMicros"`
+	// Node identifies the responding node, for debugging.
+	Node string `json:"node,omitempty"`
+}
+
+// Took returns the node-side service time.
+func (r SearchResponse) Took() time.Duration {
+	return time.Duration(r.TookMicros) * time.Microsecond
+}
+
+// StatsResponse describes a node's slice of the index.
+type StatsResponse struct {
+	Node       string  `json:"node"`
+	Docs       int     `json:"docs"`
+	Partitions int     `json:"partitions"`
+	AvgDocLen  float64 `json:"avgDocLen"`
+}

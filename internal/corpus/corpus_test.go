@@ -1,0 +1,310 @@
+package corpus
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"websearchbench/internal/stats"
+)
+
+func TestNewZipfPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct {
+		n int
+		s float64
+	}{{0, 1}, {-1, 1}, {10, 0}, {10, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%d, %v) did not panic", tc.n, tc.s)
+				}
+			}()
+			NewZipf(rng, tc.n, tc.s)
+		}()
+	}
+}
+
+func TestZipfProbabilities(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z := NewZipf(rng, 4, 1.0)
+	// Probabilities should be proportional to 1, 1/2, 1/3, 1/4.
+	h := 1 + 0.5 + 1.0/3 + 0.25
+	want := []float64{1 / h, 0.5 / h, (1.0 / 3) / h, 0.25 / h}
+	sum := 0.0
+	for i := range want {
+		p := z.Prob(i)
+		if math.Abs(p-want[i]) > 1e-9 {
+			t.Errorf("Prob(%d) = %v, want %v", i, p, want[i])
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %v, want 1", sum)
+	}
+	if z.Prob(-1) != 0 || z.Prob(4) != 0 {
+		t.Error("out-of-range Prob should be 0")
+	}
+	if z.N() != 4 {
+		t.Errorf("N = %d, want 4", z.N())
+	}
+}
+
+func TestZipfSampleSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	z := NewZipf(rng, 1000, 1.0)
+	counts := make([]int, 1000)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		r := z.Sample()
+		if r < 0 || r >= 1000 {
+			t.Fatalf("sample %d out of range", r)
+		}
+		counts[r]++
+	}
+	// Rank 0 should be sampled close to its theoretical probability.
+	p0 := float64(counts[0]) / n
+	if math.Abs(p0-z.Prob(0)) > 0.01 {
+		t.Errorf("empirical P(0) = %v, theoretical %v", p0, z.Prob(0))
+	}
+	// Strong skew: top 10 ranks should dominate the tail 500 ranks.
+	top, tail := 0, 0
+	for i := 0; i < 10; i++ {
+		top += counts[i]
+	}
+	for i := 500; i < 1000; i++ {
+		tail += counts[i]
+	}
+	if top <= tail {
+		t.Errorf("Zipf skew missing: top10 = %d <= tail500 = %d", top, tail)
+	}
+}
+
+// Property: samples are always in range for arbitrary n, s.
+func TestZipfSamplePropertyInRange(t *testing.T) {
+	f := func(seed int64, nRaw uint16, sRaw uint8) bool {
+		n := int(nRaw%500) + 1
+		s := 0.1 + float64(sRaw%30)/10
+		rng := rand.New(rand.NewSource(seed))
+		z := NewZipf(rng, n, s)
+		for i := 0; i < 50; i++ {
+			r := z.Sample()
+			if r < 0 || r >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVocabularyUnique(t *testing.T) {
+	v := NewVocabulary(20000)
+	seen := make(map[string]int)
+	for i, w := range v.Words() {
+		if w == "" {
+			t.Fatalf("empty word at rank %d", i)
+		}
+		if prev, ok := seen[w]; ok {
+			t.Fatalf("duplicate word %q at ranks %d and %d", w, prev, i)
+		}
+		seen[w] = i
+	}
+	if v.Size() != 20000 {
+		t.Errorf("Size = %d, want 20000", v.Size())
+	}
+}
+
+func TestVocabularyDeterministic(t *testing.T) {
+	a, b := NewVocabulary(500), NewVocabulary(500)
+	for i := 0; i < 500; i++ {
+		if a.Word(i) != b.Word(i) {
+			t.Fatalf("vocabulary not deterministic at rank %d: %q vs %q", i, a.Word(i), b.Word(i))
+		}
+	}
+	// Prefix stability: the first words of a larger vocabulary match.
+	c := NewVocabulary(1000)
+	if c.Word(0) != a.Word(0) {
+		t.Error("rank-0 word should not depend on vocabulary size")
+	}
+}
+
+func TestVocabularyFrequentWordsShort(t *testing.T) {
+	v := NewVocabulary(10000)
+	if len(v.Word(0)) > 5 {
+		t.Errorf("rank-0 word %q unexpectedly long", v.Word(0))
+	}
+	if len(v.Word(9999)) <= len(v.Word(0)) {
+		t.Errorf("rare word %q should be longer than frequent word %q",
+			v.Word(9999), v.Word(0))
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	base := DefaultConfig()
+	mutations := []func(*Config){
+		func(c *Config) { c.NumDocs = 0 },
+		func(c *Config) { c.VocabSize = -1 },
+		func(c *Config) { c.ZipfS = 0 },
+		func(c *Config) { c.MeanBodyTerms = 0 },
+		func(c *Config) { c.SigmaBody = -0.1 },
+		func(c *Config) { c.NumTopics = 0 },
+		func(c *Config) { c.TopicMix = 1.5 },
+		func(c *Config) { c.TopicMix = -0.1 },
+	}
+	for i, mut := range mutations {
+		c := base
+		mut(&c)
+		if _, err := NewGenerator(c); err == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+	}
+	if _, err := NewGenerator(base); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func testConfig() Config {
+	c := DefaultConfig()
+	c.NumDocs = 300
+	c.VocabSize = 2000
+	c.MeanBodyTerms = 80
+	return c
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g1, err := NewGenerator(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := NewGenerator(testConfig())
+	d1, d2 := g1.Generate(), g2.Generate()
+	if len(d1) != 300 {
+		t.Fatalf("len = %d, want 300", len(d1))
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("doc %d differs between identical generators", i)
+		}
+	}
+	// A different seed must change the corpus.
+	c := testConfig()
+	c.Seed = 99
+	g3, _ := NewGenerator(c)
+	d3 := g3.Generate()
+	same := 0
+	for i := range d1 {
+		if d1[i].Body == d3[i].Body {
+			same++
+		}
+	}
+	if same == len(d1) {
+		t.Error("different seeds produced identical corpus")
+	}
+}
+
+func TestGenerateDocShape(t *testing.T) {
+	g, err := NewGenerator(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		d := g.GenerateDoc(i)
+		if d.ID != i {
+			t.Errorf("doc %d: ID = %d", i, d.ID)
+		}
+		if d.Title == "" || d.Body == "" || d.URL == "" {
+			t.Errorf("doc %d has empty field: %+v", i, d)
+		}
+		if d.Quality <= 0 || d.Quality > 1 {
+			t.Errorf("doc %d: Quality = %v, want (0,1]", i, d.Quality)
+		}
+		if !strings.HasPrefix(d.URL, "http://") {
+			t.Errorf("doc %d: URL = %q", i, d.URL)
+		}
+	}
+}
+
+func TestBodyLengthDistribution(t *testing.T) {
+	cfg := testConfig()
+	cfg.NumDocs = 2000
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lengths := make([]float64, 0, cfg.NumDocs)
+	g.GenerateFunc(func(d Document) {
+		lengths = append(lengths, float64(len(strings.Fields(d.Body))))
+	})
+	s := stats.Summarize(lengths)
+	// Mean within 20% of configured mean.
+	if s.Mean < 0.8*float64(cfg.MeanBodyTerms) || s.Mean > 1.2*float64(cfg.MeanBodyTerms) {
+		t.Errorf("mean body length %v far from configured %d", s.Mean, cfg.MeanBodyTerms)
+	}
+	// Heavy tail: max should be several times the median.
+	if s.Max < 3*s.P50 {
+		t.Errorf("body length tail too light: max %v, median %v", s.Max, s.P50)
+	}
+}
+
+func TestTermFrequencySkew(t *testing.T) {
+	cfg := testConfig()
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq := make(map[string]int)
+	g.GenerateFunc(func(d Document) {
+		for _, w := range strings.Fields(d.Body) {
+			freq[w]++
+		}
+	})
+	// The most frequent term should account for a few percent of tokens
+	// (Zipf s=1 over 2000 terms gives ~12% for rank 0 globally, diluted
+	// by the topic mixture).
+	total, max := 0, 0
+	for _, c := range freq {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if frac := float64(max) / float64(total); frac < 0.01 {
+		t.Errorf("top term fraction %v too small: term-frequency skew missing", frac)
+	}
+	// Vocabulary should not be exhausted: rare terms exist.
+	if len(freq) < 500 {
+		t.Errorf("only %d distinct terms; generator collapsing to head", len(freq))
+	}
+}
+
+func TestGenerateFuncMatchesGenerate(t *testing.T) {
+	g1, _ := NewGenerator(testConfig())
+	g2, _ := NewGenerator(testConfig())
+	want := g1.Generate()
+	i := 0
+	g2.GenerateFunc(func(d Document) {
+		if d != want[i] {
+			t.Fatalf("GenerateFunc doc %d differs from Generate", i)
+		}
+		i++
+	})
+	if i != len(want) {
+		t.Errorf("GenerateFunc produced %d docs, want %d", i, len(want))
+	}
+}
+
+func BenchmarkGenerateDoc(b *testing.B) {
+	g, err := NewGenerator(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.GenerateDoc(i)
+	}
+}

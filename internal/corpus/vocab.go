@@ -1,0 +1,84 @@
+package corpus
+
+import "strings"
+
+// Vocabulary is a deterministic synthetic vocabulary: word i is a unique
+// pronounceable string derived from its rank, so the same vocabulary size
+// always yields the same words regardless of seed. Rank 0 is the most
+// frequent word under the generator's Zipf distribution.
+type Vocabulary struct {
+	words []string
+}
+
+// syllable inventory used to synthesize pronounceable unique words.
+var (
+	onsets  = []string{"b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "ch", "st", "tr", "pl"}
+	nuclei  = []string{"a", "e", "i", "o", "u", "ai", "ou", "ea"}
+	vocCoda = []string{"", "n", "r", "s", "t", "l", "m"}
+)
+
+// NewVocabulary builds a vocabulary of n unique words.
+func NewVocabulary(n int) *Vocabulary {
+	v := &Vocabulary{words: make([]string, n)}
+	seen := make(map[string]int, n)
+	for i := 0; i < n; i++ {
+		w := wordForRank(i)
+		// Syllable synthesis can collide for distinct ranks once the
+		// syllable space wraps; disambiguate with a numeric suffix so
+		// every rank gets a distinct term.
+		if prev, ok := seen[w]; ok && prev != i {
+			w = w + suffix(i)
+		}
+		seen[w] = i
+		v.words[i] = w
+	}
+	return v
+}
+
+// wordForRank deterministically synthesizes a word from a rank. More
+// frequent ranks (smaller i) get shorter words, echoing the natural-language
+// tendency for frequent words to be short.
+func wordForRank(rank int) string {
+	var b strings.Builder
+	syllables := 1
+	switch {
+	case rank >= 100000:
+		syllables = 4
+	case rank >= 5000:
+		syllables = 3
+	case rank >= 100:
+		syllables = 2
+	}
+	x := rank
+	for s := 0; s < syllables; s++ {
+		b.WriteString(onsets[x%len(onsets)])
+		x /= len(onsets)
+		b.WriteString(nuclei[x%len(nuclei)])
+		x /= len(nuclei)
+		if s == syllables-1 {
+			b.WriteString(vocCoda[x%len(vocCoda)])
+			x /= len(vocCoda)
+		}
+		x += rank + 7*s // decorrelate successive syllables
+	}
+	return b.String()
+}
+
+func suffix(i int) string {
+	const digits = "abcdefghij"
+	var b strings.Builder
+	for i > 0 {
+		b.WriteByte(digits[i%10])
+		i /= 10
+	}
+	return b.String()
+}
+
+// Word returns the word at rank i.
+func (v *Vocabulary) Word(i int) string { return v.words[i] }
+
+// Size returns the number of words.
+func (v *Vocabulary) Size() int { return len(v.words) }
+
+// Words returns the underlying word list. The caller must not modify it.
+func (v *Vocabulary) Words() []string { return v.words }

@@ -1,0 +1,67 @@
+// Package corpus synthesizes a reproducible web-like document collection.
+// The characterized benchmark ships a crawled index whose defining workload
+// properties are (a) a heavily skewed (Zipfian) term-frequency distribution
+// and (b) a wide spread of document lengths. Those two properties determine
+// the posting-list length distribution, which in turn drives the
+// service-time variance the paper's tail-latency study depends on, so the
+// generator reproduces exactly them, under a fixed seed.
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf samples ranks in [0, n) with probability proportional to
+// 1/(rank+1)^s. Unlike math/rand.Zipf it supports any exponent s > 0
+// (including the classic s = 1 observed for natural-language term
+// frequencies) and exposes the underlying probabilities for
+// characterization output.
+type Zipf struct {
+	rng *rand.Rand
+	cdf []float64 // cumulative probabilities, cdf[n-1] == 1
+}
+
+// NewZipf returns a Zipf sampler over n ranks with exponent s, driven by
+// rng. It panics if n <= 0 or s <= 0, which indicate programmer error.
+func NewZipf(rng *rand.Rand, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic(fmt.Sprintf("corpus: NewZipf n = %d, must be positive", n))
+	}
+	if s <= 0 {
+		panic(fmt.Sprintf("corpus: NewZipf s = %v, must be positive", s))
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{rng: rng, cdf: cdf}
+}
+
+// Sample returns a rank in [0, n) with Zipfian probability.
+func (z *Zipf) Sample() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Prob returns the probability of rank i.
+func (z *Zipf) Prob(i int) float64 {
+	if i < 0 || i >= len(z.cdf) {
+		return 0
+	}
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"websearchbench/internal/index"
+	"websearchbench/internal/partition"
+	"websearchbench/internal/search"
+)
+
+// AblationMaxScoreResult contrasts pruned and exhaustive disjunctive
+// evaluation.
+type AblationMaxScoreResult struct {
+	ExhaustiveMean   time.Duration
+	MaxScoreMean     time.Duration
+	Speedup          float64
+	PostingsSavedPct float64
+}
+
+// AblationMaxScore measures what MaxScore pruning buys on the workload.
+func (c *Context) AblationMaxScore() AblationMaxScoreResult {
+	seg := c.Segment()
+	qs := c.Analyzed()
+	run := func(useMaxScore bool) (time.Duration, int64) {
+		s := search.NewSearcher(seg, search.Options{TopK: 10, UseMaxScore: useMaxScore})
+		var total time.Duration
+		var postings int64
+		for _, q := range qs {
+			start := time.Now()
+			r := s.Search(q)
+			total += time.Since(start)
+			postings += r.PostingsScanned
+		}
+		return total / time.Duration(max(1, len(qs))), postings
+	}
+	exMean, exPost := run(false)
+	msMean, msPost := run(true)
+	res := AblationMaxScoreResult{ExhaustiveMean: exMean, MaxScoreMean: msMean}
+	if msMean > 0 {
+		res.Speedup = float64(exMean) / float64(msMean)
+	}
+	if exPost > 0 {
+		res.PostingsSavedPct = 100 * (1 - float64(msPost)/float64(exPost))
+	}
+	c.section("ABL-1", "MaxScore pruning ablation")
+	w := c.table()
+	fmt.Fprintf(w, "exhaustive mean\t%s\n", ms(res.ExhaustiveMean))
+	fmt.Fprintf(w, "maxscore mean\t%s\n", ms(res.MaxScoreMean))
+	fmt.Fprintf(w, "speedup\t%.2fx\n", res.Speedup)
+	fmt.Fprintf(w, "postings saved\t%.1f%%\n", res.PostingsSavedPct)
+	w.Flush()
+	return res
+}
+
+// AblationCompressionResult contrasts posting encodings.
+type AblationCompressionResult struct {
+	VarintBytes int64
+	RawBytes    int64
+	Ratio       float64
+	VarintMean  time.Duration
+	RawMean     time.Duration
+}
+
+// AblationCompression measures the space/time trade-off of varint
+// compression.
+func (c *Context) AblationCompression() AblationCompressionResult {
+	rawSeg, err := index.BuildFromCorpus(c.CorpusCfg, index.WithCompression(index.CompressionRaw))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: raw index build failed: %v", err))
+	}
+	varSeg := c.Segment()
+	qs := c.Analyzed()
+	run := func(seg *index.Segment) time.Duration {
+		s := search.NewSearcher(seg, search.Options{TopK: 10, UseMaxScore: false})
+		var total time.Duration
+		for _, q := range qs {
+			start := time.Now()
+			s.Search(q)
+			total += time.Since(start)
+		}
+		return total / time.Duration(max(1, len(qs)))
+	}
+	res := AblationCompressionResult{
+		VarintBytes: varSeg.PostingsBytes(),
+		RawBytes:    rawSeg.PostingsBytes(),
+		VarintMean:  run(varSeg),
+		RawMean:     run(rawSeg),
+	}
+	if res.VarintBytes > 0 {
+		res.Ratio = float64(res.RawBytes) / float64(res.VarintBytes)
+	}
+	c.section("ABL-2", "postings compression ablation")
+	w := c.table()
+	fmt.Fprintf(w, "varint bytes\t%d\n", res.VarintBytes)
+	fmt.Fprintf(w, "raw bytes\t%d\n", res.RawBytes)
+	fmt.Fprintf(w, "space ratio\t%.2fx\n", res.Ratio)
+	fmt.Fprintf(w, "varint mean search\t%s\n", ms(res.VarintMean))
+	fmt.Fprintf(w, "raw mean search\t%s\n", ms(res.RawMean))
+	w.Flush()
+	return res
+}
+
+// AblationAssignmentResult contrasts document-assignment policies.
+type AblationAssignmentResult struct {
+	// Imbalance is the mean posting imbalance of workload query terms:
+	// the heaviest partition's document frequency relative to the ideal
+	// even split (1.0 = perfectly balanced). Work imbalance translates
+	// directly into fork-join span, so a larger value means partitioning
+	// helps less.
+	RoundRobinImbalance float64
+	RangeImbalance      float64
+}
+
+// AblationAssignment measures how document assignment skews per-partition
+// work, using the deterministic posting-count imbalance of the workload's
+// query terms (wall-clock per-partition times at this index scale are
+// microsecond-level and too noisy to compare policies).
+func (c *Context) AblationAssignment() AblationAssignmentResult {
+	qs := c.Analyzed()
+	n := min(len(qs), 400)
+	measure := func(a partition.Assignment) float64 {
+		idx, err := partition.Build(c.CorpusCfg, 8, a)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: partition build failed: %v", err))
+		}
+		var sum float64
+		count := 0
+		for i := 0; i < n; i++ {
+			for _, term := range qs[i].Terms {
+				if imb := idx.Imbalance(term); imb > 0 {
+					sum += imb
+					count++
+				}
+			}
+		}
+		if count == 0 {
+			return 0
+		}
+		return sum / float64(count)
+	}
+	res := AblationAssignmentResult{
+		RoundRobinImbalance: measure(partition.RoundRobin),
+		RangeImbalance:      measure(partition.Range),
+	}
+	c.section("ABL-3", "partition assignment ablation (P=8)")
+	w := c.table()
+	fmt.Fprintf(w, "round-robin posting imbalance\t%.3f\n", res.RoundRobinImbalance)
+	fmt.Fprintf(w, "range posting imbalance\t%.3f\n", res.RangeImbalance)
+	w.Flush()
+	return res
+}
+
+// AblationTopKResult is the result-count sensitivity.
+type AblationTopKResult struct {
+	K    []int
+	Mean []time.Duration
+}
+
+// AblationTopK measures service-time sensitivity to the requested result
+// count.
+func (c *Context) AblationTopK() AblationTopKResult {
+	seg := c.Segment()
+	qs := c.Analyzed()
+	res := AblationTopKResult{}
+	for _, k := range []int{1, 10, 100, 1000} {
+		s := search.NewSearcher(seg, search.Options{TopK: k, UseMaxScore: true})
+		var total time.Duration
+		for _, q := range qs {
+			start := time.Now()
+			s.Search(q)
+			total += time.Since(start)
+		}
+		res.K = append(res.K, k)
+		res.Mean = append(res.Mean, total/time.Duration(max(1, len(qs))))
+	}
+	c.section("ABL-4", "top-k sensitivity ablation")
+	w := c.table()
+	fmt.Fprintf(w, "k\tmean service time\n")
+	for i, k := range res.K {
+		fmt.Fprintf(w, "%d\t%s\n", k, ms(res.Mean[i]))
+	}
+	w.Flush()
+	return res
+}

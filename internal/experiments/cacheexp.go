@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"websearchbench/internal/qcache"
+	"websearchbench/internal/search"
+)
+
+// E14Row is one cache size's measurement.
+type E14Row struct {
+	CacheSize int
+	HitRate   float64
+	Mean      time.Duration // mean service time including cache hits
+	Speedup   float64       // vs. the uncached mean
+}
+
+// E14Result is the result-cache extension experiment.
+type E14Result struct {
+	UniquePool int
+	Rows       []E14Row
+}
+
+// E14ResultCache measures what an LRU result cache buys on the Zipf-
+// popular query stream (an extension experiment: the paper's workload
+// characterization — repeated queries dominating the stream — is exactly
+// the property that makes front-end caching effective).
+func (c *Context) E14ResultCache() E14Result {
+	searcher := search.NewSearcher(c.Segment(), search.DefaultOptions())
+	qs := c.Analyzed()
+	stream := c.Stream()
+	res := E14Result{UniquePool: c.WorkloadCfg.UniqueQueries}
+
+	var uncachedMean time.Duration
+	for _, size := range []int{0, 16, 64, 256, 1024} {
+		var cache *qcache.Cache[[]search.Hit]
+		if size > 0 {
+			cache = qcache.New[[]search.Hit](size)
+		}
+		var total time.Duration
+		var hits int
+		for i, q := range qs {
+			key := stream[i].Text
+			start := time.Now()
+			if cache != nil {
+				if _, ok := cache.Get(key); ok {
+					total += time.Since(start)
+					hits++
+					continue
+				}
+			}
+			r := searcher.Search(q)
+			if cache != nil {
+				cache.Put(key, r.Hits)
+			}
+			total += time.Since(start)
+		}
+		row := E14Row{
+			CacheSize: size,
+			HitRate:   float64(hits) / float64(len(qs)),
+			Mean:      total / time.Duration(max(1, len(qs))),
+		}
+		if size == 0 {
+			uncachedMean = row.Mean
+		}
+		if row.Mean > 0 {
+			row.Speedup = float64(uncachedMean) / float64(row.Mean)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	c.section("E14", "front-end result cache on the Zipf query stream (extension)")
+	fmt.Fprintf(c.Out, "unique-query pool: %d\n", res.UniquePool)
+	w := c.table()
+	fmt.Fprintf(w, "cache size\thit rate\tmean service\tspeedup\n")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%d\t%.1f%%\t%s\t%.2fx\n", r.CacheSize, r.HitRate*100, ms(r.Mean), r.Speedup)
+	}
+	w.Flush()
+	return res
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"websearchbench/internal/cluster"
+	"websearchbench/internal/corpus"
+	"websearchbench/internal/metrics"
+	"websearchbench/internal/partition"
+	"websearchbench/internal/search"
+	"websearchbench/internal/workload"
+)
+
+// E13Row is one cluster size's scatter/gather measurement.
+type E13Row struct {
+	Nodes       int
+	Mean        time.Duration // end-to-end through the front-end
+	P99         time.Duration
+	MeanNodeSvc time.Duration // node-reported service time (slowest node)
+}
+
+// E13Result is the distributed-architecture characterization.
+type E13Result struct {
+	Rows []E13Row
+}
+
+// E13Cluster measures end-to-end scatter/gather latency through a real
+// loopback-HTTP cluster as the node count grows: the benchmark's
+// front-end/index-serving tier structure.
+func (c *Context) E13Cluster() E13Result {
+	res := E13Result{}
+	queries := c.Stream()
+	n := min(len(queries), 150)
+	for _, nodes := range []int{1, 2, 4} {
+		row, err := c.runCluster(nodes, queries[:n])
+		if err != nil {
+			panic(fmt.Sprintf("experiments: cluster run failed: %v", err))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	c.section("E13", "distributed scatter/gather over HTTP")
+	w := c.table()
+	fmt.Fprintf(w, "nodes\tend-to-end mean\tend-to-end p99\tnode service mean\n")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%d\t%s\t%s\t%s\n", r.Nodes, ms(r.Mean), ms(r.P99), ms(r.MeanNodeSvc))
+	}
+	w.Flush()
+	return res
+}
+
+// runCluster starts a loopback cluster of the given size over the shared
+// corpus, replays queries through the front-end, and tears it down.
+func (c *Context) runCluster(nodes int, queries []workload.Query) (E13Row, error) {
+	gen, err := corpus.NewGenerator(c.CorpusCfg)
+	if err != nil {
+		return E13Row{}, err
+	}
+	builders := make([]*partition.Builder, nodes)
+	for i := range builders {
+		b, err := partition.NewBuilder(2, partition.RoundRobin, 0)
+		if err != nil {
+			return E13Row{}, err
+		}
+		builders[i] = b
+	}
+	i := 0
+	gen.GenerateFunc(func(d corpus.Document) {
+		builders[i%nodes].AddCorpusDoc(d)
+		i++
+	})
+
+	urls := make([]string, nodes)
+	servers := make([]*cluster.Node, nodes)
+	defer func() {
+		for _, n := range servers {
+			if n != nil {
+				n.Close()
+			}
+		}
+	}()
+	for j, b := range builders {
+		node := cluster.NewNode(fmt.Sprintf("node-%d", j), b.Finalize(),
+			search.Options{TopK: 10}, false)
+		addr, err := node.Start("127.0.0.1:0")
+		if err != nil {
+			return E13Row{}, err
+		}
+		servers[j] = node
+		urls[j] = "http://" + addr
+	}
+	fe, err := cluster.NewFrontend(urls, 10)
+	if err != nil {
+		return E13Row{}, err
+	}
+
+	var e2e metrics.Histogram
+	var nodeSvc time.Duration
+	for _, q := range queries {
+		start := time.Now()
+		resp, err := fe.Search(cluster.SearchRequest{Query: q.Text, Mode: q.Mode.String()})
+		if err != nil {
+			return E13Row{}, err
+		}
+		e2e.Record(time.Since(start))
+		nodeSvc += resp.Took()
+	}
+	snap := e2e.Snapshot()
+	return E13Row{
+		Nodes:       nodes,
+		Mean:        snap.Mean,
+		P99:         snap.P99,
+		MeanNodeSvc: nodeSvc / time.Duration(max(1, len(queries))),
+	}, nil
+}

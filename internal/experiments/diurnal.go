@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"websearchbench/internal/metrics"
+	"websearchbench/internal/simsrv"
+)
+
+// E17Window is one time slice of the diurnal study.
+type E17Window struct {
+	// Phase is the window's position in the daily cycle, in [0, 1).
+	Phase  float64
+	Count  int64
+	P90    time.Duration
+	QoSMet bool
+}
+
+// E17Result is the diurnal-load extension experiment.
+type E17Result struct {
+	TroughQPS float64
+	PeakQPS   float64
+	Windows   []E17Window
+	// PeakP90 and TroughP90 are the p90s of the busiest and quietest
+	// windows.
+	PeakP90   time.Duration
+	TroughP90 time.Duration
+	// OverallQoSMet reports whether the whole day met the target.
+	OverallQoSMet bool
+}
+
+// E17Diurnal drives one server through a full synthetic "day": load
+// swings sinusoidally from 20% to 85% of capacity. The abstract's QoS
+// framing — "the same QoS at all times even at the peak incoming traffic
+// load" — is exactly this experiment: QoS headroom is consumed at the
+// daily peak, so provisioning must target the peak windows, not the
+// average.
+func (c *Context) E17Diurnal() E17Result {
+	server := simsrv.XeonLike()
+	capacity := c.EffectiveCapacity(server, 1)
+	trough, peak := 0.2*capacity, 0.85*capacity
+	period := c.SimDuration // one full day per measurement window
+	cfg := c.SimulatorConfig(server, 1, 1000)
+	cfg.Open = &simsrv.OpenLoop{
+		RateQPS: trough,
+		Diurnal: &simsrv.DiurnalLoad{PeakQPS: peak, Period: period},
+	}
+	cfg.CollectLatencies = true
+	// Align the window to whole cycles: warmup one tenth, measure one
+	// full period.
+	cfg.Warmup = period / 10
+	cfg.Duration = period
+	st, err := simsrv.Run(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: sim failed: %v", err))
+	}
+
+	const buckets = 8
+	hists := make([]metrics.Histogram, buckets)
+	for i, at := range st.ArrivalTimes {
+		phase := at / period
+		phase -= float64(int(phase)) // wrap into [0,1)
+		b := int(phase * buckets)
+		if b >= buckets {
+			b = buckets - 1
+		}
+		hists[b].Record(st.Latencies[i])
+	}
+	target := c.QoSTarget()
+	res := E17Result{TroughQPS: trough, PeakQPS: peak, OverallQoSMet: st.Latency.P90 <= target}
+	for b := range hists {
+		w := E17Window{
+			Phase:  float64(b) / buckets,
+			Count:  hists[b].Count(),
+			P90:    hists[b].Percentile(90),
+			QoSMet: hists[b].Percentile(90) <= target,
+		}
+		res.Windows = append(res.Windows, w)
+		if res.PeakP90 == 0 || w.P90 > res.PeakP90 {
+			res.PeakP90 = w.P90
+		}
+		if res.TroughP90 == 0 || (w.Count > 0 && w.P90 < res.TroughP90) {
+			res.TroughP90 = w.P90
+		}
+	}
+	c.section("E17", "QoS across the diurnal load cycle (extension)")
+	fmt.Fprintf(c.Out, "load swing: %.0f .. %.0f qps (20%% .. 85%% of capacity)\n", trough, peak)
+	w := c.table()
+	fmt.Fprintf(w, "cycle phase\tqueries\tp90\tQoS(p90<=%s)\n", ms(target))
+	for _, win := range res.Windows {
+		ok := "met"
+		if !win.QoSMet {
+			ok = "VIOLATED"
+		}
+		fmt.Fprintf(w, "%.3f\t%d\t%s\t%s\n", win.Phase, win.Count, ms(win.P90), ok)
+	}
+	w.Flush()
+	fmt.Fprintf(c.Out, "p90 swing across the day: %s (trough) .. %s (peak)\n",
+		ms(res.TroughP90), ms(res.PeakP90))
+	return res
+}

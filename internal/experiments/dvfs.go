@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"websearchbench/internal/power"
+	"websearchbench/internal/simsrv"
+)
+
+// E15Row is one DVFS operating point.
+type E15Row struct {
+	Frequency      float64 // ratio of nominal
+	Mean           time.Duration
+	P99            time.Duration
+	Utilization    float64
+	Watts          float64
+	EnergyPerQuery float64 // joules
+	QoSMet         bool
+}
+
+// E15Result is the DVFS extension experiment.
+type E15Result struct {
+	OfferedQPS float64
+	Rows       []E15Row
+}
+
+// E15DVFS sweeps the server's DVFS frequency at a fixed offered load: an
+// extension of the paper's low-power exploration. Slowing the clock cuts
+// dynamic power cubically but stretches service times; the experiment
+// locates the lowest-energy frequency that still meets the QoS target.
+func (c *Context) E15DVFS() E15Result {
+	nominal := simsrv.XeonLike()
+	nominalPower := power.XeonLike()
+	freqs := []float64{0.5, 0.6, 0.8, 1.0, 1.2}
+	// Load all frequencies can in principle sustain: half of the slowest
+	// configuration's effective capacity.
+	slowest := nominal
+	slowest.SpeedFactor *= freqs[0]
+	qps := 0.5 * c.EffectiveCapacity(slowest, 1)
+	res := E15Result{OfferedQPS: qps}
+	for _, f := range freqs {
+		server := nominal
+		server.Name = fmt.Sprintf("%s@%.2f", nominal.Name, f)
+		server.SpeedFactor = nominal.SpeedFactor * f
+		cfg := c.SimulatorConfig(server, 1, 700+int64(f*100))
+		cfg.Open = &simsrv.OpenLoop{RateQPS: qps}
+		st, err := simsrv.Run(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: sim failed: %v", err))
+		}
+		pm := nominalPower.ScaleFrequency(f)
+		res.Rows = append(res.Rows, E15Row{
+			Frequency:      f,
+			Mean:           st.Latency.Mean,
+			P99:            st.Latency.P99,
+			Utilization:    st.Utilization,
+			Watts:          pm.Power(st.Utilization),
+			EnergyPerQuery: pm.EnergyPerQuery(st.Utilization, st.Throughput),
+			QoSMet:         st.Latency.P90 <= c.QoSTarget(),
+		})
+	}
+	c.section("E15", "DVFS frequency sweep (extension)")
+	fmt.Fprintf(c.Out, "offered load: %.0f qps\n", qps)
+	w := c.table()
+	fmt.Fprintf(w, "frequency\tmean\tp99\tutil\twatts\tJ/query\tQoS\n")
+	for _, r := range res.Rows {
+		ok := "met"
+		if !r.QoSMet {
+			ok = "VIOLATED"
+		}
+		fmt.Fprintf(w, "%.2f\t%s\t%s\t%.0f%%\t%.0fW\t%.4f\t%s\n",
+			r.Frequency, ms(r.Mean), ms(r.P99), r.Utilization*100,
+			r.Watts, r.EnergyPerQuery, ok)
+	}
+	w.Flush()
+	return res
+}
+
+// ABL5Row contrasts scheduling disciplines at one load.
+type ABL5Row struct {
+	Discipline simsrv.Discipline
+	Mean       time.Duration
+	P50        time.Duration
+	P99        time.Duration
+	Max        time.Duration
+}
+
+// ABL5Result is the run-queue scheduling ablation.
+type ABL5Result struct {
+	OfferedQPS float64
+	Rows       []ABL5Row
+}
+
+// AblationScheduling contrasts FCFS with non-preemptive shortest-job-
+// first dispatch at high load: SJF cuts mean and median latency on the
+// heavy-tailed demand distribution but sacrifices the worst queries.
+func (c *Context) AblationScheduling() ABL5Result {
+	server := simsrv.XeonLike()
+	qps := 0.8 * c.EffectiveCapacity(server, 1)
+	res := ABL5Result{OfferedQPS: qps}
+	for _, d := range []simsrv.Discipline{simsrv.FCFS, simsrv.SJF} {
+		cfg := c.SimulatorConfig(server, 1, 800)
+		cfg.Open = &simsrv.OpenLoop{RateQPS: qps}
+		cfg.Discipline = d
+		st, err := simsrv.Run(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: sim failed: %v", err))
+		}
+		res.Rows = append(res.Rows, ABL5Row{
+			Discipline: d,
+			Mean:       st.Latency.Mean,
+			P50:        st.Latency.P50,
+			P99:        st.Latency.P99,
+			Max:        st.Latency.Max,
+		})
+	}
+	c.section("ABL-5", "run-queue scheduling ablation (80% load)")
+	w := c.table()
+	fmt.Fprintf(w, "discipline\tmean\tp50\tp99\tmax\n")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%v\t%s\t%s\t%s\t%s\n",
+			r.Discipline, ms(r.Mean), ms(r.P50), ms(r.P99), ms(r.Max))
+	}
+	w.Flush()
+	return res
+}

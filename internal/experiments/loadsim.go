@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"websearchbench/internal/simsrv"
+	"websearchbench/internal/stats"
+)
+
+// LoadPoint is one row of a load curve.
+type LoadPoint struct {
+	Clients     int     // closed-loop population (0 for open loop)
+	OfferedQPS  float64 // open-loop rate (0 for closed loop)
+	Throughput  float64
+	Utilization float64
+	Mean        time.Duration
+	P90         time.Duration
+	P95         time.Duration
+	P99         time.Duration
+	QoSMet      bool
+}
+
+func loadPoint(st simsrv.Stats, target time.Duration) LoadPoint {
+	return LoadPoint{
+		Throughput:  st.Throughput,
+		Utilization: st.Utilization,
+		Mean:        st.Latency.Mean,
+		P90:         st.Latency.P90,
+		P95:         st.Latency.P95,
+		P99:         st.Latency.P99,
+		QoSMet:      st.Latency.P90 <= target,
+	}
+}
+
+// clientSweep is the shared closed-loop sweep behind E5 and E6.
+func (c *Context) clientSweep() []LoadPoint {
+	server := simsrv.XeonLike()
+	think := 10 * c.MeanDemand()
+	var out []LoadPoint
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256} {
+		cfg := c.SimulatorConfig(server, 1, 100+int64(n))
+		cfg.Closed = &simsrv.ClosedLoop{Clients: n, MeanThink: think}
+		st, err := simsrv.Run(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: sim failed: %v", err))
+		}
+		p := loadPoint(st, c.QoSTarget())
+		p.Clients = n
+		out = append(out, p)
+	}
+	return out
+}
+
+// E5Result is the response-time-versus-load figure.
+type E5Result struct {
+	Points []LoadPoint
+}
+
+// E5LoadCurve sweeps closed-loop clients on the baseline server and
+// reports the response-time curve.
+func (c *Context) E5LoadCurve() E5Result {
+	res := E5Result{Points: c.clientSweep()}
+	c.section("E5", "response time vs load (closed loop, Xeon-like, P=1)")
+	w := c.table()
+	fmt.Fprintf(w, "clients\tthroughput\tutil\tmean\tp90\tp99\n")
+	for _, p := range res.Points {
+		fmt.Fprintf(w, "%d\t%.0f qps\t%.0f%%\t%s\t%s\t%s\n",
+			p.Clients, p.Throughput, p.Utilization*100, ms(p.Mean), ms(p.P90), ms(p.P99))
+	}
+	w.Flush()
+	return res
+}
+
+// E6Result is the throughput figure plus the QoS-constrained capacity.
+type E6Result struct {
+	Points []LoadPoint
+	// MaxQoSThroughput is the highest measured throughput whose p90 met
+	// the QoS target.
+	MaxQoSThroughput float64
+}
+
+// E6Throughput reports throughput versus clients and the QoS ceiling.
+func (c *Context) E6Throughput() E6Result {
+	res := E6Result{Points: c.clientSweep()}
+	for _, p := range res.Points {
+		if p.QoSMet && p.Throughput > res.MaxQoSThroughput {
+			res.MaxQoSThroughput = p.Throughput
+		}
+	}
+	c.section("E6", "throughput vs clients and QoS ceiling")
+	w := c.table()
+	fmt.Fprintf(w, "clients\tthroughput\tp90\tQoS(p90<=%s)\n", ms(c.QoSTarget()))
+	for _, p := range res.Points {
+		ok := "met"
+		if !p.QoSMet {
+			ok = "VIOLATED"
+		}
+		fmt.Fprintf(w, "%d\t%.0f qps\t%s\t%s\n", p.Clients, p.Throughput, ms(p.P90), ok)
+	}
+	w.Flush()
+	fmt.Fprintf(c.Out, "max throughput under QoS: %.0f qps\n", res.MaxQoSThroughput)
+	return res
+}
+
+// partitionSweepValues is the partition axis shared by E7..E10.
+var partitionSweepValues = []int{1, 2, 4, 8, 16, 32}
+
+// E7Result is the key figure: tail latency versus partitions at fixed
+// load.
+type E7Result struct {
+	OfferedQPS float64
+	Points     []LoadPoint // indexed like partitionSweepValues
+	Partitions []int
+}
+
+// E7PartitionTail runs the intra-server partitioning study at a fixed
+// moderate open-loop load.
+func (c *Context) E7PartitionTail() E7Result {
+	server := simsrv.XeonLike()
+	// Offered load: half the effective capacity of the most-partitioned
+	// configuration, so every sweep point runs below saturation.
+	qps := 0.5 * c.EffectiveCapacity(server, partitionSweepValues[len(partitionSweepValues)-1])
+	res := E7Result{OfferedQPS: qps, Partitions: partitionSweepValues}
+	for _, p := range partitionSweepValues {
+		cfg := c.SimulatorConfig(server, p, 200+int64(p))
+		cfg.Open = &simsrv.OpenLoop{RateQPS: qps}
+		st, err := simsrv.Run(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: sim failed: %v", err))
+		}
+		pt := loadPoint(st, c.QoSTarget())
+		pt.OfferedQPS = qps
+		res.Points = append(res.Points, pt)
+	}
+	c.section("E7", "tail latency vs intra-server partitions (key figure)")
+	fmt.Fprintf(c.Out, "offered load: %.0f qps (~50%% of capacity)\n", qps)
+	w := c.table()
+	fmt.Fprintf(w, "partitions\tmean\tp90\tp95\tp99\tutil\n")
+	for i, p := range partitionSweepValues {
+		pt := res.Points[i]
+		fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%s\t%.0f%%\n",
+			p, ms(pt.Mean), ms(pt.P90), ms(pt.P95), ms(pt.P99), pt.Utilization*100)
+	}
+	w.Flush()
+	return res
+}
+
+// E8Result is peak throughput under QoS versus partitions.
+type E8Result struct {
+	Partitions []int
+	MaxQPS     []float64
+}
+
+// E8PartitionThroughput bisects, per partition count, the highest
+// open-loop rate whose p90 still meets the QoS target.
+func (c *Context) E8PartitionThroughput() E8Result {
+	server := simsrv.XeonLike()
+	res := E8Result{Partitions: partitionSweepValues}
+	for _, p := range partitionSweepValues {
+		res.MaxQPS = append(res.MaxQPS, c.maxQoSRate(server, p, c.EffectiveCapacity(server, p)))
+	}
+	c.section("E8", "peak throughput under QoS vs partitions")
+	w := c.table()
+	fmt.Fprintf(w, "partitions\tmax qps (p90<=%s)\trelative\n", ms(c.QoSTarget()))
+	for i, p := range partitionSweepValues {
+		rel := 1.0
+		if res.MaxQPS[0] > 0 {
+			rel = res.MaxQPS[i] / res.MaxQPS[0]
+		}
+		fmt.Fprintf(w, "%d\t%.0f\t%.2fx\n", p, res.MaxQPS[i], rel)
+	}
+	w.Flush()
+	return res
+}
+
+// maxQoSRate bisects the open-loop rate meeting QoS for one server and
+// partition count.
+func (c *Context) maxQoSRate(server simsrv.ServerModel, parts int, capacity float64) float64 {
+	target := c.QoSTarget()
+	meets := func(qps float64) bool {
+		cfg := c.SimulatorConfig(server, parts, 300+int64(parts))
+		cfg.Open = &simsrv.OpenLoop{RateQPS: qps}
+		st, err := simsrv.Run(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: sim failed: %v", err))
+		}
+		return st.Latency.P90 <= target && st.Latency.P90 > 0
+	}
+	lo, hi := 0.0, 1.5*capacity
+	if !meets(capacity * 0.05) {
+		return 0 // cannot meet QoS even nearly idle
+	}
+	lo = capacity * 0.05
+	for i := 0; i < 9; i++ {
+		mid := (lo + hi) / 2
+		if meets(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// E9Result is the response-time CDF comparison.
+type E9Result struct {
+	P1CDF []stats.CDFPoint // seconds
+	P8CDF []stats.CDFPoint
+}
+
+// E9CDF contrasts full response-time distributions at one versus eight
+// partitions under the E7 load.
+func (c *Context) E9CDF() E9Result {
+	server := simsrv.XeonLike()
+	qps := 0.5 * c.EffectiveCapacity(server, 8)
+	if p1 := c.EffectiveCapacity(server, 1); 0.5*p1 < qps {
+		qps = 0.5 * p1
+	}
+	collect := func(parts int) []stats.CDFPoint {
+		cfg := c.SimulatorConfig(server, parts, 400+int64(parts))
+		cfg.Open = &simsrv.OpenLoop{RateQPS: qps}
+		cfg.CollectLatencies = true
+		st, err := simsrv.Run(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: sim failed: %v", err))
+		}
+		secs := make([]float64, len(st.Latencies))
+		for i, d := range st.Latencies {
+			secs[i] = d.Seconds()
+		}
+		return stats.CDF(secs, 20)
+	}
+	res := E9Result{P1CDF: collect(1), P8CDF: collect(8)}
+	c.section("E9", "response-time CDF: 1 vs 8 partitions")
+	w := c.table()
+	fmt.Fprintf(w, "fraction\tP=1\tP=8\n")
+	for i := range res.P1CDF {
+		var p8 string
+		if i < len(res.P8CDF) {
+			p8 = fmt.Sprintf("%.3fms", res.P8CDF[i].Value*1e3)
+		}
+		fmt.Fprintf(w, "%.2f\t%.3fms\t%s\n",
+			res.P1CDF[i].Fraction, res.P1CDF[i].Value*1e3, p8)
+	}
+	w.Flush()
+	return res
+}

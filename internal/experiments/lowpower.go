@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"websearchbench/internal/power"
+	"websearchbench/internal/simsrv"
+)
+
+// E10Row is one (server, partitions) cell of the low-power comparison.
+type E10Row struct {
+	Server     string
+	Partitions int
+	Mean       time.Duration
+	P99        time.Duration
+}
+
+// E10Result is the wimpy-versus-brawny response-time figure.
+type E10Result struct {
+	OfferedQPS float64
+	Rows       []E10Row
+	// XeonBaselineMean is the Xeon-like P=1 mean, the line the Atom-like
+	// curve must approach.
+	XeonBaselineMean time.Duration
+	// AtomBestMean is the best Atom-like mean across the partition sweep.
+	AtomBestMean time.Duration
+}
+
+// E10LowPower compares the two server classes across the partition sweep
+// at the same offered load (the abstract's headline claim).
+func (c *Context) E10LowPower() E10Result {
+	xeon, atom := simsrv.XeonLike(), simsrv.AtomLike()
+	// Load both classes can sustain at any partition count: half the
+	// atom-like server's worst effective capacity across the sweep.
+	qps := 0.5 * c.EffectiveCapacity(atom, partitionSweepValues[len(partitionSweepValues)-1])
+	if p1 := c.EffectiveCapacity(atom, 1); 0.5*p1 < qps {
+		qps = 0.5 * p1
+	}
+	res := E10Result{OfferedQPS: qps}
+	run := func(m simsrv.ServerModel, parts int) simsrv.Stats {
+		cfg := c.SimulatorConfig(m, parts, 500+int64(parts))
+		cfg.Open = &simsrv.OpenLoop{RateQPS: qps}
+		st, err := simsrv.Run(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: sim failed: %v", err))
+		}
+		return st
+	}
+	for _, m := range []simsrv.ServerModel{xeon, atom} {
+		for _, p := range partitionSweepValues {
+			st := run(m, p)
+			res.Rows = append(res.Rows, E10Row{
+				Server:     m.Name,
+				Partitions: p,
+				Mean:       st.Latency.Mean,
+				P99:        st.Latency.P99,
+			})
+			if m.Name == xeon.Name && p == 1 {
+				res.XeonBaselineMean = st.Latency.Mean
+			}
+			if m.Name == atom.Name &&
+				(res.AtomBestMean == 0 || st.Latency.Mean < res.AtomBestMean) {
+				res.AtomBestMean = st.Latency.Mean
+			}
+		}
+	}
+	c.section("E10", "low-power vs high-performance server (key figure)")
+	fmt.Fprintf(c.Out, "offered load: %.0f qps (both classes)\n", qps)
+	w := c.table()
+	fmt.Fprintf(w, "server\tpartitions\tmean\tp99\n")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%s\t%d\t%s\t%s\n", r.Server, r.Partitions, ms(r.Mean), ms(r.P99))
+	}
+	w.Flush()
+	ratio := float64(res.AtomBestMean) / float64(res.XeonBaselineMean)
+	fmt.Fprintf(c.Out, "atom-like best mean vs xeon-like P=1 mean: %.2fx\n", ratio)
+	return res
+}
+
+// E11Row is one server class's energy operating point.
+type E11Row struct {
+	Server         string
+	Partitions     int
+	MaxQoSQPS      float64
+	Utilization    float64
+	Watts          float64
+	EnergyPerQuery float64 // joules
+	// Fleet provisioning for the aggregate target.
+	FleetServers int
+	FleetWatts   float64
+}
+
+// E11Result is the energy-per-query comparison at matched QoS.
+type E11Result struct {
+	TargetAggregateQPS float64
+	Rows               []E11Row
+}
+
+// E11Energy finds each class's best QoS-constrained operating point
+// (choosing its best partition count) and compares energy per query and
+// fleet power for an aggregate service load.
+func (c *Context) E11Energy() E11Result {
+	classes := []struct {
+		model simsrv.ServerModel
+		pwr   power.Model
+	}{
+		{simsrv.XeonLike(), power.XeonLike()},
+		{simsrv.AtomLike(), power.AtomLike()},
+	}
+	res := E11Result{}
+	for _, cl := range classes {
+		bestQPS, bestParts := 0.0, 1
+		for _, p := range partitionSweepValues {
+			if qps := c.maxQoSRate(cl.model, p, c.EffectiveCapacity(cl.model, p)); qps > bestQPS {
+				bestQPS, bestParts = qps, p
+			}
+		}
+		row := E11Row{Server: cl.model.Name, Partitions: bestParts, MaxQoSQPS: bestQPS}
+		if bestQPS > 0 {
+			// Re-run the operating point for its utilization.
+			cfg := c.SimulatorConfig(cl.model, bestParts, 600)
+			cfg.Open = &simsrv.OpenLoop{RateQPS: bestQPS}
+			st, err := simsrv.Run(cfg)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: sim failed: %v", err))
+			}
+			row.Utilization = st.Utilization
+			row.Watts = cl.pwr.Power(st.Utilization)
+			row.EnergyPerQuery = cl.pwr.EnergyPerQuery(st.Utilization, st.Throughput)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	// Fleet comparison: provision both classes for the same aggregate.
+	if res.Rows[0].MaxQoSQPS > 0 {
+		res.TargetAggregateQPS = res.Rows[0].MaxQoSQPS * 20 // a 20-brawny-server service
+		for i, cl := range classes {
+			if res.Rows[i].MaxQoSQPS <= 0 {
+				continue
+			}
+			servers, watts, err := power.Provision(cl.pwr, res.Rows[i].MaxQoSQPS, res.TargetAggregateQPS)
+			if err == nil {
+				res.Rows[i].FleetServers = servers
+				res.Rows[i].FleetWatts = watts
+			}
+		}
+	}
+	c.section("E11", "energy per query at matched QoS")
+	w := c.table()
+	fmt.Fprintf(w, "server\tbest P\tmax qps\tutil\twatts\tJ/query\tfleet (for %.0f qps)\tfleet watts\n",
+		res.TargetAggregateQPS)
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%s\t%d\t%.0f\t%.0f%%\t%.0fW\t%.4f\t%d\t%.0fW\n",
+			r.Server, r.Partitions, r.MaxQoSQPS, r.Utilization*100,
+			r.Watts, r.EnergyPerQuery, r.FleetServers, r.FleetWatts)
+	}
+	w.Flush()
+	return res
+}

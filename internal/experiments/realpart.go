@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"websearchbench/internal/partition"
+	"websearchbench/internal/search"
+	"websearchbench/internal/stats"
+)
+
+// E12Row is one partition count's measured real-engine costs.
+type E12Row struct {
+	Partitions int
+	// TotalWork is the mean summed per-partition service time: the CPU
+	// cost a server pays per query.
+	TotalWork time.Duration
+	// CriticalPath is the mean longest partition time: the span a
+	// parallel server would wait before merging.
+	CriticalPath time.Duration
+	// Merge is the mean top-k merge cost.
+	Merge time.Duration
+	// WorkOverhead is TotalWork relative to P=1.
+	WorkOverhead float64
+	// SpanSpeedup is P=1 TotalWork divided by CriticalPath+Merge: the
+	// idle-server latency improvement partitioning buys.
+	SpanSpeedup float64
+	// ImbalanceCV is the mean coefficient of variation of per-partition
+	// times.
+	ImbalanceCV float64
+}
+
+// E12Result is the real-engine partitioning measurement that also feeds
+// the simulator calibration.
+type E12Result struct {
+	Rows        []E12Row
+	Calibration Calibration
+}
+
+// E12RealPartition measures fork-join work, span, merge cost and split
+// imbalance on the real engine across the partition sweep. Partition
+// searches run sequentially on one goroutine so the numbers are pure work
+// measurements, untouched by host scheduling.
+func (c *Context) E12RealPartition() E12Result {
+	res := E12Result{Calibration: c.Calibration()}
+	qs := c.Analyzed()
+	n := min(len(qs), max(100, c.MeasureQueries/4))
+	var baseWork float64
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		idx, err := partition.Build(c.CorpusCfg, p, partition.RoundRobin)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: partition build failed: %v", err))
+		}
+		ps := partition.NewSearcher(idx, search.DefaultOptions(), false)
+		var work, span, merge, cvSum float64
+		cvCount := 0
+		for i := 0; i < n; i++ {
+			r := ps.Search(qs[i])
+			work += r.TotalWork.Seconds()
+			span += r.CriticalPath.Seconds()
+			merge += r.MergeTime.Seconds()
+			if p > 1 {
+				times := make([]float64, len(r.PartTimes))
+				for j, d := range r.PartTimes {
+					times[j] = d.Seconds()
+				}
+				if stats.Mean(times) > 0 {
+					cvSum += stats.CoefficientOfVariation(times)
+					cvCount++
+				}
+			}
+		}
+		fn := float64(n)
+		row := E12Row{
+			Partitions:   p,
+			TotalWork:    time.Duration(work / fn * 1e9),
+			CriticalPath: time.Duration(span / fn * 1e9),
+			Merge:        time.Duration(merge / fn * 1e9),
+		}
+		if p == 1 {
+			baseWork = work / fn
+		}
+		if baseWork > 0 {
+			row.WorkOverhead = (work / fn) / baseWork
+			row.SpanSpeedup = baseWork / (span/fn + merge/fn)
+		}
+		if cvCount > 0 {
+			row.ImbalanceCV = cvSum / float64(cvCount)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	c.section("E12", "real-engine partitioned search: work, span, overheads")
+	w := c.table()
+	fmt.Fprintf(w, "partitions\ttotal work\tcritical path\tmerge\twork overhead\tspan speedup\timbalance CV\n")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%.2fx\t%.2fx\t%.2f\n",
+			r.Partitions, ms(r.TotalWork), ms(r.CriticalPath), ms(r.Merge),
+			r.WorkOverhead, r.SpanSpeedup, r.ImbalanceCV)
+	}
+	w.Flush()
+	cal := res.Calibration
+	fmt.Fprintf(c.Out, "simulator calibration: mean demand=%.3fms, per-partition overhead=%.1fµs, "+
+		"merge base=%.1fµs + %.2fµs/partition, imbalance CV=%.2f\n",
+		cal.MeanDemand*1e3, cal.PartitionOverhead*1e6,
+		cal.MergeBase*1e6, cal.MergePerPartition*1e6, cal.ImbalanceCV)
+	return res
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import "fmt"
+
+// RunAll executes every experiment and ablation in order, printing each
+// table. It returns the names of the experiments run.
+func (c *Context) RunAll() []string {
+	type step struct {
+		name string
+		run  func()
+	}
+	steps := []step{
+		{"E1", func() { c.E1Characterization() }},
+		{"E2", func() { c.E2Workload() }},
+		{"E3", func() { c.E3PhaseBreakdown() }},
+		{"E4", func() { c.E4ServiceTimeAnatomy() }},
+		{"E12", func() { c.E12RealPartition() }}, // calibration before sims
+		{"E5", func() { c.E5LoadCurve() }},
+		{"E6", func() { c.E6Throughput() }},
+		{"E7", func() { c.E7PartitionTail() }},
+		{"E8", func() { c.E8PartitionThroughput() }},
+		{"E9", func() { c.E9CDF() }},
+		{"E10", func() { c.E10LowPower() }},
+		{"E11", func() { c.E11Energy() }},
+		{"E13", func() { c.E13Cluster() }},
+		{"E14", func() { c.E14ResultCache() }},
+		{"E15", func() { c.E15DVFS() }},
+		{"E16", func() { c.E16TailAtScale() }},
+		{"E17", func() { c.E17Diurnal() }},
+		{"E18", func() { c.E18Hedging() }},
+		{"ABL-1", func() { c.AblationMaxScore() }},
+		{"ABL-2", func() { c.AblationCompression() }},
+		{"ABL-3", func() { c.AblationAssignment() }},
+		{"ABL-4", func() { c.AblationTopK() }},
+		{"ABL-5", func() { c.AblationScheduling() }},
+		{"ABL-6", func() { c.AblationSkipLists() }},
+	}
+	names := make([]string, 0, len(steps))
+	for _, s := range steps {
+		s.run()
+		names = append(names, s.name)
+	}
+	fmt.Fprintf(c.Out, "\nall %d experiments completed (scale=%.2f)\n", len(steps), c.Scale)
+	return names
+}

@@ -1,0 +1,45 @@
+package index
+
+import "math"
+
+// BM25Params are the Okapi BM25 free parameters. The defaults match the
+// values used by the Lucene similarity the characterized benchmark serves
+// with.
+type BM25Params struct {
+	K1 float64 // term-frequency saturation, typically 1.2
+	B  float64 // length normalization, typically 0.75
+}
+
+// DefaultBM25 returns the standard parameterization.
+func DefaultBM25() BM25Params { return BM25Params{K1: 1.2, B: 0.75} }
+
+// IDF returns the BM25+ inverse document frequency for a term with
+// document frequency df in a collection of n documents. The +1 inside the
+// log keeps it non-negative for very common terms.
+func IDF(n, df int64) float64 {
+	if n <= 0 || df <= 0 {
+		return 0
+	}
+	return math.Log(1 + (float64(n)-float64(df)+0.5)/(float64(df)+0.5))
+}
+
+// Score returns the BM25 contribution of one term occurrence set: idf is
+// the term's IDF, freq the within-document frequency, docLen the document
+// length in terms, and avgDocLen the collection's average document length.
+func (p BM25Params) Score(idf float64, freq int32, docLen int32, avgDocLen float64) float64 {
+	if freq <= 0 {
+		return 0
+	}
+	f := float64(freq)
+	norm := 1 - p.B
+	if avgDocLen > 0 {
+		norm += p.B * float64(docLen) / avgDocLen
+	}
+	return idf * f * (p.K1 + 1) / (f + p.K1*norm)
+}
+
+// MaxScore returns an upper bound on Score over any freq and docLen:
+// the tf component saturates at (K1+1) as freq grows and docLen shrinks.
+func (p BM25Params) MaxScore(idf float64) float64 {
+	return idf * (p.K1 + 1)
+}

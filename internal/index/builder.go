@@ -1,0 +1,215 @@
+package index
+
+import (
+	"sort"
+
+	"websearchbench/internal/corpus"
+	"websearchbench/internal/textproc"
+)
+
+// Builder accumulates documents and produces an immutable Segment.
+// It is not safe for concurrent use.
+type Builder struct {
+	comp      Compression
+	positions bool
+	analyzer  *textproc.Analyzer
+	bm25      BM25Params
+
+	terms    map[string]*termAcc
+	docLens  []int32
+	docs     []StoredDoc
+	totalLen int64
+
+	scratch    map[string]int32   // per-document term frequencies, reused
+	scratchPos map[string][]int32 // per-document term positions, reused
+}
+
+type termAcc struct {
+	enc      postingsEncoder
+	collFreq int64
+}
+
+// BuilderOption customizes a Builder.
+type BuilderOption func(*Builder)
+
+// WithCompression selects the posting-list encoding (default varint).
+func WithCompression(c Compression) BuilderOption {
+	return func(b *Builder) { b.comp = c }
+}
+
+// WithAnalyzer replaces the default analyzer.
+func WithAnalyzer(a *textproc.Analyzer) BuilderOption {
+	return func(b *Builder) { b.analyzer = a }
+}
+
+// WithBM25 replaces the default BM25 parameters baked into the segment.
+func WithBM25(p BM25Params) BuilderOption {
+	return func(b *Builder) { b.bm25 = p }
+}
+
+// WithPositions stores per-posting term positions, enabling phrase
+// queries. Positional postings require varint compression; the option
+// forces it.
+func WithPositions() BuilderOption {
+	return func(b *Builder) {
+		b.positions = true
+		b.comp = CompressionVarint
+	}
+}
+
+// NewBuilder returns an empty Builder with the default analyzer,
+// varint compression and standard BM25 parameters.
+func NewBuilder(opts ...BuilderOption) *Builder {
+	b := &Builder{
+		comp:       CompressionVarint,
+		analyzer:   textproc.NewAnalyzer(),
+		bm25:       DefaultBM25(),
+		terms:      make(map[string]*termAcc),
+		scratch:    make(map[string]int32),
+		scratchPos: make(map[string][]int32),
+	}
+	for _, opt := range opts {
+		opt(b)
+	}
+	if b.positions && b.comp != CompressionVarint {
+		b.comp = CompressionVarint
+	}
+	return b
+}
+
+// snippetLen is how much of the body the doc store keeps for rendering.
+const snippetLen = 160
+
+// AddDocument indexes one document (title and body pass through the
+// analyzer; title terms are indexed alongside body terms) and returns its
+// docID within the segment under construction.
+func (b *Builder) AddDocument(title, body, url string, quality float64) int32 {
+	docID := int32(len(b.docLens))
+	clear(b.scratch)
+	if b.positions {
+		clear(b.scratchPos)
+	}
+	var docLen int32
+	count := func(term string) {
+		if b.positions {
+			b.scratchPos[term] = append(b.scratchPos[term], docLen)
+		}
+		b.scratch[term]++
+		docLen++
+	}
+	b.analyzer.AnalyzeFunc(title, count)
+	b.analyzer.AnalyzeFunc(body, count)
+
+	// Postings must be appended in deterministic order for reproducible
+	// segments; sort this document's distinct terms.
+	terms := make([]string, 0, len(b.scratch))
+	for t := range b.scratch {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	for _, t := range terms {
+		acc, ok := b.terms[t]
+		if !ok {
+			acc = &termAcc{enc: postingsEncoder{comp: b.comp}}
+			b.terms[t] = acc
+		}
+		f := b.scratch[t]
+		if b.positions {
+			acc.enc.addWithPositions(docID, b.scratchPos[t])
+		} else {
+			acc.enc.add(docID, f)
+		}
+		acc.collFreq += int64(f)
+	}
+
+	snippet := body
+	if len(snippet) > snippetLen {
+		snippet = snippet[:snippetLen]
+	}
+	b.docLens = append(b.docLens, docLen)
+	b.totalLen += int64(docLen)
+	b.docs = append(b.docs, StoredDoc{
+		URL:     url,
+		Title:   title,
+		Quality: float32(quality),
+		Snippet: snippet,
+	})
+	return docID
+}
+
+// AddCorpusDoc indexes a synthetic corpus document.
+func (b *Builder) AddCorpusDoc(d corpus.Document) int32 {
+	return b.AddDocument(d.Title, d.Body, d.URL, d.Quality)
+}
+
+// NumDocs returns the number of documents added so far.
+func (b *Builder) NumDocs() int { return len(b.docLens) }
+
+// Finalize freezes the builder into an immutable Segment. The builder must
+// not be used afterwards.
+func (b *Builder) Finalize() *Segment {
+	termList := make([]string, 0, len(b.terms))
+	for t := range b.terms {
+		termList = append(termList, t)
+	}
+	sort.Strings(termList)
+
+	s := &Segment{
+		comp:      b.comp,
+		positions: b.positions,
+		bm25:      b.bm25,
+		terms:     make(map[string]int32, len(termList)),
+		termList:  termList,
+		postings:  make([][]byte, len(termList)),
+		docFreqs:  make([]int32, len(termList)),
+		collFreqs: make([]int64, len(termList)),
+		maxScores: make([]float32, len(termList)),
+		docLens:   b.docLens,
+		totalLen:  b.totalLen,
+		docs:      b.docs,
+	}
+	for id, t := range termList {
+		acc := b.terms[t]
+		s.terms[t] = int32(id)
+		s.postings[id] = acc.enc.buf
+		s.docFreqs[id] = acc.enc.count
+		s.collFreqs[id] = acc.collFreq
+	}
+	s.computeMaxScores()
+	s.buildSkips()
+	b.terms = nil
+	b.docLens = nil
+	b.docs = nil
+	return s
+}
+
+// computeMaxScores walks every posting list once and records the exact
+// maximum BM25 contribution of each term, the bound MaxScore pruning uses.
+func (s *Segment) computeMaxScores() {
+	n := int64(len(s.docLens))
+	avg := s.AvgDocLen()
+	for id := range s.termList {
+		idf := IDF(n, int64(s.docFreqs[id]))
+		it := s.PostingsByID(int32(id))
+		var max float64
+		for it.Next() {
+			sc := s.bm25.Score(idf, it.Freq(), s.docLens[it.Doc()], avg)
+			if sc > max {
+				max = sc
+			}
+		}
+		s.maxScores[id] = float32(max)
+	}
+}
+
+// BuildFromCorpus is a convenience that generates the configured corpus and
+// indexes all of it into a single segment.
+func BuildFromCorpus(cfg corpus.Config, opts ...BuilderOption) (*Segment, error) {
+	gen, err := corpus.NewGenerator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	b := NewBuilder(opts...)
+	gen.GenerateFunc(func(d corpus.Document) { b.AddCorpusDoc(d) })
+	return b.Finalize(), nil
+}

@@ -1,0 +1,103 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MergeSegments combines segments into one, concatenating their document
+// spaces in order (segment 0's docs keep their IDs, segment 1's are
+// offset by segment 0's count, and so on) and merging posting lists per
+// term. All segments must share compression, positional setting and BM25
+// parameters. Merging is how a multi-segment index is compacted after
+// incremental building, exactly as in the Lucene stack the benchmark
+// serves with.
+func MergeSegments(segs []*Segment) (*Segment, error) {
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("index: nothing to merge")
+	}
+	if len(segs) == 1 {
+		return segs[0], nil
+	}
+	first := segs[0]
+	for _, s := range segs[1:] {
+		if s.comp != first.comp {
+			return nil, fmt.Errorf("index: cannot merge mixed compressions %v and %v", first.comp, s.comp)
+		}
+		if s.positions != first.positions {
+			return nil, fmt.Errorf("index: cannot merge positional with non-positional segments")
+		}
+		if s.bm25 != first.bm25 {
+			return nil, fmt.Errorf("index: cannot merge segments with different BM25 parameters")
+		}
+	}
+
+	out := &Segment{
+		comp:      first.comp,
+		positions: first.positions,
+		bm25:      first.bm25,
+	}
+
+	// Concatenate document spaces.
+	offsets := make([]int32, len(segs))
+	var base int32
+	for i, s := range segs {
+		offsets[i] = base
+		out.docLens = append(out.docLens, s.docLens...)
+		out.docs = append(out.docs, s.docs...)
+		out.totalLen += s.totalLen
+		base += int32(len(s.docLens))
+	}
+
+	// Union of terms, sorted for a deterministic dictionary.
+	termSet := make(map[string]struct{})
+	for _, s := range segs {
+		for _, t := range s.termList {
+			termSet[t] = struct{}{}
+		}
+	}
+	termList := make([]string, 0, len(termSet))
+	for t := range termSet {
+		termList = append(termList, t)
+	}
+	sort.Strings(termList)
+
+	out.terms = make(map[string]int32, len(termList))
+	out.termList = termList
+	out.postings = make([][]byte, len(termList))
+	out.docFreqs = make([]int32, len(termList))
+	out.collFreqs = make([]int64, len(termList))
+	out.maxScores = make([]float32, len(termList))
+
+	for id, term := range termList {
+		out.terms[term] = int32(id)
+		enc := postingsEncoder{comp: out.comp}
+		var coll int64
+		for si, s := range segs {
+			ti, ok := s.Term(term)
+			if !ok {
+				continue
+			}
+			coll += ti.CollFreq
+			if out.positions {
+				it, _ := s.PositionsOf(term)
+				for it.Next() {
+					// Positions() reuses a scratch slice but
+					// addWithPositions consumes it immediately.
+					enc.addWithPositions(it.Doc()+offsets[si], it.Positions())
+				}
+			} else {
+				it := s.PostingsByID(ti.ID)
+				for it.Next() {
+					enc.add(it.Doc()+offsets[si], it.Freq())
+				}
+			}
+		}
+		out.postings[id] = enc.buf
+		out.docFreqs[id] = enc.count
+		out.collFreqs[id] = coll
+	}
+	out.computeMaxScores()
+	out.buildSkips()
+	return out, nil
+}

@@ -1,0 +1,224 @@
+package index
+
+import (
+	"math"
+	"testing"
+
+	"websearchbench/internal/corpus"
+	"websearchbench/internal/textproc"
+)
+
+// segmentsEqual asserts two segments are behaviourally identical:
+// same dictionary, postings, doc metadata and max scores.
+func segmentsEqual(t *testing.T, got, want *Segment) {
+	t.Helper()
+	if got.NumDocs() != want.NumDocs() {
+		t.Fatalf("NumDocs = %d, want %d", got.NumDocs(), want.NumDocs())
+	}
+	if got.NumTerms() != want.NumTerms() {
+		t.Fatalf("NumTerms = %d, want %d", got.NumTerms(), want.NumTerms())
+	}
+	if got.AvgDocLen() != want.AvgDocLen() {
+		t.Fatalf("AvgDocLen = %v, want %v", got.AvgDocLen(), want.AvgDocLen())
+	}
+	for i := 0; i < want.NumDocs(); i++ {
+		if got.Doc(int32(i)) != want.Doc(int32(i)) {
+			t.Fatalf("doc %d stored fields differ", i)
+		}
+		if got.DocLen(int32(i)) != want.DocLen(int32(i)) {
+			t.Fatalf("doc %d length differs", i)
+		}
+	}
+	for _, term := range want.Terms() {
+		wi, _ := want.Term(term)
+		gi, ok := got.Term(term)
+		if !ok {
+			t.Fatalf("term %q missing after merge", term)
+		}
+		if gi.DocFreq != wi.DocFreq || gi.CollFreq != wi.CollFreq {
+			t.Fatalf("term %q stats differ: %+v vs %+v", term, gi, wi)
+		}
+		if math.Abs(float64(gi.MaxScore-wi.MaxScore)) > 1e-6 {
+			t.Fatalf("term %q MaxScore %v vs %v", term, gi.MaxScore, wi.MaxScore)
+		}
+		a, _ := got.Postings(term)
+		b, _ := want.Postings(term)
+		for b.Next() {
+			if !a.Next() {
+				t.Fatalf("term %q postings truncated", term)
+			}
+			if a.Doc() != b.Doc() || a.Freq() != b.Freq() {
+				t.Fatalf("term %q posting (%d,%d) vs (%d,%d)",
+					term, a.Doc(), a.Freq(), b.Doc(), b.Freq())
+			}
+		}
+		if a.Next() {
+			t.Fatalf("term %q extra postings", term)
+		}
+	}
+}
+
+func corpusDocs(t *testing.T, n int) []corpus.Document {
+	t.Helper()
+	cfg := corpus.DefaultConfig()
+	cfg.NumDocs = n
+	cfg.VocabSize = 800
+	cfg.MeanBodyTerms = 40
+	gen, err := corpus.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen.Generate()
+}
+
+// The central merge invariant: flushing into many segments and merging
+// yields exactly the segment a single builder would have produced.
+func TestMergeEqualsSingleBuild(t *testing.T) {
+	docs := corpusDocs(t, 150)
+	for _, opts := range [][]BuilderOption{
+		nil,
+		{WithPositions()},
+		{WithCompression(CompressionRaw)},
+	} {
+		single := NewBuilder(opts...)
+		w := NewWriter(40, opts...) // uneven final flush: 150 = 3*40 + 30
+		for _, d := range docs {
+			single.AddCorpusDoc(d)
+			w.AddDocument(d.Title, d.Body, d.URL, d.Quality)
+		}
+		want := single.Finalize()
+		merged, err := w.Compact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		segmentsEqual(t, merged, want)
+	}
+}
+
+func TestMergePositionsPreserved(t *testing.T) {
+	a := NewBuilder(WithPositions(), WithAnalyzer(&textproc.Analyzer{DisableStemming: true}))
+	a.AddDocument("t", "alpha beta alpha", "u0", 1)
+	segA := a.Finalize()
+	b := NewBuilder(WithPositions(), WithAnalyzer(&textproc.Analyzer{DisableStemming: true}))
+	b.AddDocument("t", "beta alpha", "u1", 1)
+	segB := b.Finalize()
+	merged, err := MergeSegments([]*Segment{segA, segB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !merged.HasPositions() {
+		t.Fatal("merge dropped positions")
+	}
+	it, ok := merged.PositionsOf("alpha")
+	if !ok {
+		t.Fatal("alpha missing")
+	}
+	// Doc 0: title "t" at 0, alpha at 1 and 3. Doc 1 (offset): alpha at 2.
+	if !it.Next() || it.Doc() != 0 {
+		t.Fatalf("doc = %d", it.Doc())
+	}
+	got := it.Positions()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("doc0 alpha positions = %v, want [1 3]", got)
+	}
+	if !it.Next() || it.Doc() != 1 {
+		t.Fatalf("second doc = %d", it.Doc())
+	}
+	got = it.Positions()
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("doc1 alpha positions = %v, want [2]", got)
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	if _, err := MergeSegments(nil); err == nil {
+		t.Error("empty merge accepted")
+	}
+	varint := NewBuilder()
+	varint.AddDocument("t", "x", "u", 1)
+	raw := NewBuilder(WithCompression(CompressionRaw))
+	raw.AddDocument("t", "x", "u", 1)
+	if _, err := MergeSegments([]*Segment{varint.Finalize(), raw.Finalize()}); err == nil {
+		t.Error("mixed compression merge accepted")
+	}
+	pos := NewBuilder(WithPositions())
+	pos.AddDocument("t", "x", "u", 1)
+	plain := NewBuilder()
+	plain.AddDocument("t", "x", "u", 1)
+	if _, err := MergeSegments([]*Segment{pos.Finalize(), plain.Finalize()}); err == nil {
+		t.Error("mixed positional merge accepted")
+	}
+	bm := NewBuilder(WithBM25(BM25Params{K1: 2, B: 0.5}))
+	bm.AddDocument("t", "x", "u", 1)
+	std := NewBuilder()
+	std.AddDocument("t", "x", "u", 1)
+	if _, err := MergeSegments([]*Segment{bm.Finalize(), std.Finalize()}); err == nil {
+		t.Error("mixed BM25 merge accepted")
+	}
+}
+
+func TestMergeSingleSegmentIdentity(t *testing.T) {
+	b := NewBuilder()
+	b.AddDocument("t", "hello world", "u", 1)
+	seg := b.Finalize()
+	got, err := MergeSegments([]*Segment{seg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != seg {
+		t.Error("single-segment merge should return the segment itself")
+	}
+}
+
+func TestWriterLifecycle(t *testing.T) {
+	w := NewWriter(10)
+	if w.NumSegments() != 0 || w.NumDocs() != 0 {
+		t.Fatal("fresh writer not empty")
+	}
+	docs := corpusDocs(t, 25)
+	for i, d := range docs {
+		if id := w.AddDocument(d.Title, d.Body, d.URL, d.Quality); id != int32(i) {
+			t.Fatalf("doc %d got id %d", i, id)
+		}
+	}
+	// 25 docs at flushEvery=10: two full flushes, 5 buffered.
+	if w.NumSegments() != 2 {
+		t.Errorf("NumSegments = %d, want 2", w.NumSegments())
+	}
+	segs := w.Segments() // flushes the remainder
+	if len(segs) != 3 {
+		t.Fatalf("Segments = %d, want 3", len(segs))
+	}
+	if segs[0].NumDocs() != 10 || segs[2].NumDocs() != 5 {
+		t.Errorf("segment sizes = %d,%d,%d", segs[0].NumDocs(), segs[1].NumDocs(), segs[2].NumDocs())
+	}
+	// Double flush is a no-op.
+	w.Flush()
+	if w.NumSegments() != 3 {
+		t.Errorf("extra flush created a segment")
+	}
+	merged, err := w.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.NumDocs() != 25 {
+		t.Errorf("merged docs = %d", merged.NumDocs())
+	}
+	if w.NumSegments() != 1 {
+		t.Errorf("post-compact segments = %d", w.NumSegments())
+	}
+}
+
+func TestWriterEmptyCompact(t *testing.T) {
+	if _, err := NewWriter(5).Compact(); err == nil {
+		t.Error("empty writer Compact should fail")
+	}
+}
+
+func TestWriterFlushEveryClamped(t *testing.T) {
+	w := NewWriter(0)
+	w.AddDocument("t", "a b", "u", 1)
+	if w.NumSegments() != 1 {
+		t.Error("flushEvery=0 should clamp to 1 (flush per doc)")
+	}
+}

@@ -1,0 +1,129 @@
+package index
+
+// Positional postings: when a segment is built WithPositions, each
+// posting carries the term's within-document positions (token offsets
+// after analysis), delta+varint encoded after the (docDelta, freq) pair.
+// Positions are what phrase queries intersect; they are stored only under
+// CompressionVarint (the production encoding).
+
+// addWithPositions appends a posting with its position list. Positions
+// must be strictly increasing within the document.
+func (e *postingsEncoder) addWithPositions(docID int32, positions []int32) {
+	e.buf = appendUvarint(e.buf, uint64(docID-e.lastDoc))
+	e.buf = appendUvarint(e.buf, uint64(len(positions)))
+	last := int32(0)
+	for _, p := range positions {
+		e.buf = appendUvarint(e.buf, uint64(p-last))
+		last = p
+	}
+	e.lastDoc = docID
+	e.count++
+}
+
+// PositionsIterator walks a positional posting list. It extends the plain
+// iterator with access to the current posting's positions.
+type PositionsIterator struct {
+	buf   []byte
+	pos   int
+	doc   int32
+	freq  int32
+	count int32
+
+	// posStart/posEnd delimit the current posting's encoded positions.
+	posStart, posEnd int
+	scratch          []int32
+}
+
+// newPositionsIterator returns an iterator over a positional posting list
+// holding count postings.
+func newPositionsIterator(buf []byte, count int32) PositionsIterator {
+	return PositionsIterator{buf: buf, count: count, doc: -1}
+}
+
+// Next advances to the next posting, returning false at the end.
+func (it *PositionsIterator) Next() bool {
+	if it.count <= 0 {
+		it.doc = exhaustedDoc
+		return false
+	}
+	it.count--
+	delta, n := uvarint(it.buf[it.pos:])
+	it.pos += n
+	f, n2 := uvarint(it.buf[it.pos:])
+	it.pos += n2
+	if n == 0 || n2 == 0 {
+		it.count = 0
+		it.doc = exhaustedDoc
+		return false
+	}
+	if it.doc < 0 {
+		it.doc = int32(delta)
+	} else {
+		it.doc += int32(delta)
+	}
+	it.freq = int32(f)
+	// Skip over the encoded positions, remembering their extent so
+	// Positions can decode them lazily.
+	it.posStart = it.pos
+	for i := int32(0); i < it.freq; i++ {
+		_, n := uvarint(it.buf[it.pos:])
+		if n == 0 {
+			it.count = 0
+			it.doc = exhaustedDoc
+			return false
+		}
+		it.pos += n
+	}
+	it.posEnd = it.pos
+	return true
+}
+
+// SkipTo advances to the first posting with docID >= target.
+func (it *PositionsIterator) SkipTo(target int32) bool {
+	for it.doc < target {
+		if !it.Next() {
+			return false
+		}
+	}
+	return true
+}
+
+// Doc returns the current docID.
+func (it *PositionsIterator) Doc() int32 { return it.doc }
+
+// Freq returns the current within-document frequency.
+func (it *PositionsIterator) Freq() int32 { return it.freq }
+
+// Exhausted reports whether the iterator has run out of postings.
+func (it *PositionsIterator) Exhausted() bool { return it.doc == exhaustedDoc }
+
+// Positions decodes the current posting's position list. The returned
+// slice is reused by subsequent calls; copy it to retain.
+func (it *PositionsIterator) Positions() []int32 {
+	it.scratch = it.scratch[:0]
+	p := it.posStart
+	last := int32(0)
+	for p < it.posEnd {
+		d, n := uvarint(it.buf[p:])
+		p += n
+		last += int32(d)
+		it.scratch = append(it.scratch, last)
+	}
+	return it.scratch
+}
+
+// HasPositions reports whether the segment stores positional postings.
+func (s *Segment) HasPositions() bool { return s.positions }
+
+// PositionsOf returns a positional iterator for term. ok is false when
+// the term is absent or the segment has no positions.
+func (s *Segment) PositionsOf(term string) (PositionsIterator, bool) {
+	if !s.positions {
+		return PositionsIterator{doc: exhaustedDoc}, false
+	}
+	id, ok := s.terms[term]
+	if !ok {
+		return PositionsIterator{doc: exhaustedDoc}, false
+	}
+	return newPositionsIterator(s.postings[id], s.docFreqs[id]), true
+}

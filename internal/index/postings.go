@@ -1,0 +1,182 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Compression selects the posting-list encoding.
+type Compression uint8
+
+const (
+	// CompressionVarint stores (docID delta, freq) pairs as unsigned
+	// varints — the production encoding.
+	CompressionVarint Compression = iota
+	// CompressionRaw stores fixed 4-byte little-endian docIDs and freqs,
+	// kept for the compression ablation study.
+	CompressionRaw
+)
+
+func (c Compression) String() string {
+	switch c {
+	case CompressionVarint:
+		return "varint"
+	case CompressionRaw:
+		return "raw"
+	default:
+		return fmt.Sprintf("Compression(%d)", uint8(c))
+	}
+}
+
+// postingsEncoder incrementally encodes a posting list.
+type postingsEncoder struct {
+	comp    Compression
+	buf     []byte
+	lastDoc int32
+	count   int32
+}
+
+// add appends a posting. Documents must be added in strictly increasing
+// docID order.
+func (e *postingsEncoder) add(docID int32, freq int32) {
+	switch e.comp {
+	case CompressionVarint:
+		e.buf = appendUvarint(e.buf, uint64(docID-e.lastDoc))
+		e.buf = appendUvarint(e.buf, uint64(freq))
+	case CompressionRaw:
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(docID))
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(freq))
+	}
+	e.lastDoc = docID
+	e.count++
+}
+
+// PostingsIterator walks one term's posting list in increasing docID order.
+// The zero value is an exhausted iterator.
+type PostingsIterator struct {
+	comp Compression
+	// positional marks lists that interleave encoded positions after
+	// each (docDelta, freq) pair; the plain iterator skips them.
+	positional bool
+	buf        []byte
+	pos        int
+	doc        int32
+	freq       int32
+	count      int32 // postings remaining
+	initCount  int32 // total list length, for skip arithmetic
+	skips      []skipEntry
+}
+
+// newPostingsIterator returns an iterator over an encoded posting list
+// holding count postings.
+func newPostingsIterator(comp Compression, buf []byte, count int32) PostingsIterator {
+	return PostingsIterator{comp: comp, buf: buf, count: count, initCount: count, doc: -1}
+}
+
+// Next advances to the next posting. It returns false when the list is
+// exhausted.
+func (it *PostingsIterator) Next() bool {
+	if it.count <= 0 {
+		it.doc = exhaustedDoc
+		return false
+	}
+	it.count--
+	switch it.comp {
+	case CompressionVarint:
+		delta, n := uvarint(it.buf[it.pos:])
+		it.pos += n
+		f, n2 := uvarint(it.buf[it.pos:])
+		it.pos += n2
+		if n == 0 || n2 == 0 {
+			// Truncated list: treat as exhausted rather than spinning.
+			it.count = 0
+			it.doc = exhaustedDoc
+			return false
+		}
+		if it.doc < 0 {
+			it.doc = int32(delta)
+		} else {
+			it.doc += int32(delta)
+		}
+		it.freq = int32(f)
+		if it.positional {
+			// Skip the interleaved position deltas.
+			for i := int32(0); i < it.freq; i++ {
+				_, n := uvarint(it.buf[it.pos:])
+				if n == 0 {
+					it.count = 0
+					it.doc = exhaustedDoc
+					return false
+				}
+				it.pos += n
+			}
+		}
+	case CompressionRaw:
+		it.doc = int32(binary.LittleEndian.Uint32(it.buf[it.pos:]))
+		it.freq = int32(binary.LittleEndian.Uint32(it.buf[it.pos+4:]))
+		it.pos += 8
+	}
+	return true
+}
+
+// exhaustedDoc sorts after every valid docID so exhausted iterators fall
+// out of merge frontiers naturally.
+const exhaustedDoc = int32(1<<31 - 1)
+
+// SkipTo advances the iterator to the first posting with docID >= target.
+// It returns false if no such posting exists. The iterator must have been
+// advanced at least once by Next before calling SkipTo, or target must be
+// >= 0 (both are satisfied by normal conjunction loops). Long varint
+// lists jump via their skip table; raw lists binary-search their
+// fixed-width records.
+func (it *PostingsIterator) SkipTo(target int32) bool {
+	if it.doc >= target {
+		return true
+	}
+	switch it.comp {
+	case CompressionVarint:
+		it.seekSkip(target)
+	case CompressionRaw:
+		it.seekRaw(target)
+	}
+	for it.doc < target {
+		if !it.Next() {
+			return false
+		}
+	}
+	return true
+}
+
+// seekRaw binary-searches the fixed 8-byte records for the last docID
+// strictly below target and repositions just past it.
+func (it *PostingsIterator) seekRaw(target int32) {
+	first := it.pos / 8 // next undecoded record index
+	lo, hi := first, int(it.initCount)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		d := int32(binary.LittleEndian.Uint32(it.buf[mid*8:]))
+		if d < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// lo is the first record with doc >= target; resume just before it
+	// so the caller's Next lands on it. Only move forward.
+	if lo > first {
+		resume := lo - 1
+		it.doc = int32(binary.LittleEndian.Uint32(it.buf[resume*8:]))
+		it.freq = int32(binary.LittleEndian.Uint32(it.buf[resume*8+4:]))
+		it.pos = (resume + 1) * 8
+		it.count = it.initCount - int32(resume) - 1
+	}
+}
+
+// Doc returns the current docID. Valid only after Next returned true.
+func (it *PostingsIterator) Doc() int32 { return it.doc }
+
+// Freq returns the current within-document term frequency.
+func (it *PostingsIterator) Freq() int32 { return it.freq }
+
+// Exhausted reports whether the iterator has run out of postings.
+func (it *PostingsIterator) Exhausted() bool { return it.doc == exhaustedDoc }

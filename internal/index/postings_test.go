@@ -1,0 +1,252 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+type posting struct {
+	doc  int32
+	freq int32
+}
+
+func encodeAll(comp Compression, ps []posting) PostingsIterator {
+	enc := postingsEncoder{comp: comp}
+	for _, p := range ps {
+		enc.add(p.doc, p.freq)
+	}
+	return newPostingsIterator(comp, enc.buf, enc.count)
+}
+
+func decodeAll(it PostingsIterator) []posting {
+	var out []posting
+	for it.Next() {
+		out = append(out, posting{it.Doc(), it.Freq()})
+	}
+	return out
+}
+
+func TestPostingsRoundTrip(t *testing.T) {
+	ps := []posting{{0, 1}, {1, 3}, {5, 2}, {1000, 1}, {1001, 7}, {1 << 20, 255}}
+	for _, comp := range []Compression{CompressionVarint, CompressionRaw} {
+		t.Run(comp.String(), func(t *testing.T) {
+			got := decodeAll(encodeAll(comp, ps))
+			if len(got) != len(ps) {
+				t.Fatalf("decoded %d postings, want %d", len(got), len(ps))
+			}
+			for i := range ps {
+				if got[i] != ps[i] {
+					t.Errorf("posting %d = %+v, want %+v", i, got[i], ps[i])
+				}
+			}
+		})
+	}
+}
+
+func TestPostingsEmpty(t *testing.T) {
+	it := encodeAll(CompressionVarint, nil)
+	if it.Next() {
+		t.Error("Next on empty list returned true")
+	}
+	if !it.Exhausted() {
+		t.Error("empty list should be exhausted after Next")
+	}
+}
+
+func TestPostingsExhaustionIsSticky(t *testing.T) {
+	it := encodeAll(CompressionVarint, []posting{{3, 1}})
+	if !it.Next() || it.Doc() != 3 {
+		t.Fatal("first Next failed")
+	}
+	for i := 0; i < 3; i++ {
+		if it.Next() {
+			t.Fatal("Next after exhaustion returned true")
+		}
+		if it.Doc() != exhaustedDoc {
+			t.Fatalf("Doc after exhaustion = %d", it.Doc())
+		}
+	}
+}
+
+func TestSkipTo(t *testing.T) {
+	ps := []posting{{2, 1}, {4, 1}, {8, 1}, {16, 1}, {32, 1}}
+	tests := []struct {
+		target  int32
+		wantDoc int32
+		wantOK  bool
+	}{
+		{0, 2, true},
+		{2, 2, true},
+		{3, 4, true},
+		{16, 16, true},
+		{17, 32, true},
+		{33, 0, false},
+	}
+	for _, tt := range tests {
+		it := encodeAll(CompressionVarint, ps)
+		ok := it.SkipTo(tt.target)
+		if ok != tt.wantOK {
+			t.Errorf("SkipTo(%d) ok = %v, want %v", tt.target, ok, tt.wantOK)
+			continue
+		}
+		if ok && it.Doc() != tt.wantDoc {
+			t.Errorf("SkipTo(%d) doc = %d, want %d", tt.target, it.Doc(), tt.wantDoc)
+		}
+	}
+}
+
+func TestSkipToDoesNotRewind(t *testing.T) {
+	it := encodeAll(CompressionVarint, []posting{{1, 1}, {5, 1}, {9, 1}})
+	it.SkipTo(5)
+	// Skipping backwards is a no-op: the iterator stays at 5.
+	if !it.SkipTo(2) || it.Doc() != 5 {
+		t.Errorf("SkipTo(2) after 5 = doc %d, want 5", it.Doc())
+	}
+}
+
+func TestTruncatedVarintPostings(t *testing.T) {
+	enc := postingsEncoder{comp: CompressionVarint}
+	enc.add(10, 3)
+	enc.add(20, 4)
+	// Claim more postings than the buffer holds.
+	it := newPostingsIterator(CompressionVarint, enc.buf, 5)
+	n := 0
+	for it.Next() {
+		n++
+		if n > 10 {
+			t.Fatal("iterator spinning on truncated input")
+		}
+	}
+	if n != 2 {
+		t.Errorf("decoded %d postings from truncated list, want 2", n)
+	}
+}
+
+// Property: round trip preserves arbitrary increasing posting lists under
+// both encodings, and varint never exceeds raw by more than it should.
+func TestPostingsRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw % 64)
+		docs := make([]int, n)
+		for i := range docs {
+			docs[i] = rng.Intn(1 << 22)
+		}
+		sort.Ints(docs)
+		ps := make([]posting, 0, n)
+		last := int32(-1)
+		for _, d := range docs {
+			if int32(d) == last {
+				continue // docIDs must be strictly increasing
+			}
+			last = int32(d)
+			ps = append(ps, posting{int32(d), int32(rng.Intn(1000) + 1)})
+		}
+		for _, comp := range []Compression{CompressionVarint, CompressionRaw} {
+			got := decodeAll(encodeAll(comp, ps))
+			if len(got) != len(ps) {
+				return false
+			}
+			for i := range ps {
+				if got[i] != ps[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarintSmallerThanRawForDenseLists(t *testing.T) {
+	// Dense, small-gap lists are where delta+varint wins.
+	var ps []posting
+	for d := int32(0); d < 1000; d++ {
+		ps = append(ps, posting{d, 1})
+	}
+	v := postingsEncoder{comp: CompressionVarint}
+	r := postingsEncoder{comp: CompressionRaw}
+	for _, p := range ps {
+		v.add(p.doc, p.freq)
+		r.add(p.doc, p.freq)
+	}
+	if len(v.buf) >= len(r.buf) {
+		t.Errorf("varint (%d bytes) not smaller than raw (%d bytes)", len(v.buf), len(r.buf))
+	}
+	if len(r.buf) != 8000 {
+		t.Errorf("raw encoding = %d bytes, want 8000", len(r.buf))
+	}
+}
+
+func TestCompressionString(t *testing.T) {
+	if CompressionVarint.String() != "varint" || CompressionRaw.String() != "raw" {
+		t.Error("Compression.String mismatch")
+	}
+	if Compression(9).String() != "Compression(9)" {
+		t.Errorf("unknown compression String = %q", Compression(9).String())
+	}
+}
+
+// Property: positional posting lists round-trip arbitrary docs/positions
+// and the plain iterator sees the same (doc, freq) stream while skipping
+// positions.
+func TestPositionalRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%32) + 1
+		enc := postingsEncoder{comp: CompressionVarint}
+		type pp struct {
+			doc  int32
+			poss []int32
+		}
+		var want []pp
+		doc := int32(0)
+		for i := 0; i < n; i++ {
+			doc += int32(rng.Intn(1000) + 1)
+			k := rng.Intn(6) + 1
+			poss := make([]int32, k)
+			p := int32(0)
+			for j := range poss {
+				p += int32(rng.Intn(50) + 1)
+				poss[j] = p
+			}
+			enc.addWithPositions(doc, poss)
+			want = append(want, pp{doc, poss})
+		}
+		// Positional iterator sees everything.
+		pit := newPositionsIterator(enc.buf, enc.count)
+		for _, w := range want {
+			if !pit.Next() || pit.Doc() != w.doc || int(pit.Freq()) != len(w.poss) {
+				return false
+			}
+			got := pit.Positions()
+			if len(got) != len(w.poss) {
+				return false
+			}
+			for j := range got {
+				if got[j] != w.poss[j] {
+					return false
+				}
+			}
+		}
+		if pit.Next() {
+			return false
+		}
+		// Plain iterator skips positions but matches docs/freqs.
+		it := newPostingsIterator(CompressionVarint, enc.buf, enc.count)
+		it.positional = true
+		for _, w := range want {
+			if !it.Next() || it.Doc() != w.doc || int(it.Freq()) != len(w.poss) {
+				return false
+			}
+		}
+		return !it.Next()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

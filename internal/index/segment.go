@@ -1,0 +1,143 @@
+package index
+
+// StoredDoc is the per-document payload kept in the doc store: what the
+// front-end needs to render a result without touching the original corpus.
+type StoredDoc struct {
+	URL     string
+	Title   string
+	Quality float32
+	// Snippet is a prefix of the body kept for result rendering.
+	Snippet string
+}
+
+// TermInfo summarizes one dictionary entry.
+type TermInfo struct {
+	ID       int32
+	DocFreq  int32   // number of documents containing the term
+	CollFreq int64   // total occurrences across the collection
+	MaxScore float32 // exact max BM25 contribution over the posting list
+}
+
+// Segment is an immutable searchable index over a set of documents.
+// Segments are safe for concurrent readers.
+type Segment struct {
+	comp      Compression
+	positions bool
+	bm25      BM25Params
+	terms     map[string]int32
+	termList  []string // termID -> term, lexicographically sorted
+	postings  [][]byte
+	docFreqs  []int32
+	collFreqs []int64
+	maxScores []float32
+	docLens   []int32
+	totalLen  int64
+	docs      []StoredDoc
+	skips     [][]skipEntry // per-term skip tables (derived, not serialized)
+}
+
+// NumDocs returns the number of documents in the segment.
+func (s *Segment) NumDocs() int { return len(s.docLens) }
+
+// NumTerms returns the number of distinct terms.
+func (s *Segment) NumTerms() int { return len(s.termList) }
+
+// TotalPostings returns the total number of postings across all terms.
+func (s *Segment) TotalPostings() int64 {
+	var n int64
+	for _, df := range s.docFreqs {
+		n += int64(df)
+	}
+	return n
+}
+
+// AvgDocLen returns the average document length in index terms.
+func (s *Segment) AvgDocLen() float64 {
+	if len(s.docLens) == 0 {
+		return 0
+	}
+	return float64(s.totalLen) / float64(len(s.docLens))
+}
+
+// TotalLen returns the summed length of all documents in index terms.
+func (s *Segment) TotalLen() int64 { return s.totalLen }
+
+// DocLen returns the length (term count) of docID.
+func (s *Segment) DocLen(docID int32) int32 { return s.docLens[docID] }
+
+// Doc returns the stored fields of docID.
+func (s *Segment) Doc(docID int32) StoredDoc { return s.docs[docID] }
+
+// BM25 returns the segment's scoring parameters.
+func (s *Segment) BM25() BM25Params { return s.bm25 }
+
+// Compression returns the posting-list encoding.
+func (s *Segment) Compression() Compression { return s.comp }
+
+// Term reports the dictionary entry for term, if present.
+func (s *Segment) Term(term string) (TermInfo, bool) {
+	id, ok := s.terms[term]
+	if !ok {
+		return TermInfo{}, false
+	}
+	return TermInfo{
+		ID:       id,
+		DocFreq:  s.docFreqs[id],
+		CollFreq: s.collFreqs[id],
+		MaxScore: s.maxScores[id],
+	}, true
+}
+
+// Terms returns all dictionary terms in lexicographic order. The caller
+// must not modify the returned slice.
+func (s *Segment) Terms() []string { return s.termList }
+
+// IDF returns the BM25 inverse document frequency of term within this
+// segment (0 for absent terms).
+func (s *Segment) IDF(term string) float64 {
+	id, ok := s.terms[term]
+	if !ok {
+		return 0
+	}
+	return IDF(int64(len(s.docLens)), int64(s.docFreqs[id]))
+}
+
+// Postings returns an iterator over term's posting list. ok is false when
+// the term is absent.
+func (s *Segment) Postings(term string) (PostingsIterator, bool) {
+	id, ok := s.terms[term]
+	if !ok {
+		return PostingsIterator{doc: exhaustedDoc}, false
+	}
+	return s.PostingsByID(id), true
+}
+
+// PostingsByID returns an iterator for a dictionary term ID.
+func (s *Segment) PostingsByID(id int32) PostingsIterator {
+	it := newPostingsIterator(s.comp, s.postings[id], s.docFreqs[id])
+	it.positional = s.positions
+	s.applySkips(id, &it)
+	return it
+}
+
+// PostingsWithoutSkips returns an iterator that never uses the skip
+// table, for the skip-list ablation.
+func (s *Segment) PostingsWithoutSkips(term string) (PostingsIterator, bool) {
+	id, ok := s.terms[term]
+	if !ok {
+		return PostingsIterator{doc: exhaustedDoc}, false
+	}
+	it := newPostingsIterator(s.comp, s.postings[id], s.docFreqs[id])
+	it.positional = s.positions
+	return it, true
+}
+
+// PostingsBytes returns the total encoded posting-list bytes, used by the
+// characterization experiment for compression accounting.
+func (s *Segment) PostingsBytes() int64 {
+	var n int64
+	for _, p := range s.postings {
+		n += int64(len(p))
+	}
+	return n
+}

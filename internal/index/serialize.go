@@ -1,0 +1,226 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// segmentMagic identifies the segment file format, with a version suffix.
+var segmentMagic = [8]byte{'W', 'S', 'B', 'I', 'D', 'X', '0', '2'}
+
+// ErrBadFormat is returned when deserializing data that is not a segment
+// of the expected version.
+var ErrBadFormat = errors.New("index: not a segment file (bad magic or version)")
+
+// maxStringLen bounds decoded string lengths as corruption protection.
+const maxStringLen = 1 << 24
+
+// countingWriter tracks bytes written and the first error.
+type countingWriter struct {
+	w   *bufio.Writer
+	n   int64
+	err error
+}
+
+func (cw *countingWriter) write(p []byte) {
+	if cw.err != nil {
+		return
+	}
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	cw.err = err
+}
+
+func (cw *countingWriter) u8(v uint8)   { cw.write([]byte{v}) }
+func (cw *countingWriter) u32(v uint32) { cw.write(binary.LittleEndian.AppendUint32(nil, v)) }
+func (cw *countingWriter) u64(v uint64) { cw.write(binary.LittleEndian.AppendUint64(nil, v)) }
+func (cw *countingWriter) f32(v float32) {
+	cw.u32(math.Float32bits(v))
+}
+func (cw *countingWriter) f64(v float64) {
+	cw.u64(math.Float64bits(v))
+}
+func (cw *countingWriter) uvarint(v uint64) {
+	cw.write(binary.AppendUvarint(nil, v))
+}
+func (cw *countingWriter) str(s string) {
+	cw.uvarint(uint64(len(s)))
+	cw.write([]byte(s))
+}
+
+// WriteTo serializes the segment. It implements io.WriterTo.
+func (s *Segment) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	cw.write(segmentMagic[:])
+	cw.u8(uint8(s.comp))
+	flags := uint8(0)
+	if s.positions {
+		flags |= 1
+	}
+	cw.u8(flags)
+	cw.f64(s.bm25.K1)
+	cw.f64(s.bm25.B)
+	cw.u32(uint32(len(s.docLens)))
+	cw.u32(uint32(len(s.termList)))
+	cw.u64(uint64(s.totalLen))
+	for _, l := range s.docLens {
+		cw.uvarint(uint64(l))
+	}
+	for _, d := range s.docs {
+		cw.str(d.URL)
+		cw.str(d.Title)
+		cw.f32(d.Quality)
+		cw.str(d.Snippet)
+	}
+	for id, t := range s.termList {
+		cw.str(t)
+		cw.u32(uint32(s.docFreqs[id]))
+		cw.u64(uint64(s.collFreqs[id]))
+		cw.f32(s.maxScores[id])
+		cw.uvarint(uint64(len(s.postings[id])))
+		cw.write(s.postings[id])
+	}
+	if cw.err == nil {
+		cw.err = cw.w.Flush()
+	}
+	return cw.n, cw.err
+}
+
+// reader wraps a bufio.Reader with sticky-error decoding helpers.
+type reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (rd *reader) read(p []byte) {
+	if rd.err != nil {
+		return
+	}
+	_, rd.err = io.ReadFull(rd.r, p)
+}
+
+func (rd *reader) u8() uint8 {
+	var b [1]byte
+	rd.read(b[:])
+	return b[0]
+}
+
+func (rd *reader) u32() uint32 {
+	var b [4]byte
+	rd.read(b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (rd *reader) u64() uint64 {
+	var b [8]byte
+	rd.read(b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (rd *reader) f32() float32 { return math.Float32frombits(rd.u32()) }
+func (rd *reader) f64() float64 { return math.Float64frombits(rd.u64()) }
+
+func (rd *reader) uvarint() uint64 {
+	if rd.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(rd.r)
+	if err != nil {
+		rd.err = err
+		return 0
+	}
+	return v
+}
+
+func (rd *reader) str() string {
+	n := rd.uvarint()
+	if rd.err != nil {
+		return ""
+	}
+	if n > maxStringLen {
+		rd.err = fmt.Errorf("index: string length %d exceeds limit", n)
+		return ""
+	}
+	b := make([]byte, n)
+	rd.read(b)
+	return string(b)
+}
+
+// ReadSegment deserializes a segment written by WriteTo.
+func ReadSegment(r io.Reader) (*Segment, error) {
+	rd := &reader{r: bufio.NewReader(r)}
+	var magic [8]byte
+	rd.read(magic[:])
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	if magic != segmentMagic {
+		return nil, ErrBadFormat
+	}
+	s := &Segment{}
+	s.comp = Compression(rd.u8())
+	if s.comp != CompressionVarint && s.comp != CompressionRaw {
+		return nil, fmt.Errorf("index: unknown compression %d", s.comp)
+	}
+	flags := rd.u8()
+	if flags&^uint8(1) != 0 {
+		return nil, fmt.Errorf("index: unknown flags %#x", flags)
+	}
+	s.positions = flags&1 != 0
+	s.bm25.K1 = rd.f64()
+	s.bm25.B = rd.f64()
+	numDocs := rd.u32()
+	numTerms := rd.u32()
+	s.totalLen = int64(rd.u64())
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	const maxCount = 1 << 28
+	if numDocs > maxCount || numTerms > maxCount {
+		return nil, fmt.Errorf("index: implausible counts docs=%d terms=%d", numDocs, numTerms)
+	}
+	s.docLens = make([]int32, numDocs)
+	for i := range s.docLens {
+		s.docLens[i] = int32(rd.uvarint())
+	}
+	s.docs = make([]StoredDoc, numDocs)
+	for i := range s.docs {
+		s.docs[i].URL = rd.str()
+		s.docs[i].Title = rd.str()
+		s.docs[i].Quality = rd.f32()
+		s.docs[i].Snippet = rd.str()
+	}
+	s.terms = make(map[string]int32, numTerms)
+	s.termList = make([]string, numTerms)
+	s.postings = make([][]byte, numTerms)
+	s.docFreqs = make([]int32, numTerms)
+	s.collFreqs = make([]int64, numTerms)
+	s.maxScores = make([]float32, numTerms)
+	for id := uint32(0); id < numTerms; id++ {
+		t := rd.str()
+		s.termList[id] = t
+		s.terms[t] = int32(id)
+		s.docFreqs[id] = int32(rd.u32())
+		s.collFreqs[id] = int64(rd.u64())
+		s.maxScores[id] = rd.f32()
+		plen := rd.uvarint()
+		if rd.err != nil {
+			return nil, rd.err
+		}
+		if plen > maxStringLen*16 {
+			return nil, fmt.Errorf("index: posting list length %d exceeds limit", plen)
+		}
+		buf := make([]byte, plen)
+		rd.read(buf)
+		s.postings[id] = buf
+	}
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	s.buildSkips()
+	return s, nil
+}

@@ -1,0 +1,91 @@
+package index
+
+// Skip lists: long posting lists carry a sparse table of (docID, byte
+// offset, postings consumed) checkpoints so SkipTo can jump over runs of
+// postings instead of decoding them one by one — the structure that makes
+// conjunctive (leapfrog) evaluation sublinear, exactly as in the Lucene
+// index the benchmark serves with. Tables are built in memory when a
+// segment is finalized or loaded; they are derived data and never
+// serialized.
+
+const (
+	// skipInterval is the number of postings between checkpoints.
+	skipInterval = 64
+	// skipMinDocFreq is the list length below which a table is not worth
+	// building.
+	skipMinDocFreq = 128
+)
+
+// skipEntry is the iterator state immediately after decoding a posting.
+type skipEntry struct {
+	doc  int32 // docID of the checkpoint posting
+	pos  int32 // byte offset just past the checkpoint posting
+	used int32 // postings consumed through the checkpoint (1-based)
+}
+
+// buildSkips constructs skip tables for all qualifying posting lists.
+// Raw-compression segments need none: their fixed-width records support
+// direct binary search.
+func (s *Segment) buildSkips() {
+	if s.comp != CompressionVarint {
+		return
+	}
+	s.skips = make([][]skipEntry, len(s.postings))
+	for id := range s.postings {
+		df := s.docFreqs[id]
+		if df < skipMinDocFreq {
+			continue
+		}
+		it := s.PostingsByID(int32(id))
+		var table []skipEntry
+		for i := int32(1); it.Next(); i++ {
+			if i%skipInterval == 0 {
+				table = append(table, skipEntry{doc: it.Doc(), pos: int32(it.pos), used: i})
+			}
+		}
+		s.skips[id] = table
+	}
+}
+
+// applySkips attaches a term's skip table to an iterator.
+func (s *Segment) applySkips(id int32, it *PostingsIterator) {
+	if s.skips != nil {
+		it.skips = s.skips[id]
+	}
+}
+
+// seekSkip jumps the iterator to the last checkpoint strictly before
+// target, if that checkpoint is ahead of the current position. It returns
+// true when a jump happened.
+func (it *PostingsIterator) seekSkip(target int32) bool {
+	if len(it.skips) == 0 {
+		return false
+	}
+	// Find the last entry with doc < target.
+	lo, hi := 0, len(it.skips)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if it.skips[mid].doc < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return false
+	}
+	e := it.skips[lo-1]
+	// Only jump forward.
+	if e.doc <= it.doc {
+		return false
+	}
+	total := it.totalCount()
+	it.doc = e.doc
+	it.pos = int(e.pos)
+	it.count = total - e.used
+	return true
+}
+
+// totalCount reconstructs the list length from remaining count plus
+// consumed postings; iterators remember it via the initial count.
+func (it *PostingsIterator) totalCount() int32 { return it.initCount }

@@ -1,0 +1,167 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"websearchbench/internal/textproc"
+)
+
+// buildLongList builds a segment with one very frequent term so its
+// posting list qualifies for a skip table.
+func buildLongList(t testing.TB, docs int, opts ...BuilderOption) *Segment {
+	t.Helper()
+	opts = append([]BuilderOption{
+		WithAnalyzer(&textproc.Analyzer{DisableStemming: true}),
+	}, opts...)
+	b := NewBuilder(opts...)
+	for i := 0; i < docs; i++ {
+		body := "common"
+		if i%3 == 0 {
+			body += " sparse"
+		}
+		b.AddDocument("t", body, "u", 1)
+	}
+	return b.Finalize()
+}
+
+func TestSkipTableBuilt(t *testing.T) {
+	s := buildLongList(t, 1000)
+	ti, _ := s.Term("common")
+	if ti.DocFreq != 1000 {
+		t.Fatalf("df = %d", ti.DocFreq)
+	}
+	if s.skips == nil || len(s.skips[ti.ID]) == 0 {
+		t.Fatal("no skip table for a 1000-posting list")
+	}
+	// Short lists get none.
+	sp, _ := s.Term("sparse")
+	if len(s.skips[sp.ID]) == 0 {
+		t.Log("sparse list has a table too (df >= threshold), fine")
+	}
+	// Entries are spaced skipInterval apart and strictly increasing.
+	table := s.skips[ti.ID]
+	for i, e := range table {
+		if e.used != int32((i+1)*skipInterval) {
+			t.Errorf("entry %d used = %d", i, e.used)
+		}
+		if i > 0 && e.doc <= table[i-1].doc {
+			t.Errorf("entry %d doc not increasing", i)
+		}
+	}
+}
+
+func TestSkipToWithTableMatchesLinear(t *testing.T) {
+	s := buildLongList(t, 2000)
+	targets := []int32{0, 1, 63, 64, 65, 500, 1234, 1999, 2000}
+	for _, target := range targets {
+		fast, _ := s.Postings("common")
+		slow, _ := s.PostingsWithoutSkips("common")
+		fok := fast.SkipTo(target)
+		sok := slow.SkipTo(target)
+		if fok != sok {
+			t.Fatalf("SkipTo(%d): ok %v vs %v", target, fok, sok)
+		}
+		if fok && (fast.Doc() != slow.Doc() || fast.Freq() != slow.Freq()) {
+			t.Fatalf("SkipTo(%d): (%d,%d) vs (%d,%d)",
+				target, fast.Doc(), fast.Freq(), slow.Doc(), slow.Freq())
+		}
+	}
+}
+
+// Property: any monotone sequence of SkipTo/Next calls sees identical
+// streams with and without the skip table, for both compressions and
+// positional lists.
+func TestSkipEquivalenceProperty(t *testing.T) {
+	segs := map[string]*Segment{
+		"varint":     buildLongList(t, 900),
+		"raw":        buildLongList(t, 900, WithCompression(CompressionRaw)),
+		"positional": buildLongList(t, 900, WithPositions()),
+	}
+	f := func(seed int64, name uint8) bool {
+		keys := []string{"varint", "raw", "positional"}
+		s := segs[keys[int(name)%len(keys)]]
+		rng := rand.New(rand.NewSource(seed))
+		fast, _ := s.Postings("common")
+		slow, _ := s.PostingsWithoutSkips("common")
+		target := int32(0)
+		for op := 0; op < 40; op++ {
+			if rng.Intn(2) == 0 {
+				target += int32(rng.Intn(60))
+				fok, sok := fast.SkipTo(target), slow.SkipTo(target)
+				if fok != sok {
+					return false
+				}
+				if !fok {
+					return true
+				}
+			} else {
+				fok, sok := fast.Next(), slow.Next()
+				if fok != sok {
+					return false
+				}
+				if !fok {
+					return true
+				}
+			}
+			if fast.Doc() != slow.Doc() || fast.Freq() != slow.Freq() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRawSeekDirect(t *testing.T) {
+	s := buildLongList(t, 500, WithCompression(CompressionRaw))
+	it, _ := s.Postings("common")
+	if !it.SkipTo(321) || it.Doc() != 321 {
+		t.Fatalf("raw SkipTo(321) -> %d", it.Doc())
+	}
+	// Backwards target after forward movement stays put.
+	if !it.SkipTo(100) || it.Doc() != 321 {
+		t.Fatalf("raw backwards SkipTo moved to %d", it.Doc())
+	}
+	if it.SkipTo(500) {
+		t.Fatal("SkipTo past the end returned true")
+	}
+}
+
+func TestSkipsSurviveSerialization(t *testing.T) {
+	s := buildLongList(t, 1000)
+	got := roundTrip(t, s)
+	ti, _ := got.Term("common")
+	if got.skips == nil || len(got.skips[ti.ID]) == 0 {
+		t.Fatal("skip tables not rebuilt after deserialization")
+	}
+	fast, _ := got.Postings("common")
+	if !fast.SkipTo(777) || fast.Doc() != 777 {
+		t.Fatalf("SkipTo after round trip -> %d", fast.Doc())
+	}
+}
+
+func BenchmarkSkipToWithTable(b *testing.B) {
+	s := buildLongList(b, 20000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		it, _ := s.Postings("common")
+		for target := int32(0); target < 20000; target += 500 {
+			it.SkipTo(target)
+		}
+	}
+}
+
+func BenchmarkSkipToLinear(b *testing.B) {
+	s := buildLongList(b, 20000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		it, _ := s.PostingsWithoutSkips("common")
+		for target := int32(0); target < 20000; target += 500 {
+			it.SkipTo(target)
+		}
+	}
+}

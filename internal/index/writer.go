@@ -1,0 +1,82 @@
+package index
+
+import "fmt"
+
+// Writer builds an index incrementally: documents accumulate in an
+// in-memory builder that is flushed to an immutable segment every
+// flushEvery documents — the buffered-then-flush lifecycle of the Lucene
+// IndexWriter the benchmark's indexer uses. Compact() merges all flushed
+// segments into one for serving.
+type Writer struct {
+	opts       []BuilderOption
+	flushEvery int
+	cur        *Builder
+	curDocs    int
+	segs       []*Segment
+	numDocs    int
+}
+
+// NewWriter returns a Writer flushing every flushEvery documents
+// (minimum 1).
+func NewWriter(flushEvery int, opts ...BuilderOption) *Writer {
+	if flushEvery < 1 {
+		flushEvery = 1
+	}
+	return &Writer{
+		opts:       opts,
+		flushEvery: flushEvery,
+		cur:        NewBuilder(opts...),
+	}
+}
+
+// AddDocument indexes one document and returns its writer-global docID.
+func (w *Writer) AddDocument(title, body, url string, quality float64) int32 {
+	id := int32(w.numDocs)
+	w.cur.AddDocument(title, body, url, quality)
+	w.curDocs++
+	w.numDocs++
+	if w.curDocs >= w.flushEvery {
+		w.Flush()
+	}
+	return id
+}
+
+// Flush freezes the current in-memory builder into a segment. A flush
+// with no buffered documents is a no-op.
+func (w *Writer) Flush() {
+	if w.curDocs == 0 {
+		return
+	}
+	w.segs = append(w.segs, w.cur.Finalize())
+	w.cur = NewBuilder(w.opts...)
+	w.curDocs = 0
+}
+
+// NumDocs returns the number of documents added.
+func (w *Writer) NumDocs() int { return w.numDocs }
+
+// NumSegments returns the number of flushed segments (excluding any
+// still-buffered documents).
+func (w *Writer) NumSegments() int { return len(w.segs) }
+
+// Segments flushes buffered documents and returns all segments. Segment
+// docIDs are local; segment i's global ID base is the sum of earlier
+// segments' document counts.
+func (w *Writer) Segments() []*Segment {
+	w.Flush()
+	return w.segs
+}
+
+// Compact flushes and merges everything into a single segment.
+func (w *Writer) Compact() (*Segment, error) {
+	w.Flush()
+	if len(w.segs) == 0 {
+		return nil, fmt.Errorf("index: writer has no documents")
+	}
+	merged, err := MergeSegments(w.segs)
+	if err != nil {
+		return nil, err
+	}
+	w.segs = []*Segment{merged}
+	return merged, nil
+}

@@ -1,0 +1,98 @@
+package loadgen
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"websearchbench/internal/metrics"
+	"websearchbench/internal/workload"
+)
+
+// ReplayConfig configures a trace-driven replay: queries are issued at
+// their recorded arrival offsets (optionally time-scaled), the discipline
+// the benchmark's driver uses to reproduce production load shapes
+// exactly.
+type ReplayConfig struct {
+	// Speedup divides all trace offsets: 2.0 replays twice as fast.
+	// Values in (0, 1) slow the trace down. 0 means 1.0.
+	Speedup float64
+	// SkipWarmup discards measurements for queries whose (scaled)
+	// arrival offset is below this duration.
+	SkipWarmup time.Duration
+	QoS        QoS
+}
+
+func (c ReplayConfig) validate() error {
+	if c.Speedup < 0 {
+		return fmt.Errorf("loadgen: negative Speedup")
+	}
+	if c.SkipWarmup < 0 {
+		return fmt.Errorf("loadgen: negative SkipWarmup")
+	}
+	if c.QoS.Percentile <= 0 || c.QoS.Percentile > 100 {
+		return fmt.Errorf("loadgen: QoS percentile %v out of (0,100]", c.QoS.Percentile)
+	}
+	return nil
+}
+
+// RunReplay replays a timed trace against backend, issuing each query at
+// its recorded offset regardless of completions (open-loop discipline).
+// It blocks until every issued query has completed.
+func RunReplay(cfg ReplayConfig, trace []workload.TimedQuery, backend Backend) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	if len(trace) == 0 {
+		return Result{}, fmt.Errorf("loadgen: empty trace")
+	}
+	speed := cfg.Speedup
+	if speed == 0 {
+		speed = 1
+	}
+
+	var (
+		hist      metrics.ConcurrentHistogram
+		completed atomic.Int64
+		errors    atomic.Int64
+		underQoS  atomic.Int64
+	)
+	start := time.Now()
+	timeline := metrics.NewTimeline(start, time.Second)
+
+	var wg sync.WaitGroup
+	for _, tq := range trace {
+		at := time.Duration(float64(tq.At) / speed)
+		time.Sleep(time.Until(start.Add(at)))
+		measured := at >= cfg.SkipWarmup
+		wg.Add(1)
+		go func(q workload.Query, measured bool) {
+			defer wg.Done()
+			qStart := time.Now()
+			err := backend.Do(q)
+			end := time.Now()
+			if !measured {
+				return
+			}
+			lat := end.Sub(qStart)
+			hist.Record(lat)
+			completed.Add(1)
+			timeline.Record(end)
+			if err != nil {
+				errors.Add(1)
+			}
+			if lat <= cfg.QoS.Target {
+				underQoS.Add(1)
+			}
+		}(tq.Query, measured)
+	}
+	wg.Wait()
+
+	window := time.Duration(float64(trace[len(trace)-1].At)/speed) - cfg.SkipWarmup
+	if window <= 0 {
+		window = time.Since(start)
+	}
+	return assemble(hist.Snapshot(), window, completed.Load(), errors.Load(),
+		underQoS.Load(), cfg.QoS, timeline), nil
+}

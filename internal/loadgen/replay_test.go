@@ -1,0 +1,98 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"websearchbench/internal/workload"
+)
+
+func timedTrace(n int, gap time.Duration) []workload.TimedQuery {
+	out := make([]workload.TimedQuery, n)
+	for i := range out {
+		out[i] = workload.TimedQuery{
+			At:    time.Duration(i) * gap,
+			Query: workload.Query{Text: "q"},
+		}
+	}
+	return out
+}
+
+func TestReplayValidation(t *testing.T) {
+	good := ReplayConfig{QoS: DefaultQoS()}
+	be := &fakeBackend{}
+	if _, err := RunReplay(good, nil, be); err == nil {
+		t.Error("empty trace accepted")
+	}
+	bads := []ReplayConfig{
+		{Speedup: -1, QoS: DefaultQoS()},
+		{SkipWarmup: -1, QoS: DefaultQoS()},
+		{QoS: QoS{Percentile: 0}},
+	}
+	for i, cfg := range bads {
+		if _, err := RunReplay(cfg, timedTrace(3, time.Millisecond), be); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestReplayIssuesAllQueries(t *testing.T) {
+	be := &fakeBackend{service: time.Millisecond}
+	trace := timedTrace(20, 2*time.Millisecond)
+	res, err := RunReplay(ReplayConfig{QoS: DefaultQoS()}, trace, be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be.calls.Load() != 20 {
+		t.Errorf("backend called %d times, want 20", be.calls.Load())
+	}
+	if res.Completed != 20 {
+		t.Errorf("Completed = %d", res.Completed)
+	}
+	if res.Errors != 0 {
+		t.Errorf("Errors = %d", res.Errors)
+	}
+}
+
+func TestReplayPacing(t *testing.T) {
+	// 10 queries spaced 10ms: the replay must take at least ~90ms.
+	be := &fakeBackend{}
+	trace := timedTrace(10, 10*time.Millisecond)
+	start := time.Now()
+	if _, err := RunReplay(ReplayConfig{QoS: DefaultQoS()}, trace, be); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took < 80*time.Millisecond {
+		t.Errorf("replay finished in %v, trace spans 90ms", took)
+	}
+}
+
+func TestReplaySpeedup(t *testing.T) {
+	be := &fakeBackend{}
+	trace := timedTrace(10, 20*time.Millisecond) // 180ms span
+	start := time.Now()
+	if _, err := RunReplay(ReplayConfig{Speedup: 4, QoS: DefaultQoS()}, trace, be); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took > 150*time.Millisecond {
+		t.Errorf("4x replay took %v, want well under the 180ms span", took)
+	}
+}
+
+func TestReplaySkipWarmup(t *testing.T) {
+	be := &fakeBackend{}
+	trace := timedTrace(10, 5*time.Millisecond)
+	res, err := RunReplay(ReplayConfig{
+		SkipWarmup: 22 * time.Millisecond, // skips offsets 0,5,10,15,20
+		QoS:        DefaultQoS(),
+	}, trace, be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be.calls.Load() != 10 {
+		t.Errorf("warmup queries must still be issued: %d calls", be.calls.Load())
+	}
+	if res.Completed != 5 {
+		t.Errorf("Completed = %d, want 5 measured", res.Completed)
+	}
+}

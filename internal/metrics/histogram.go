@@ -1,0 +1,220 @@
+// Package metrics provides the measurement machinery of the load driver:
+// a log-bucketed latency histogram with percentile queries (the tool every
+// tail-latency figure is built from) and a windowed throughput timeline.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+const (
+	// histMin is the smallest resolvable latency; anything smaller lands
+	// in bucket 0.
+	histMin = time.Microsecond
+	// histMax caps the range; larger samples land in the last bucket.
+	histMax = 1000 * time.Second
+	// histGrowth is the geometric bucket growth factor, giving ~5%
+	// relative resolution across the whole range.
+	histGrowth = 1.05
+)
+
+var (
+	histBuckets   int
+	histLogGrowth = math.Log(histGrowth)
+)
+
+func init() {
+	histBuckets = bucketFor(histMax) + 2
+}
+
+// bucketFor maps a duration to its bucket index (unclamped top).
+func bucketFor(d time.Duration) int {
+	if d <= histMin {
+		return 0
+	}
+	return int(math.Log(float64(d)/float64(histMin))/histLogGrowth) + 1
+}
+
+// bucketValue returns the representative latency of bucket i (the
+// geometric midpoint of its bounds).
+func bucketValue(i int) time.Duration {
+	if i == 0 {
+		return histMin
+	}
+	lo := float64(histMin) * math.Pow(histGrowth, float64(i-1))
+	return time.Duration(lo * math.Sqrt(histGrowth))
+}
+
+// Histogram is a log-bucketed latency histogram with ~5% relative error.
+// The zero value is ready to use. It is not safe for concurrent use; see
+// ConcurrentHistogram.
+type Histogram struct {
+	counts []int64
+	total  int64
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
+}
+
+// Record adds one latency sample.
+func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if h.counts == nil {
+		h.counts = make([]int64, histBuckets)
+	}
+	i := bucketFor(d)
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	h.counts[i]++
+	h.total++
+	h.sum += d
+	if h.total == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Mean returns the exact mean of recorded samples (sums are kept exactly,
+// only percentiles are bucketed).
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.total)
+}
+
+// Min returns the smallest recorded sample.
+func (h *Histogram) Min() time.Duration { return h.min }
+
+// Max returns the largest recorded sample.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Percentile returns the p-th percentile (0 < p <= 100) with the
+// histogram's bucket resolution. The extremes are exact: p values at or
+// below the first sample return Min, and p = 100 returns Max.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if p >= 100 {
+		return h.max
+	}
+	rank := int64(math.Ceil(p / 100 * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			if i == 0 {
+				// Bucket 0 holds all sub-resolution samples; the
+				// observed minimum is its honest representative.
+				return h.min
+			}
+			v := bucketValue(i)
+			// Clamp to observed range so tails stay honest.
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge adds other's samples into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.total == 0 {
+		return
+	}
+	if h.counts == nil {
+		h.counts = make([]int64, histBuckets)
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if h.total == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.total += other.total
+	h.sum += other.sum
+}
+
+// Snapshot summarizes the histogram.
+type Snapshot struct {
+	Count int64
+	Mean  time.Duration
+	Min   time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Snapshot returns the standard summary.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.total,
+		Mean:  h.Mean(),
+		Min:   h.min,
+		P50:   h.Percentile(50),
+		P90:   h.Percentile(90),
+		P95:   h.Percentile(95),
+		P99:   h.Percentile(99),
+		Max:   h.max,
+	}
+}
+
+func (s Snapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p95=%v p99=%v max=%v",
+		s.Count, s.Mean, s.P50, s.P90, s.P95, s.P99, s.Max)
+}
+
+// ConcurrentHistogram wraps Histogram with a mutex for use by concurrent
+// load-generator agents.
+type ConcurrentHistogram struct {
+	mu sync.Mutex
+	h  Histogram
+}
+
+// Record adds one latency sample.
+func (c *ConcurrentHistogram) Record(d time.Duration) {
+	c.mu.Lock()
+	c.h.Record(d)
+	c.mu.Unlock()
+}
+
+// Snapshot returns the standard summary.
+func (c *ConcurrentHistogram) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.h.Snapshot()
+}
+
+// Histogram returns a copy of the underlying histogram.
+func (c *ConcurrentHistogram) Histogram() Histogram {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp := c.h
+	cp.counts = append([]int64(nil), c.h.counts...)
+	return cp
+}

@@ -1,0 +1,236 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || s.P99 != 0 {
+		t.Errorf("empty snapshot = %+v", s)
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Record(5 * time.Millisecond)
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 5*time.Millisecond {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+	if h.Min() != 5*time.Millisecond || h.Max() != 5*time.Millisecond {
+		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	for _, p := range []float64{1, 50, 99, 100} {
+		if got := h.Percentile(p); got != 5*time.Millisecond {
+			t.Errorf("Percentile(%v) = %v, want 5ms exactly (clamped)", p, got)
+		}
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Record(-time.Second)
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("negative sample: Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]time.Duration, 20000)
+	for i := range samples {
+		// Log-uniform between 10µs and 1s.
+		d := time.Duration(float64(10*time.Microsecond) *
+			pow(1e5, rng.Float64()))
+		samples[i] = d
+		h.Record(d)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, p := range []float64{50, 90, 95, 99} {
+		exact := samples[int(p/100*float64(len(samples)))-1]
+		got := h.Percentile(p)
+		ratio := float64(got) / float64(exact)
+		if ratio < 0.90 || ratio > 1.10 {
+			t.Errorf("P%v = %v, exact %v (ratio %v)", p, got, exact, ratio)
+		}
+	}
+}
+
+func pow(base, exp float64) float64 { return math.Pow(base, exp) }
+
+func TestHistogramMonotonePercentiles(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		h.Record(time.Duration(rng.ExpFloat64() * float64(10*time.Millisecond)))
+	}
+	prev := time.Duration(0)
+	for p := 1.0; p <= 100; p++ {
+		v := h.Percentile(p)
+		if v < prev {
+			t.Fatalf("percentiles not monotone at p=%v: %v < %v", p, v, prev)
+		}
+		prev = v
+	}
+	if h.Percentile(100) != h.Max() {
+		t.Error("P100 != Max")
+	}
+}
+
+func TestHistogramExtremeValuesClamped(t *testing.T) {
+	var h Histogram
+	h.Record(time.Nanosecond)    // below histMin
+	h.Record(2000 * time.Second) // above histMax
+	if h.Count() != 2 {
+		t.Fatal("samples lost")
+	}
+	if h.Percentile(100) != 2000*time.Second {
+		t.Errorf("max = %v", h.Percentile(100))
+	}
+	if got := h.Percentile(1); got != time.Nanosecond {
+		t.Errorf("P1 = %v, want clamped to observed min", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 1; i <= 100; i++ {
+		a.Record(time.Duration(i) * time.Millisecond)
+	}
+	for i := 101; i <= 200; i++ {
+		b.Record(time.Duration(i) * time.Millisecond)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Min() != time.Millisecond || a.Max() != 200*time.Millisecond {
+		t.Errorf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+	wantMean := time.Duration(100500) * time.Microsecond
+	if a.Mean() != wantMean {
+		t.Errorf("merged mean = %v, want %v", a.Mean(), wantMean)
+	}
+	// Merging an empty histogram is a no-op.
+	var empty Histogram
+	before := a.Snapshot()
+	a.Merge(&empty)
+	if a.Snapshot() != before {
+		t.Error("merging empty histogram changed state")
+	}
+	// Merging into an empty histogram copies.
+	var c Histogram
+	c.Merge(&a)
+	if c.Count() != 200 || c.Min() != a.Min() {
+		t.Error("merge into empty broken")
+	}
+}
+
+// Property: merged histogram percentiles equal those of recording all
+// samples into one histogram.
+func TestHistogramMergeProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw) + 1
+		var one, a, b Histogram
+		for i := 0; i < n; i++ {
+			d := time.Duration(rng.Intn(1e9))
+			one.Record(d)
+			if i%2 == 0 {
+				a.Record(d)
+			} else {
+				b.Record(d)
+			}
+		}
+		a.Merge(&b)
+		if a.Count() != one.Count() || a.Mean() != one.Mean() {
+			return false
+		}
+		for _, p := range []float64{25, 50, 75, 90, 99} {
+			if a.Percentile(p) != one.Percentile(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentHistogram(t *testing.T) {
+	var ch ConcurrentHistogram
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ch.Record(time.Duration(i+1) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := ch.Snapshot()
+	if s.Count != workers*per {
+		t.Errorf("Count = %d, want %d", s.Count, workers*per)
+	}
+	h := ch.Histogram()
+	if h.Count() != workers*per {
+		t.Errorf("copy Count = %d", h.Count())
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	var h Histogram
+	h.Record(time.Millisecond)
+	s := h.Snapshot().String()
+	if s == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	start := time.Unix(1000, 0)
+	tl := NewTimeline(start, time.Second)
+	tl.Record(start)
+	tl.Record(start.Add(500 * time.Millisecond))
+	tl.Record(start.Add(1500 * time.Millisecond))
+	tl.Record(start.Add(3 * time.Second))
+	tl.Record(start.Add(-time.Second)) // before anchor: first window
+	rates := tl.Rates()
+	want := []float64{3, 1, 0, 1}
+	if len(rates) != len(want) {
+		t.Fatalf("rates = %v", rates)
+	}
+	for i := range want {
+		if rates[i] != want[i] {
+			t.Errorf("window %d rate = %v, want %v", i, rates[i], want[i])
+		}
+	}
+	if tl.Total() != 5 {
+		t.Errorf("Total = %d, want 5", tl.Total())
+	}
+}
+
+func TestTimelineDefaults(t *testing.T) {
+	tl := NewTimeline(time.Now(), 0)
+	if tl.window != time.Second {
+		t.Errorf("zero window not defaulted: %v", tl.window)
+	}
+}

@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// Timeline counts events in fixed windows, producing the throughput-over-
+// time series used to verify that measurements come from steady state.
+type Timeline struct {
+	mu     sync.Mutex
+	window time.Duration
+	start  time.Time
+	counts []int64
+}
+
+// NewTimeline creates a timeline with the given window size, anchored at
+// start.
+func NewTimeline(start time.Time, window time.Duration) *Timeline {
+	if window <= 0 {
+		window = time.Second
+	}
+	return &Timeline{window: window, start: start}
+}
+
+// Record counts one event at time t. Events before the anchor are counted
+// in the first window.
+func (tl *Timeline) Record(t time.Time) {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	i := int(t.Sub(tl.start) / tl.window)
+	if i < 0 {
+		i = 0
+	}
+	for len(tl.counts) <= i {
+		tl.counts = append(tl.counts, 0)
+	}
+	tl.counts[i]++
+}
+
+// Rates returns the per-window event rates in events/second.
+func (tl *Timeline) Rates() []float64 {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	out := make([]float64, len(tl.counts))
+	for i, c := range tl.counts {
+		out[i] = float64(c) / tl.window.Seconds()
+	}
+	return out
+}
+
+// Total returns the total number of recorded events.
+func (tl *Timeline) Total() int64 {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	var n int64
+	for _, c := range tl.counts {
+		n += c
+	}
+	return n
+}

@@ -1,0 +1,116 @@
+package partition
+
+import (
+	"sync"
+	"time"
+
+	"websearchbench/internal/search"
+)
+
+// Result is the outcome of a partitioned search: merged global-docID hits
+// plus the per-partition timing the fork-join studies need.
+type Result struct {
+	Hits            []search.Hit // global docIDs, descending score
+	Matches         int
+	PostingsScanned int64
+	// PartTimes[p] is partition p's wall-clock service time.
+	PartTimes []time.Duration
+	// CriticalPath is the longest partition time: the fork-join span a
+	// parallel server pays before merging.
+	CriticalPath time.Duration
+	// TotalWork is the sum of partition times: the CPU work a server
+	// pays regardless of parallelism.
+	TotalWork time.Duration
+	// MergeTime is the cost of combining the per-partition top-k lists.
+	MergeTime time.Duration
+}
+
+// Searcher evaluates queries across all partitions of an Index.
+// It is safe for concurrent use.
+type Searcher struct {
+	idx       *Index
+	searchers []*search.Searcher
+	opts      search.Options
+	parallel  bool
+}
+
+// NewSearcher builds per-partition searchers with the given options.
+// When parallel is true, partitions are searched by concurrent goroutines
+// (the intra-server parallelism of the paper's study); otherwise they are
+// searched sequentially on the calling goroutine, which isolates the pure
+// work measurements used to calibrate the server simulator.
+func NewSearcher(idx *Index, opts search.Options, parallel bool) *Searcher {
+	s := &Searcher{
+		idx:       idx,
+		searchers: make([]*search.Searcher, idx.NumPartitions()),
+		opts:      opts,
+		parallel:  parallel,
+	}
+	for p := range s.searchers {
+		s.searchers[p] = search.NewSearcher(idx.Segment(p), opts)
+	}
+	return s
+}
+
+// Index returns the underlying partitioned index.
+func (s *Searcher) Index() *Index { return s.idx }
+
+// ParseAndSearch analyzes raw text and evaluates it across all partitions.
+func (s *Searcher) ParseAndSearch(raw string, mode search.Mode) Result {
+	q := search.ParseQuery(s.searchers[0].Options().Analyzer, raw, mode)
+	return s.Search(q)
+}
+
+// Search evaluates an analyzed query across all partitions and merges the
+// per-partition top-k lists into a global top-k.
+func (s *Searcher) Search(q search.Query) Result {
+	parts := len(s.searchers)
+	partRes := make([]search.Result, parts)
+	times := make([]time.Duration, parts)
+
+	runPart := func(p int) {
+		start := time.Now()
+		partRes[p] = s.searchers[p].Search(q)
+		times[p] = time.Since(start)
+	}
+	if s.parallel && parts > 1 {
+		var wg sync.WaitGroup
+		wg.Add(parts)
+		for p := 0; p < parts; p++ {
+			go func(p int) {
+				defer wg.Done()
+				runPart(p)
+			}(p)
+		}
+		wg.Wait()
+	} else {
+		for p := 0; p < parts; p++ {
+			runPart(p)
+		}
+	}
+
+	mergeStart := time.Now()
+	lists := make([][]search.Hit, parts)
+	var res Result
+	for p := 0; p < parts; p++ {
+		// Rewrite local docIDs to global before merging.
+		hits := partRes[p].Hits
+		global := make([]search.Hit, len(hits))
+		for i, h := range hits {
+			global[i] = search.Hit{Doc: s.idx.GlobalID(p, h.Doc), Score: h.Score}
+		}
+		lists[p] = global
+		res.Matches += partRes[p].Matches
+		res.PostingsScanned += partRes[p].PostingsScanned
+	}
+	res.Hits = search.MergeTopK(lists, s.opts.TopK)
+	res.MergeTime = time.Since(mergeStart)
+	res.PartTimes = times
+	for _, d := range times {
+		res.TotalWork += d
+		if d > res.CriticalPath {
+			res.CriticalPath = d
+		}
+	}
+	return res
+}

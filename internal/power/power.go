@@ -1,0 +1,93 @@
+// Package power models server power draw and energy per query, the metric
+// behind the paper's low-power-server comparison. It uses the standard
+// linear utilization model (idle power plus a utilization-proportional
+// dynamic component) with constants typical of the two server classes the
+// paper contrasts.
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is a server power model.
+type Model struct {
+	Name      string
+	IdleWatts float64
+	PeakWatts float64
+}
+
+// XeonLike returns a conventional two-socket server-class power model.
+func XeonLike() Model {
+	return Model{Name: "xeon-like", IdleWatts: 150, PeakWatts: 300}
+}
+
+// AtomLike returns a low-power microserver-class power model.
+func AtomLike() Model {
+	return Model{Name: "atom-like", IdleWatts: 18, PeakWatts: 45}
+}
+
+func (m Model) validate() error {
+	if m.IdleWatts < 0 || m.PeakWatts < m.IdleWatts {
+		return fmt.Errorf("power: invalid model %+v", m)
+	}
+	return nil
+}
+
+// Power returns the draw in watts at the given utilization, clamped to
+// [0, 1].
+func (m Model) Power(utilization float64) float64 {
+	u := math.Min(1, math.Max(0, utilization))
+	return m.IdleWatts + (m.PeakWatts-m.IdleWatts)*u
+}
+
+// EnergyPerQuery returns joules per query for a server running at the
+// given utilization and sustaining throughput queries/second. It returns
+// +Inf for zero throughput (an idle server burns energy forever).
+func (m Model) EnergyPerQuery(utilization, throughputQPS float64) float64 {
+	if throughputQPS <= 0 {
+		return math.Inf(1)
+	}
+	return m.Power(utilization) / throughputQPS
+}
+
+// ScaleFrequency returns the model for the same server run at a DVFS
+// frequency ratio f of nominal (0 < f). Static (idle) power is unchanged;
+// the dynamic component scales with the classic f^3 law (voltage tracks
+// frequency, P_dyn ~ C V^2 f).
+func (m Model) ScaleFrequency(f float64) Model {
+	if f <= 0 {
+		f = 1
+	}
+	dyn := m.PeakWatts - m.IdleWatts
+	return Model{
+		Name:      fmt.Sprintf("%s@%.2f", m.Name, f),
+		IdleWatts: m.IdleWatts,
+		PeakWatts: m.IdleWatts + dyn*f*f*f,
+	}
+}
+
+// ProportionalityIndex is Barroso's energy-proportionality measure:
+// 1 - idle/peak. 1.0 is perfectly proportional, 0 means flat power.
+func (m Model) ProportionalityIndex() float64 {
+	if m.PeakWatts == 0 {
+		return 0
+	}
+	return 1 - m.IdleWatts/m.PeakWatts
+}
+
+// Provision returns how many servers of a class, each sustaining
+// perServerQPS at the target QoS, are needed to serve targetQPS, and the
+// fleet's total power assuming load spreads evenly.
+func Provision(m Model, perServerQPS, targetQPS float64) (servers int, totalWatts float64, err error) {
+	if err := m.validate(); err != nil {
+		return 0, 0, err
+	}
+	if perServerQPS <= 0 || targetQPS <= 0 {
+		return 0, 0, fmt.Errorf("power: non-positive QPS (per-server %v, target %v)", perServerQPS, targetQPS)
+	}
+	servers = int(math.Ceil(targetQPS / perServerQPS))
+	perServerLoad := targetQPS / float64(servers) / perServerQPS
+	totalWatts = float64(servers) * m.Power(perServerLoad)
+	return servers, totalWatts, nil
+}

@@ -1,0 +1,139 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPowerLinear(t *testing.T) {
+	m := Model{Name: "m", IdleWatts: 100, PeakWatts: 200}
+	tests := []struct{ u, want float64 }{
+		{0, 100},
+		{0.5, 150},
+		{1, 200},
+		{-1, 100}, // clamped
+		{2, 200},  // clamped
+	}
+	for _, tt := range tests {
+		if got := m.Power(tt.u); got != tt.want {
+			t.Errorf("Power(%v) = %v, want %v", tt.u, got, tt.want)
+		}
+	}
+}
+
+func TestEnergyPerQuery(t *testing.T) {
+	m := Model{Name: "m", IdleWatts: 100, PeakWatts: 200}
+	if got := m.EnergyPerQuery(0.5, 100); got != 1.5 {
+		t.Errorf("EnergyPerQuery = %v, want 1.5", got)
+	}
+	if got := m.EnergyPerQuery(0.5, 0); !math.IsInf(got, 1) {
+		t.Errorf("zero throughput energy = %v, want +Inf", got)
+	}
+}
+
+func TestProportionalityIndex(t *testing.T) {
+	if got := XeonLike().ProportionalityIndex(); got != 0.5 {
+		t.Errorf("xeon PI = %v, want 0.5", got)
+	}
+	flat := Model{Name: "flat", IdleWatts: 100, PeakWatts: 100}
+	if flat.ProportionalityIndex() != 0 {
+		t.Error("flat model PI should be 0")
+	}
+	if (Model{}).ProportionalityIndex() != 0 {
+		t.Error("zero model PI should be 0")
+	}
+}
+
+func TestAtomMoreEfficientAtPeak(t *testing.T) {
+	// The low-power class must win on watts; whether it wins on energy
+	// per query depends on achieved throughput — that is experiment E11.
+	if AtomLike().PeakWatts >= XeonLike().PeakWatts/2 {
+		t.Error("atom-like peak power should be far below xeon-like")
+	}
+}
+
+func TestProvision(t *testing.T) {
+	m := Model{Name: "m", IdleWatts: 100, PeakWatts: 200}
+	servers, watts, err := Provision(m, 100, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if servers != 10 {
+		t.Errorf("servers = %d, want 10", servers)
+	}
+	// 10 servers each at 100% load: 10 * 200W.
+	if watts != 2000 {
+		t.Errorf("watts = %v, want 2000", watts)
+	}
+	// Non-divisible target rounds up and runs below peak.
+	servers, watts, err = Provision(m, 100, 1050)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if servers != 11 {
+		t.Errorf("servers = %d, want 11", servers)
+	}
+	wantPer := m.Power(1050.0 / 11 / 100)
+	if math.Abs(watts-11*wantPer) > 1e-9 {
+		t.Errorf("watts = %v, want %v", watts, 11*wantPer)
+	}
+}
+
+func TestProvisionErrors(t *testing.T) {
+	m := XeonLike()
+	if _, _, err := Provision(m, 0, 100); err == nil {
+		t.Error("zero per-server QPS accepted")
+	}
+	if _, _, err := Provision(m, 100, 0); err == nil {
+		t.Error("zero target QPS accepted")
+	}
+	bad := Model{Name: "bad", IdleWatts: 200, PeakWatts: 100}
+	if _, _, err := Provision(bad, 100, 100); err == nil {
+		t.Error("inverted model accepted")
+	}
+}
+
+// Property: power is monotone in utilization and bounded by [idle, peak].
+func TestPowerPropertyBounded(t *testing.T) {
+	f := func(idleRaw, spanRaw uint16, u1, u2 float64) bool {
+		m := Model{
+			Name:      "p",
+			IdleWatts: float64(idleRaw),
+			PeakWatts: float64(idleRaw) + float64(spanRaw),
+		}
+		if math.IsNaN(u1) || math.IsNaN(u2) {
+			return true
+		}
+		p1, p2 := m.Power(u1), m.Power(u2)
+		if p1 < m.IdleWatts || p1 > m.PeakWatts {
+			return false
+		}
+		if u1 <= u2 && p1 > p2+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaleFrequency(t *testing.T) {
+	m := Model{Name: "m", IdleWatts: 100, PeakWatts: 300}
+	half := m.ScaleFrequency(0.5)
+	// Dynamic 200W scales by 0.125: peak = 100 + 25.
+	if half.IdleWatts != 100 || half.PeakWatts != 125 {
+		t.Errorf("half = %+v", half)
+	}
+	if m.ScaleFrequency(1).PeakWatts != 300 {
+		t.Error("nominal frequency should not change peak")
+	}
+	over := m.ScaleFrequency(1.2)
+	if over.PeakWatts <= 300 {
+		t.Error("overclocking should raise peak power")
+	}
+	if m.ScaleFrequency(0).PeakWatts != 300 {
+		t.Error("degenerate frequency should fall back to nominal")
+	}
+}

@@ -1,0 +1,184 @@
+// Package profilephase aggregates per-query phase timings and service-time
+// anatomy: where a query's time goes (parse, dictionary lookup, postings
+// traversal and scoring, merge) and what makes slow queries slow (term
+// count, posting volume). These are the characterization figures of the
+// paper (E3, E4).
+package profilephase
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"websearchbench/internal/search"
+	"websearchbench/internal/stats"
+)
+
+// Breakdown accumulates phase totals over a query set.
+type Breakdown struct {
+	Queries int
+	Parse   time.Duration
+	Lookup  time.Duration
+	Score   time.Duration
+	Merge   time.Duration
+}
+
+// Add accumulates one query's phases.
+func (b *Breakdown) Add(p search.PhaseTimings) {
+	b.Queries++
+	b.Parse += p.Parse
+	b.Lookup += p.Lookup
+	b.Score += p.Score
+	b.Merge += p.Merge
+}
+
+// Total returns the summed time across phases.
+func (b *Breakdown) Total() time.Duration {
+	return b.Parse + b.Lookup + b.Score + b.Merge
+}
+
+// PhaseShare is one phase's share of total time.
+type PhaseShare struct {
+	Phase    string
+	Total    time.Duration
+	Fraction float64
+	PerQuery time.Duration
+}
+
+// Shares returns the per-phase fractions, largest first.
+func (b *Breakdown) Shares() []PhaseShare {
+	total := b.Total()
+	mk := func(name string, d time.Duration) PhaseShare {
+		s := PhaseShare{Phase: name, Total: d}
+		if total > 0 {
+			s.Fraction = float64(d) / float64(total)
+		}
+		if b.Queries > 0 {
+			s.PerQuery = d / time.Duration(b.Queries)
+		}
+		return s
+	}
+	out := []PhaseShare{
+		mk("parse", b.Parse),
+		mk("lookup", b.Lookup),
+		mk("score", b.Score),
+		mk("merge", b.Merge),
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	return out
+}
+
+func (s PhaseShare) String() string {
+	return fmt.Sprintf("%-6s %6.1f%%  total=%v  per-query=%v",
+		s.Phase, s.Fraction*100, s.Total, s.PerQuery)
+}
+
+// Sample is one query's anatomy data point.
+type Sample struct {
+	Terms    int           // query terms after analysis
+	Postings int64         // postings scanned
+	Matches  int           // documents scored
+	Service  time.Duration // total service time
+}
+
+// Anatomy collects samples and reports service time as a function of
+// query properties.
+type Anatomy struct {
+	Samples []Sample
+}
+
+// Add records one sample.
+func (a *Anatomy) Add(s Sample) { a.Samples = append(a.Samples, s) }
+
+// BucketStat summarizes the samples falling into one bucket.
+type BucketStat struct {
+	Label   string
+	Count   int
+	Mean    time.Duration
+	P99     time.Duration
+	MeanKey float64 // mean of the bucketing key
+}
+
+// ByTerms groups samples by query term count.
+func (a *Anatomy) ByTerms() []BucketStat {
+	groups := make(map[int][]Sample)
+	for _, s := range a.Samples {
+		groups[s.Terms] = append(groups[s.Terms], s)
+	}
+	keys := make([]int, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]BucketStat, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, summarize(fmt.Sprintf("%d terms", k), groups[k], float64(k)))
+	}
+	return out
+}
+
+// ByPostings groups samples into n log-spaced buckets of postings scanned.
+func (a *Anatomy) ByPostings(n int) []BucketStat {
+	if n <= 0 || len(a.Samples) == 0 {
+		return nil
+	}
+	sorted := append([]Sample(nil), a.Samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Postings < sorted[j].Postings })
+	out := make([]BucketStat, 0, n)
+	per := (len(sorted) + n - 1) / n
+	for i := 0; i < len(sorted); i += per {
+		end := i + per
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		chunk := sorted[i:end]
+		var keySum float64
+		for _, s := range chunk {
+			keySum += float64(s.Postings)
+		}
+		label := fmt.Sprintf("%d-%d postings", chunk[0].Postings, chunk[len(chunk)-1].Postings)
+		b := summarize(label, chunk, keySum/float64(len(chunk)))
+		out = append(out, b)
+	}
+	return out
+}
+
+// CorrelatePostings fits service time (seconds) against postings scanned,
+// quantifying how much of the latency variance posting volume explains.
+func (a *Anatomy) CorrelatePostings() (stats.LinearFit, error) {
+	xs := make([]float64, len(a.Samples))
+	ys := make([]float64, len(a.Samples))
+	for i, s := range a.Samples {
+		xs[i] = float64(s.Postings)
+		ys[i] = s.Service.Seconds()
+	}
+	return stats.FitLine(xs, ys)
+}
+
+// ServiceTimes returns all service times, for distribution reporting.
+func (a *Anatomy) ServiceTimes() []time.Duration {
+	out := make([]time.Duration, len(a.Samples))
+	for i, s := range a.Samples {
+		out[i] = s.Service
+	}
+	return out
+}
+
+func summarize(label string, ss []Sample, meanKey float64) BucketStat {
+	b := BucketStat{Label: label, Count: len(ss), MeanKey: meanKey}
+	if len(ss) == 0 {
+		return b
+	}
+	vals := make([]float64, len(ss))
+	var sum time.Duration
+	for i, s := range ss {
+		sum += s.Service
+		vals[i] = float64(s.Service)
+	}
+	b.Mean = sum / time.Duration(len(ss))
+	p99, err := stats.Percentile(vals, 99)
+	if err == nil {
+		b.P99 = time.Duration(p99)
+	}
+	return b
+}

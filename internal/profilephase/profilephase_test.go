@@ -1,0 +1,128 @@
+package profilephase
+
+import (
+	"testing"
+	"time"
+
+	"websearchbench/internal/search"
+)
+
+func TestBreakdown(t *testing.T) {
+	var b Breakdown
+	b.Add(search.PhaseTimings{Parse: 1 * time.Millisecond, Lookup: 2 * time.Millisecond,
+		Score: 6 * time.Millisecond, Merge: 1 * time.Millisecond})
+	b.Add(search.PhaseTimings{Parse: 1 * time.Millisecond, Lookup: 2 * time.Millisecond,
+		Score: 6 * time.Millisecond, Merge: 1 * time.Millisecond})
+	if b.Queries != 2 {
+		t.Fatalf("Queries = %d", b.Queries)
+	}
+	if b.Total() != 20*time.Millisecond {
+		t.Errorf("Total = %v, want 20ms", b.Total())
+	}
+	shares := b.Shares()
+	if shares[0].Phase != "score" {
+		t.Errorf("dominant phase = %q, want score", shares[0].Phase)
+	}
+	if shares[0].Fraction != 0.6 {
+		t.Errorf("score fraction = %v, want 0.6", shares[0].Fraction)
+	}
+	if shares[0].PerQuery != 6*time.Millisecond {
+		t.Errorf("score per query = %v, want 6ms", shares[0].PerQuery)
+	}
+	var sum float64
+	for _, s := range shares {
+		sum += s.Fraction
+		if s.String() == "" {
+			t.Error("empty share String")
+		}
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("fractions sum to %v", sum)
+	}
+}
+
+func TestBreakdownEmpty(t *testing.T) {
+	var b Breakdown
+	shares := b.Shares()
+	for _, s := range shares {
+		if s.Fraction != 0 || s.PerQuery != 0 {
+			t.Errorf("empty breakdown share = %+v", s)
+		}
+	}
+}
+
+func TestAnatomyByTerms(t *testing.T) {
+	var a Anatomy
+	a.Add(Sample{Terms: 1, Postings: 10, Service: 1 * time.Millisecond})
+	a.Add(Sample{Terms: 1, Postings: 12, Service: 3 * time.Millisecond})
+	a.Add(Sample{Terms: 3, Postings: 50, Service: 9 * time.Millisecond})
+	buckets := a.ByTerms()
+	if len(buckets) != 2 {
+		t.Fatalf("buckets = %v", buckets)
+	}
+	if buckets[0].Label != "1 terms" || buckets[0].Count != 2 {
+		t.Errorf("bucket 0 = %+v", buckets[0])
+	}
+	if buckets[0].Mean != 2*time.Millisecond {
+		t.Errorf("bucket 0 mean = %v", buckets[0].Mean)
+	}
+	if buckets[1].MeanKey != 3 {
+		t.Errorf("bucket 1 key = %v", buckets[1].MeanKey)
+	}
+}
+
+func TestAnatomyByPostings(t *testing.T) {
+	var a Anatomy
+	for i := 1; i <= 100; i++ {
+		a.Add(Sample{Terms: 2, Postings: int64(i), Service: time.Duration(i) * time.Microsecond})
+	}
+	buckets := a.ByPostings(4)
+	if len(buckets) != 4 {
+		t.Fatalf("got %d buckets", len(buckets))
+	}
+	total := 0
+	for i, b := range buckets {
+		total += b.Count
+		if i > 0 && b.Mean <= buckets[i-1].Mean {
+			t.Errorf("bucket means not increasing: %v", buckets)
+		}
+	}
+	if total != 100 {
+		t.Errorf("bucketed %d samples, want 100", total)
+	}
+	if a.ByPostings(0) != nil {
+		t.Error("n=0 should return nil")
+	}
+	var empty Anatomy
+	if empty.ByPostings(4) != nil {
+		t.Error("empty anatomy should return nil")
+	}
+}
+
+func TestCorrelatePostings(t *testing.T) {
+	var a Anatomy
+	for i := 1; i <= 50; i++ {
+		// service = 2us * postings: perfectly linear.
+		a.Add(Sample{Postings: int64(i), Service: time.Duration(2*i) * time.Microsecond})
+	}
+	fit, err := a.CorrelatePostings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.R2 < 0.999 {
+		t.Errorf("R2 = %v, want ~1 for linear data", fit.R2)
+	}
+	if fit.Slope < 1.9e-6 || fit.Slope > 2.1e-6 {
+		t.Errorf("slope = %v, want ~2e-6", fit.Slope)
+	}
+}
+
+func TestServiceTimes(t *testing.T) {
+	var a Anatomy
+	a.Add(Sample{Service: time.Millisecond})
+	a.Add(Sample{Service: 2 * time.Millisecond})
+	ds := a.ServiceTimes()
+	if len(ds) != 2 || ds[0] != time.Millisecond || ds[1] != 2*time.Millisecond {
+		t.Errorf("ServiceTimes = %v", ds)
+	}
+}

@@ -1,0 +1,212 @@
+package search
+
+import (
+	"reflect"
+	"testing"
+
+	"websearchbench/internal/index"
+	"websearchbench/internal/textproc"
+)
+
+// buildPosSeg builds a small positional segment with predictable content.
+func buildPosSeg(t testing.TB) *index.Segment {
+	t.Helper()
+	b := index.NewBuilder(
+		index.WithAnalyzer(plainAnalyzer),
+		index.WithPositions(),
+	)
+	docs := []struct{ title, body string }{
+		{"d0", "tail latency matters most under load"},
+		{"d1", "latency tail is reversed here"},
+		{"d2", "web search tail latency web search tail latency"},
+		// Note: the separator must not be a stopword — stopwords are
+		// dropped before positions are assigned, which would make the
+		// remaining terms adjacent (standard analyzer behaviour).
+		{"d3", "tail versus latency far apart tail zz latency"},
+		{"d4", "completely unrelated words"},
+	}
+	for _, d := range docs {
+		b.AddDocument(d.title, d.body, "http://x/"+d.title, 0.5)
+	}
+	return b.Finalize()
+}
+
+func TestParseQueryPhrases(t *testing.T) {
+	a := &textproc.Analyzer{DisableStemming: true}
+	tests := []struct {
+		raw         string
+		wantTerms   []string
+		wantPhrases [][]string
+	}{
+		{`plain words`, []string{"plain", "words"}, nil},
+		{`"tail latency"`, nil, [][]string{{"tail", "latency"}}},
+		{`"tail latency" web`, []string{"web"}, [][]string{{"tail", "latency"}}},
+		{`pre "qq ww" mid "cc dd" post`,
+			[]string{"pre", "mid", "post"},
+			[][]string{{"qq", "ww"}, {"cc", "dd"}}},
+		{`"single"`, []string{"single"}, nil},
+		{`""`, nil, nil},
+		{`"the of"`, nil, nil}, // quoted stopwords vanish
+		{`unbalanced "quote here`, []string{"unbalanced", "quote", "here"}, nil},
+	}
+	for _, tt := range tests {
+		q := ParseQuery(a, tt.raw, ModeOr)
+		if !reflect.DeepEqual(q.Terms, tt.wantTerms) {
+			t.Errorf("%q: Terms = %v, want %v", tt.raw, q.Terms, tt.wantTerms)
+		}
+		if !reflect.DeepEqual(q.Phrases, tt.wantPhrases) {
+			t.Errorf("%q: Phrases = %v, want %v", tt.raw, q.Phrases, tt.wantPhrases)
+		}
+	}
+}
+
+func TestPhraseSearchExactAdjacency(t *testing.T) {
+	s := NewSearcher(buildPosSeg(t), Options{TopK: 10, Analyzer: plainAnalyzer})
+	res := s.ParseAndSearch(`"tail latency"`, ModeOr)
+	// "tail latency" adjacent: d0 ("tail latency matters"), d2 (twice).
+	// d1 has them reversed, d3 has them apart: no match.
+	got := map[int32]bool{}
+	for _, h := range res.Hits {
+		got[h.Doc] = true
+	}
+	if len(res.Hits) != 2 || !got[0] || !got[2] {
+		t.Fatalf("phrase hits = %v, want docs {0,2}", res.Hits)
+	}
+	// d2 contains the phrase twice: higher tf, but it is also longer.
+	// Just verify both scored positively and matches counted.
+	if res.Matches != 2 {
+		t.Errorf("Matches = %d, want 2", res.Matches)
+	}
+	for _, h := range res.Hits {
+		if h.Score <= 0 {
+			t.Errorf("non-positive phrase score: %+v", h)
+		}
+	}
+}
+
+func TestPhraseFrequencyCounted(t *testing.T) {
+	s := NewSearcher(buildPosSeg(t), Options{TopK: 10, Analyzer: plainAnalyzer})
+	res := s.ParseAndSearch(`"web search"`, ModeOr)
+	if len(res.Hits) != 1 || res.Hits[0].Doc != 2 {
+		t.Fatalf("hits = %v, want only doc 2", res.Hits)
+	}
+}
+
+func TestPhrasePlusLooseTerms(t *testing.T) {
+	s := NewSearcher(buildPosSeg(t), Options{TopK: 10, Analyzer: plainAnalyzer})
+	with := s.ParseAndSearch(`"tail latency" load`, ModeOr)
+	without := s.ParseAndSearch(`"tail latency"`, ModeOr)
+	// Same candidate set (phrases are required, loose terms optional)...
+	if len(with.Hits) != len(without.Hits) {
+		t.Fatalf("loose term changed match set: %v vs %v", with.Hits, without.Hits)
+	}
+	// ...but doc 0 (contains "load") gains score and must rank first.
+	if with.Hits[0].Doc != 0 {
+		t.Errorf("top hit = %d, want 0 (boosted by loose term)", with.Hits[0].Doc)
+	}
+	var s0With, s0Without float64
+	for _, h := range with.Hits {
+		if h.Doc == 0 {
+			s0With = h.Score
+		}
+	}
+	for _, h := range without.Hits {
+		if h.Doc == 0 {
+			s0Without = h.Score
+		}
+	}
+	if s0With <= s0Without {
+		t.Errorf("loose term did not add score: %v vs %v", s0With, s0Without)
+	}
+}
+
+func TestMultiplePhrasesAllRequired(t *testing.T) {
+	s := NewSearcher(buildPosSeg(t), Options{TopK: 10, Analyzer: plainAnalyzer})
+	res := s.ParseAndSearch(`"web search" "tail latency"`, ModeOr)
+	if len(res.Hits) != 1 || res.Hits[0].Doc != 2 {
+		t.Fatalf("hits = %v, want only doc 2", res.Hits)
+	}
+	res = s.ParseAndSearch(`"web search" "under load"`, ModeOr)
+	if len(res.Hits) != 0 {
+		t.Fatalf("no doc has both phrases, got %v", res.Hits)
+	}
+}
+
+func TestPhraseMissingTerm(t *testing.T) {
+	s := NewSearcher(buildPosSeg(t), Options{TopK: 10, Analyzer: plainAnalyzer})
+	res := s.ParseAndSearch(`"tail nonexistentzz"`, ModeOr)
+	if len(res.Hits) != 0 {
+		t.Errorf("phrase with absent term matched: %v", res.Hits)
+	}
+}
+
+func TestPhraseOnNonPositionalSegment(t *testing.T) {
+	// Built without positions: phrase queries match nothing, plainly.
+	s := NewSearcher(buildSeg(t), Options{TopK: 10, Analyzer: plainAnalyzer})
+	res := s.ParseAndSearch(`"web search"`, ModeOr)
+	if len(res.Hits) != 0 {
+		t.Errorf("phrase on non-positional index matched: %v", res.Hits)
+	}
+	// Loose-term queries still work on the same searcher.
+	if res := s.ParseAndSearch("web", ModeOr); len(res.Hits) == 0 {
+		t.Error("plain query broken on non-positional index")
+	}
+}
+
+func TestPositionalSegmentPlainSearchUnchanged(t *testing.T) {
+	// The same corpus indexed with and without positions must give
+	// identical non-phrase results (the plain iterator skips positions).
+	plain := buildSeg(t)
+	b := index.NewBuilder(index.WithAnalyzer(plainAnalyzer), index.WithPositions())
+	docs := []struct {
+		title, body string
+		quality     float64
+	}{
+		{"web search", "web search engines index billions pages", 0.9},
+		{"database systems", "database query processing joins indexes", 0.2},
+		{"web crawling", "crawling web pages discovering links web web", 0.5},
+		{"latency study", "tail latency web services queueing", 0.8},
+		{"compilers", "register allocation instruction scheduling", 0.1},
+	}
+	for _, d := range docs {
+		b.AddDocument(d.title, d.body, "http://x/"+d.title, d.quality)
+	}
+	pos := b.Finalize()
+	s1 := NewSearcher(plain, Options{TopK: 10, Analyzer: plainAnalyzer})
+	s2 := NewSearcher(pos, Options{TopK: 10, Analyzer: plainAnalyzer})
+	for _, raw := range []string{"web", "web search", "database crawling", "tail latency queueing"} {
+		for _, mode := range []Mode{ModeOr, ModeAnd} {
+			a := s1.ParseAndSearch(raw, mode)
+			b := s2.ParseAndSearch(raw, mode)
+			if !reflect.DeepEqual(a.Hits, b.Hits) {
+				t.Fatalf("%q (%v): positional index changed results:\n%v\nvs\n%v",
+					raw, mode, a.Hits, b.Hits)
+			}
+		}
+	}
+}
+
+func TestPositionsRoundTripThroughSerialization(t *testing.T) {
+	seg := buildPosSeg(t)
+	it, ok := seg.PositionsOf("tail")
+	if !ok {
+		t.Fatal("positions missing")
+	}
+	// d0: title "d0" is 1 term, so body starts at position 1; "tail" at 1.
+	if !it.Next() || it.Doc() != 0 {
+		t.Fatalf("first posting doc = %d", it.Doc())
+	}
+	got := it.Positions()
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("d0 tail positions = %v, want [1]", got)
+	}
+	// d2: "web search tail latency web search tail latency" with title
+	// "d2": tail at positions 3 and 7.
+	if !it.SkipTo(2) || it.Doc() != 2 {
+		t.Fatalf("SkipTo(2) doc = %d", it.Doc())
+	}
+	got = it.Positions()
+	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Errorf("d2 tail positions = %v, want [3 7]", got)
+	}
+}

@@ -1,0 +1,350 @@
+package search
+
+import (
+	"sort"
+	"time"
+
+	"websearchbench/internal/index"
+	"websearchbench/internal/textproc"
+)
+
+// Options configures a Searcher.
+type Options struct {
+	// TopK is the number of results to return (default 10, the
+	// benchmark's results-per-page).
+	TopK int
+	// UseMaxScore enables MaxScore dynamic pruning for disjunctive
+	// queries. Pruning is automatically disabled when QualityBoost > 0,
+	// because the static prior breaks the per-term score upper bounds
+	// pruning relies on.
+	UseMaxScore bool
+	// QualityBoost adds boost*doc.Quality to every matching document's
+	// score, mirroring the crawler-assigned static boosts of the
+	// characterized benchmark. 0 disables it.
+	QualityBoost float64
+	// Analyzer used by ParseAndSearch; defaults to the standard pipeline.
+	Analyzer *textproc.Analyzer
+	// DisableSkips makes iterators ignore their skip tables, falling
+	// back to linear SkipTo — kept for the skip-list ablation.
+	DisableSkips bool
+	// Stats, when non-nil, replaces the segment's local collection
+	// statistics (document count, document frequencies, average length)
+	// with global ones — the distributed-IDF refinement that makes
+	// partitioned scoring identical to single-index scoring. With global
+	// stats the per-segment exact MaxScore bounds no longer apply, so
+	// pruning falls back to the universal idf*(k1+1) bound.
+	Stats *CollectionStats
+}
+
+// CollectionStats carries collection-wide statistics for scoring across
+// partitions or cluster nodes.
+type CollectionStats struct {
+	NumDocs   int64
+	AvgDocLen float64
+	DocFreqs  map[string]int64
+}
+
+// DefaultOptions returns the benchmark's default search configuration.
+func DefaultOptions() Options {
+	return Options{TopK: 10, UseMaxScore: true}
+}
+
+// Searcher evaluates queries against one immutable segment. It is safe for
+// concurrent use.
+type Searcher struct {
+	seg  *index.Segment
+	opts Options
+}
+
+// NewSearcher returns a Searcher over seg. Zero or negative TopK falls
+// back to 10.
+func NewSearcher(seg *index.Segment, opts Options) *Searcher {
+	if opts.TopK <= 0 {
+		opts.TopK = 10
+	}
+	if opts.Analyzer == nil {
+		opts.Analyzer = textproc.NewAnalyzer()
+	}
+	return &Searcher{seg: seg, opts: opts}
+}
+
+// Segment returns the underlying segment.
+func (s *Searcher) Segment() *index.Segment { return s.seg }
+
+// Options returns the searcher's configuration.
+func (s *Searcher) Options() Options { return s.opts }
+
+// ParseAndSearch analyzes raw text and evaluates it, timing the parse
+// phase.
+func (s *Searcher) ParseAndSearch(raw string, mode Mode) Result {
+	start := time.Now()
+	q := ParseQuery(s.opts.Analyzer, raw, mode)
+	parse := time.Since(start)
+	res := s.Search(q)
+	res.Phases.Parse += parse
+	return res
+}
+
+// termScorer couples a postings iterator with its scoring state.
+type termScorer struct {
+	it  index.PostingsIterator
+	idf float64
+	ub  float64 // upper bound on this term's contribution
+}
+
+// Search evaluates an analyzed query and returns the ranked top-k.
+func (s *Searcher) Search(q Query) Result {
+	if len(q.Phrases) > 0 {
+		return s.searchPhrases(q)
+	}
+	var res Result
+
+	lookupStart := time.Now()
+	scorers := make([]termScorer, 0, len(q.Terms))
+	for _, term := range q.Terms {
+		ti, ok := s.seg.Term(term)
+		if !ok {
+			if q.Mode == ModeAnd {
+				// A missing term empties a conjunction.
+				res.Phases.Lookup = time.Since(lookupStart)
+				return res
+			}
+			continue
+		}
+		idf := s.seg.IDF(term)
+		ub := float64(ti.MaxScore)
+		if s.opts.Stats != nil {
+			idf = index.IDF(s.opts.Stats.NumDocs, s.opts.Stats.DocFreqs[term])
+			ub = s.seg.BM25().MaxScore(idf)
+		}
+		scorers = append(scorers, termScorer{
+			it:  s.postings(term, ti.ID),
+			idf: idf,
+			ub:  ub,
+		})
+	}
+	res.Phases.Lookup = time.Since(lookupStart)
+	if len(scorers) == 0 {
+		return res
+	}
+
+	scoreStart := time.Now()
+	heap := newTopK(s.opts.TopK)
+	switch {
+	case q.Mode == ModeAnd:
+		s.searchAnd(scorers, heap, &res)
+	case s.opts.UseMaxScore && s.opts.QualityBoost == 0 && len(scorers) > 1:
+		s.searchMaxScore(scorers, heap, &res)
+	default:
+		s.searchOr(scorers, heap, &res)
+	}
+	res.Phases.Score = time.Since(scoreStart)
+
+	mergeStart := time.Now()
+	res.Hits = heap.sorted()
+	res.Phases.Merge = time.Since(mergeStart)
+	return res
+}
+
+// postings returns the term's iterator, honoring the skip-list ablation
+// switch.
+func (s *Searcher) postings(term string, id int32) index.PostingsIterator {
+	if s.opts.DisableSkips {
+		it, _ := s.seg.PostingsWithoutSkips(term)
+		return it
+	}
+	return s.seg.PostingsByID(id)
+}
+
+// avgDocLen returns the collection average document length used for
+// scoring: global when distributed stats are configured, else the
+// segment's own.
+func (s *Searcher) avgDocLen() float64 {
+	if s.opts.Stats != nil {
+		return s.opts.Stats.AvgDocLen
+	}
+	return s.seg.AvgDocLen()
+}
+
+// docScore computes the final score for a doc given its summed term score.
+func (s *Searcher) docScore(doc int32, termScore float64) float64 {
+	if s.opts.QualityBoost != 0 {
+		termScore += s.opts.QualityBoost * float64(s.seg.Doc(doc).Quality)
+	}
+	return termScore
+}
+
+// searchOr is the exhaustive document-at-a-time disjunction.
+func (s *Searcher) searchOr(scorers []termScorer, heap *topK, res *Result) {
+	avg := s.avgDocLen()
+	bm := s.seg.BM25()
+	// Prime all iterators.
+	live := 0
+	for i := range scorers {
+		if scorers[i].it.Next() {
+			res.PostingsScanned++
+			live++
+		}
+	}
+	for live > 0 {
+		// Find the smallest current docID.
+		min := scorers[0].it.Doc()
+		for i := 1; i < len(scorers); i++ {
+			if d := scorers[i].it.Doc(); d < min {
+				min = d
+			}
+		}
+		dl := s.seg.DocLen(min)
+		score := 0.0
+		for i := range scorers {
+			it := &scorers[i].it
+			if it.Doc() != min {
+				continue
+			}
+			score += bm.Score(scorers[i].idf, it.Freq(), dl, avg)
+			if it.Next() {
+				res.PostingsScanned++
+			} else {
+				live--
+			}
+		}
+		res.Matches++
+		heap.offer(Hit{Doc: min, Score: s.docScore(min, score)})
+	}
+}
+
+// searchAnd is a leapfrog conjunction: iterators sorted by selectivity,
+// rarest first, skipping via SkipTo.
+func (s *Searcher) searchAnd(scorers []termScorer, heap *topK, res *Result) {
+	avg := s.avgDocLen()
+	bm := s.seg.BM25()
+	// Rarest term (highest IDF, hence shortest posting list) drives the
+	// loop; the others are probed with SkipTo.
+	sort.Slice(scorers, func(i, j int) bool {
+		return scorers[i].idf > scorers[j].idf
+	})
+	lead := &scorers[0].it
+	for lead.Next() {
+		res.PostingsScanned++
+		doc := lead.Doc()
+		match := true
+		for i := 1; i < len(scorers); i++ {
+			it := &scorers[i].it
+			before := it.Doc()
+			if !it.SkipTo(doc) {
+				return // some list exhausted: no more conjunctions
+			}
+			if it.Doc() != before {
+				res.PostingsScanned++
+			}
+			if it.Doc() != doc {
+				match = false
+				// Fast-forward the lead to the blocker.
+				if !lead.SkipTo(it.Doc()) {
+					return
+				}
+				res.PostingsScanned++
+				doc = lead.Doc()
+				// Restart the inner check for the new candidate.
+				i = 0
+				match = true
+			}
+		}
+		if match {
+			dl := s.seg.DocLen(doc)
+			score := 0.0
+			for i := range scorers {
+				score += bm.Score(scorers[i].idf, scorers[i].it.Freq(), dl, avg)
+			}
+			res.Matches++
+			heap.offer(Hit{Doc: doc, Score: s.docScore(doc, score)})
+		}
+	}
+}
+
+// searchMaxScore is the MaxScore pruning strategy of Turtle & Flood:
+// scorers are ordered by ascending upper bound; a growing prefix of
+// "non-essential" lists whose combined bound cannot beat the current
+// top-k threshold is only probed, never used to generate candidates.
+func (s *Searcher) searchMaxScore(scorers []termScorer, heap *topK, res *Result) {
+	avg := s.avgDocLen()
+	bm := s.seg.BM25()
+	sort.Slice(scorers, func(i, j int) bool { return scorers[i].ub < scorers[j].ub })
+	prefix := make([]float64, len(scorers)) // prefix[i] = sum of ub[0..i]
+	sum := 0.0
+	for i := range scorers {
+		sum += scorers[i].ub
+		prefix[i] = sum
+	}
+	for i := range scorers {
+		if scorers[i].it.Next() {
+			res.PostingsScanned++
+		}
+	}
+	// firstEssential is the index of the first list that can, together
+	// with the lists before it, still beat the threshold.
+	firstEssential := 0
+	updateEssential := func() {
+		theta := heap.threshold()
+		for firstEssential < len(scorers) && prefix[firstEssential] <= theta {
+			firstEssential++
+		}
+	}
+	updateEssential()
+
+	for firstEssential < len(scorers) {
+		// Candidate: min doc among essential lists.
+		min := exhaustedSentinel
+		for i := firstEssential; i < len(scorers); i++ {
+			if d := scorers[i].it.Doc(); d < min && !scorers[i].it.Exhausted() {
+				min = d
+			}
+		}
+		if min == exhaustedSentinel {
+			return
+		}
+		dl := s.seg.DocLen(min)
+		score := 0.0
+		for i := firstEssential; i < len(scorers); i++ {
+			it := &scorers[i].it
+			if it.Doc() != min || it.Exhausted() {
+				continue
+			}
+			score += bm.Score(scorers[i].idf, it.Freq(), dl, avg)
+			if it.Next() {
+				res.PostingsScanned++
+			}
+		}
+		// Probe non-essential lists from the largest bound down, bailing
+		// out as soon as the remaining bounds cannot reach the threshold.
+		theta := heap.threshold()
+		for i := firstEssential - 1; i >= 0; i-- {
+			if score+prefix[i] <= theta {
+				score = -1 // provably not a top-k hit
+				break
+			}
+			it := &scorers[i].it
+			if it.Exhausted() {
+				continue
+			}
+			if it.Doc() < min {
+				if !it.SkipTo(min) {
+					continue
+				}
+				res.PostingsScanned++
+			}
+			if it.Doc() == min {
+				score += bm.Score(scorers[i].idf, it.Freq(), dl, avg)
+			}
+		}
+		if score >= 0 {
+			res.Matches++
+			if heap.offer(Hit{Doc: min, Score: score}) {
+				updateEssential()
+			}
+		}
+	}
+}
+
+// exhaustedSentinel mirrors the postings iterator's exhausted docID.
+const exhaustedSentinel = int32(1<<31 - 1)

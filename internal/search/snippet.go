@@ -1,0 +1,127 @@
+package search
+
+import (
+	"strings"
+
+	"websearchbench/internal/textproc"
+)
+
+// Highlight marks one query-term occurrence inside a snippet.
+type Highlight struct {
+	Start, End int // byte offsets into the snippet
+}
+
+// Snippet is a result excerpt with query-term highlights, what the
+// benchmark's front-end renders per hit.
+type Snippet struct {
+	Text       string
+	Highlights []Highlight
+}
+
+// MakeSnippet builds a highlighted excerpt of text for the analyzed query
+// terms: the window of up to maxLen bytes (rounded to token boundaries)
+// containing the first query-term occurrence, with every occurrence of
+// any query term inside the window highlighted. Matching applies the same
+// analyzer as the query, so stemmed forms match.
+func MakeSnippet(a *textproc.Analyzer, text string, queryTerms []string, maxLen int) Snippet {
+	if maxLen <= 0 {
+		maxLen = 160
+	}
+	want := make(map[string]bool, len(queryTerms))
+	for _, t := range queryTerms {
+		want[t] = true
+	}
+
+	// Tokenize the raw text, keeping byte offsets, and mark matches.
+	type span struct {
+		start, end int
+		match      bool
+	}
+	var spans []span
+	offset := 0
+	textproc.TokenizeFunc(text, func(tok string) {
+		start := indexFrom(text, tok, offset)
+		end := start + len(tok)
+		offset = end
+		term := textproc.Lowercase(tok)
+		if !a.DisableStemming {
+			term = textproc.Stem(term)
+		}
+		spans = append(spans, span{start: start, end: end, match: want[term]})
+	})
+	if len(spans) == 0 {
+		if len(text) > maxLen {
+			text = text[:maxLen]
+		}
+		return Snippet{Text: text}
+	}
+
+	// Find the first match to anchor the window; default to the start.
+	anchor := 0
+	for i, sp := range spans {
+		if sp.match {
+			anchor = i
+			break
+		}
+	}
+	// Grow the window around the anchor to maxLen bytes.
+	lo, hi := anchor, anchor
+	for {
+		grown := false
+		if lo > 0 && spans[hi].end-spans[lo-1].start <= maxLen {
+			lo--
+			grown = true
+		}
+		if hi < len(spans)-1 && spans[hi+1].end-spans[lo].start <= maxLen {
+			hi++
+			grown = true
+		}
+		if !grown {
+			break
+		}
+	}
+	winStart, winEnd := spans[lo].start, spans[hi].end
+	out := Snippet{Text: text[winStart:winEnd]}
+	for _, sp := range spans[lo : hi+1] {
+		if sp.match {
+			out.Highlights = append(out.Highlights, Highlight{
+				Start: sp.start - winStart,
+				End:   sp.end - winStart,
+			})
+		}
+	}
+	return out
+}
+
+// indexFrom finds tok in text at or after from. Tokenization guarantees
+// the token occurs there; the scan resynchronizes offsets cheaply.
+func indexFrom(text, tok string, from int) int {
+	i := strings.Index(text[from:], tok)
+	if i < 0 {
+		return from
+	}
+	return from + i
+}
+
+// HTML renders the snippet with <b> tags around highlights, escaping
+// nothing (the synthetic corpus contains no markup); it is a display
+// helper for the examples and front-end.
+func (s Snippet) HTML() string {
+	if len(s.Highlights) == 0 {
+		return s.Text
+	}
+	var b strings.Builder
+	prev := 0
+	for _, h := range s.Highlights {
+		if h.Start < prev || h.End > len(s.Text) {
+			continue
+		}
+		b.WriteString(s.Text[prev:h.Start])
+		b.WriteString("<b>")
+		b.WriteString(s.Text[h.Start:h.End])
+		b.WriteString("</b>")
+		prev = h.End
+	}
+	b.WriteString(s.Text[prev:])
+	return b.String()
+}

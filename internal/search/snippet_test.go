@@ -1,0 +1,125 @@
+package search
+
+import (
+	"strings"
+	"testing"
+
+	"websearchbench/internal/textproc"
+)
+
+func TestMakeSnippetBasic(t *testing.T) {
+	a := &textproc.Analyzer{DisableStemming: true}
+	s := MakeSnippet(a, "alpha beta gamma delta", []string{"gamma"}, 160)
+	if s.Text != "alpha beta gamma delta" {
+		t.Errorf("Text = %q", s.Text)
+	}
+	if len(s.Highlights) != 1 {
+		t.Fatalf("Highlights = %v", s.Highlights)
+	}
+	h := s.Highlights[0]
+	if s.Text[h.Start:h.End] != "gamma" {
+		t.Errorf("highlight covers %q", s.Text[h.Start:h.End])
+	}
+}
+
+func TestMakeSnippetWindowsAroundMatch(t *testing.T) {
+	a := &textproc.Analyzer{DisableStemming: true}
+	// A long text whose match is deep inside; the window must contain it.
+	words := make([]string, 100)
+	for i := range words {
+		words[i] = "filler"
+	}
+	words[70] = "needle"
+	text := strings.Join(words, " ")
+	s := MakeSnippet(a, text, []string{"needle"}, 80)
+	if len(s.Text) > 80 {
+		t.Errorf("window length %d exceeds max", len(s.Text))
+	}
+	if !strings.Contains(s.Text, "needle") {
+		t.Errorf("window %q misses the match", s.Text)
+	}
+	if len(s.Highlights) != 1 {
+		t.Fatalf("Highlights = %v", s.Highlights)
+	}
+	if got := s.Text[s.Highlights[0].Start:s.Highlights[0].End]; got != "needle" {
+		t.Errorf("highlight covers %q", got)
+	}
+}
+
+func TestMakeSnippetMultipleHighlights(t *testing.T) {
+	a := &textproc.Analyzer{DisableStemming: true}
+	s := MakeSnippet(a, "web search and web pages", []string{"web"}, 160)
+	if len(s.Highlights) != 2 {
+		t.Fatalf("Highlights = %v", s.Highlights)
+	}
+	for _, h := range s.Highlights {
+		if s.Text[h.Start:h.End] != "web" {
+			t.Errorf("highlight covers %q", s.Text[h.Start:h.End])
+		}
+	}
+}
+
+func TestMakeSnippetStemming(t *testing.T) {
+	a := textproc.NewAnalyzer()
+	// Query analyzed to "run"? "running" stems to "run". The doc word
+	// "runs" also stems to "run": stemmed matching highlights it.
+	terms := a.AnalyzeQuery("running")
+	s := MakeSnippet(a, "he runs daily", terms, 160)
+	if len(s.Highlights) != 1 {
+		t.Fatalf("stemmed match missing: %v", s.Highlights)
+	}
+	if got := s.Text[s.Highlights[0].Start:s.Highlights[0].End]; got != "runs" {
+		t.Errorf("highlight covers %q", got)
+	}
+}
+
+func TestMakeSnippetNoMatch(t *testing.T) {
+	a := &textproc.Analyzer{DisableStemming: true}
+	s := MakeSnippet(a, "nothing relevant here", []string{"absent"}, 10)
+	if len(s.Highlights) != 0 {
+		t.Errorf("Highlights = %v", s.Highlights)
+	}
+	if len(s.Text) > 10+7 { // rounded to token boundary
+		t.Errorf("unanchored window too long: %q", s.Text)
+	}
+}
+
+func TestMakeSnippetEmptyText(t *testing.T) {
+	a := textproc.NewAnalyzer()
+	s := MakeSnippet(a, "", []string{"x"}, 100)
+	if s.Text != "" || len(s.Highlights) != 0 {
+		t.Errorf("empty text snippet = %+v", s)
+	}
+	s = MakeSnippet(a, "...!!!", []string{"x"}, 100)
+	if len(s.Highlights) != 0 {
+		t.Errorf("punctuation-only snippet = %+v", s)
+	}
+}
+
+func TestSnippetHTML(t *testing.T) {
+	s := Snippet{
+		Text:       "alpha beta gamma",
+		Highlights: []Highlight{{6, 10}},
+	}
+	if got := s.HTML(); got != "alpha <b>beta</b> gamma" {
+		t.Errorf("HTML = %q", got)
+	}
+	plain := Snippet{Text: "no marks"}
+	if plain.HTML() != "no marks" {
+		t.Error("plain HTML broken")
+	}
+	// Out-of-range highlights are skipped, never panic.
+	bad := Snippet{Text: "ab", Highlights: []Highlight{{5, 9}}}
+	if bad.HTML() != "ab" {
+		t.Errorf("bad highlight HTML = %q", bad.HTML())
+	}
+}
+
+func TestMakeSnippetDefaultMaxLen(t *testing.T) {
+	a := &textproc.Analyzer{DisableStemming: true}
+	long := strings.Repeat("word ", 200)
+	s := MakeSnippet(a, long, []string{"word"}, 0)
+	if len(s.Text) > 160 {
+		t.Errorf("default window length = %d", len(s.Text))
+	}
+}

@@ -1,0 +1,103 @@
+package search
+
+import "sort"
+
+// topK is a bounded min-heap of hits: the root is the weakest hit kept.
+// Ties are broken so the hit with the larger docID is weaker, giving
+// deterministic results.
+type topK struct {
+	k     int
+	items []Hit
+}
+
+func newTopK(k int) *topK {
+	return &topK{k: k, items: make([]Hit, 0, k)}
+}
+
+// weaker reports whether a ranks strictly below b.
+func weaker(a, b Hit) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Doc > b.Doc
+}
+
+// threshold returns the score a new hit must exceed to enter a full heap,
+// or -1 if the heap still has room (all non-negative scores qualify).
+func (h *topK) threshold() float64 {
+	if len(h.items) < h.k {
+		return -1
+	}
+	return h.items[0].Score
+}
+
+// offer inserts hit if it ranks above the current weakest (or the heap has
+// room). It returns true if the hit was kept.
+func (h *topK) offer(hit Hit) bool {
+	if len(h.items) < h.k {
+		h.items = append(h.items, hit)
+		h.up(len(h.items) - 1)
+		return true
+	}
+	if !weaker(h.items[0], hit) {
+		return false
+	}
+	h.items[0] = hit
+	h.down(0)
+	return true
+}
+
+func (h *topK) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !weaker(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *topK) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && weaker(h.items[l], h.items[min]) {
+			min = l
+		}
+		if r < n && weaker(h.items[r], h.items[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h.items[i], h.items[min] = h.items[min], h.items[i]
+		i = min
+	}
+}
+
+// sorted drains the heap into a descending-score slice.
+func (h *topK) sorted() []Hit {
+	out := h.items
+	h.items = nil
+	sort.Slice(out, func(i, j int) bool { return weaker(out[j], out[i]) })
+	return out
+}
+
+// MergeTopK merges several descending-sorted hit lists into a single
+// descending top-k list, the final step of partitioned and distributed
+// search. Input lists must individually be sorted as produced by Search.
+func MergeTopK(lists [][]Hit, k int) []Hit {
+	h := newTopK(k)
+	for _, list := range lists {
+		for _, hit := range list {
+			// Lists are descending, so once a hit fails the threshold
+			// no later hit from the same list can succeed.
+			if !h.offer(hit) && len(h.items) >= h.k {
+				break
+			}
+		}
+	}
+	return h.sorted()
+}

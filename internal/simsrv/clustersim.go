@@ -1,0 +1,436 @@
+package simsrv
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"websearchbench/internal/metrics"
+)
+
+// Cluster-level simulation: a front-end scatters each query to every
+// index-serving node and answers when the slowest node responds — the
+// "tail at scale" fan-out structure of production web search. Each node
+// is its own multi-core FCFS queueing system with optional intra-node
+// partitioning, so a query's latency is the maximum of N queueing delays
+// plus network and front-end merge costs.
+
+// ClusterConfig parameterizes a cluster simulation.
+type ClusterConfig struct {
+	// Nodes is the shard count the front-end fans out to.
+	Nodes int
+	// Replicas is the number of replica servers per shard (0 means 1).
+	// A query's shard-task goes to one replica, chosen uniformly.
+	Replicas int
+	// HedgeAfter, when positive, duplicates a shard's still-unanswered
+	// work onto another replica after this many seconds — the classic
+	// hedged-request mitigation for fan-out tails. The first response
+	// wins; the loser's work still occupies its server (the true cost
+	// of hedging). Requires Replicas >= 2.
+	HedgeAfter float64
+	// Node is the per-node hardware model.
+	Node ServerModel
+	// PartitionsPerNode is the intra-node partition count (fork-join
+	// within each node).
+	PartitionsPerNode int
+
+	// Demands is the per-node service demand distribution (reference
+	// seconds): each node holds a fixed-size shard, so per-node work
+	// does not shrink as nodes are added (the scale-out regime).
+	Demands []float64
+	// NodeImbalanceCV spreads one query's demand across nodes: node n's
+	// demand is the sampled demand scaled by (1 + cv*N(0,1)), floored at
+	// 5%. 0 gives every node identical work per query.
+	NodeImbalanceCV float64
+	// PartitionOverhead, MergeBase, MergePerPartition and ImbalanceCV
+	// configure intra-node fork-join exactly as in Config.
+	PartitionOverhead float64
+	MergeBase         float64
+	MergePerPartition float64
+	ImbalanceCV       float64
+
+	// ServerJitterProb is the probability that one shard dispatch lands
+	// on a transiently slow server (GC pause, co-located interference):
+	// that attempt's work runs ServerJitterFactor times slower. The
+	// slowdown is a property of the (server, moment), not the query, so
+	// it is independent across replicas — the failure mode hedged
+	// requests exist to mask.
+	ServerJitterProb   float64
+	ServerJitterFactor float64
+
+	// NetworkDelay is the one-way front-end<->node latency (seconds),
+	// charged twice per query. The front-end's merge work is
+	// FrontendMerge seconds, modeled as a fixed delay (the front-end
+	// tier is provisioned to never be the bottleneck, as in the
+	// benchmark's architecture).
+	NetworkDelay  float64
+	FrontendMerge float64
+
+	// Open is the Poisson arrival process (cluster simulations are
+	// open-loop: the service faces outside traffic).
+	Open OpenLoop
+
+	Warmup   float64
+	Duration float64
+	Seed     int64
+}
+
+func (c ClusterConfig) validate() error {
+	if err := c.Node.validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("simsrv: Nodes = %d, must be positive", c.Nodes)
+	case c.PartitionsPerNode <= 0:
+		return fmt.Errorf("simsrv: PartitionsPerNode = %d, must be positive", c.PartitionsPerNode)
+	case len(c.Demands) == 0:
+		return fmt.Errorf("simsrv: empty demand distribution")
+	case c.NodeImbalanceCV < 0 || c.ImbalanceCV < 0:
+		return fmt.Errorf("simsrv: negative imbalance")
+	case c.PartitionOverhead < 0 || c.MergeBase < 0 || c.MergePerPartition < 0:
+		return fmt.Errorf("simsrv: negative overhead")
+	case c.NetworkDelay < 0 || c.FrontendMerge < 0:
+		return fmt.Errorf("simsrv: negative frontend cost")
+	case c.Replicas < 0:
+		return fmt.Errorf("simsrv: negative Replicas")
+	case c.HedgeAfter < 0:
+		return fmt.Errorf("simsrv: negative HedgeAfter")
+	case c.HedgeAfter > 0 && c.Replicas < 2:
+		return fmt.Errorf("simsrv: hedging requires Replicas >= 2")
+	case c.ServerJitterProb < 0 || c.ServerJitterProb > 1:
+		return fmt.Errorf("simsrv: ServerJitterProb out of [0,1]")
+	case c.ServerJitterProb > 0 && c.ServerJitterFactor < 1:
+		return fmt.Errorf("simsrv: ServerJitterFactor must be >= 1")
+	case c.Open.RateQPS <= 0:
+		return fmt.Errorf("simsrv: RateQPS = %v, must be positive", c.Open.RateQPS)
+	case c.Duration <= 0:
+		return fmt.Errorf("simsrv: Duration must be positive")
+	case c.Warmup < 0:
+		return fmt.Errorf("simsrv: negative Warmup")
+	}
+	for _, d := range c.Demands {
+		if d <= 0 {
+			return fmt.Errorf("simsrv: non-positive demand %v", d)
+		}
+	}
+	return nil
+}
+
+// ClusterStats summarizes a cluster simulation over the measurement
+// window.
+type ClusterStats struct {
+	// Latency is the end-to-end query latency distribution (fan-out max
+	// plus network and front-end merge).
+	Latency metrics.Snapshot
+	// NodeLatency is the distribution of individual per-node response
+	// times (service + node queueing), before the fan-out max.
+	NodeLatency metrics.Snapshot
+	Completed   int64
+	Throughput  float64
+	// MeanNodeUtilization averages core utilization across nodes.
+	MeanNodeUtilization float64
+	// Hedged counts duplicate shard dispatches issued by the hedging
+	// policy.
+	Hedged int64
+}
+
+type cnode struct {
+	freeCores int
+	runq      []*ctask // FCFS
+	busy      float64  // window-clamped busy core-time
+}
+
+// cattempt is one dispatch of a shard's work to one replica.
+type cattempt struct {
+	q         *cquery
+	shard     int
+	remaining int
+	merged    bool
+}
+
+type cshard struct {
+	done        bool
+	demand      float64 // the shard's sampled work, for hedged re-dispatch
+	lastReplica int
+}
+
+type cquery struct {
+	arrive     float64
+	shards     []cshard
+	shardsLeft int
+}
+
+type ctask struct {
+	at      *cattempt
+	node    int
+	demand  float64
+	isMerge bool
+}
+
+type cevent struct {
+	t     float64
+	seq   int64
+	kind  int
+	task  *ctask
+	q     *cquery
+	shard int
+}
+
+const (
+	cevArrival = iota
+	cevTaskDone
+	cevQueryDone
+	cevHedge
+)
+
+type ceventHeap []cevent
+
+func (h ceventHeap) Len() int { return len(h) }
+func (h ceventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h ceventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *ceventHeap) Push(x any)   { *h = append(*h, x.(cevent)) }
+func (h *ceventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type clusterSim struct {
+	cfg    ClusterConfig
+	rng    *rand.Rand
+	events ceventHeap
+	seq    int64
+	now    float64
+
+	nodes []cnode
+
+	winStart, winEnd float64
+	hist             metrics.Histogram
+	nodeHist         metrics.Histogram
+	completed        int64
+	hedged           int64
+	replicas         int
+}
+
+// RunCluster executes one cluster simulation.
+func RunCluster(cfg ClusterConfig) (ClusterStats, error) {
+	if err := cfg.validate(); err != nil {
+		return ClusterStats{}, err
+	}
+	replicas := cfg.Replicas
+	if replicas == 0 {
+		replicas = 1
+	}
+	s := &clusterSim{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		nodes:    make([]cnode, cfg.Nodes*replicas),
+		replicas: replicas,
+		winStart: cfg.Warmup,
+		winEnd:   cfg.Warmup + cfg.Duration,
+	}
+	for i := range s.nodes {
+		s.nodes[i].freeCores = cfg.Node.Cores
+	}
+	s.schedule(s.rng.ExpFloat64()/cfg.Open.RateQPS, cevArrival, nil, nil, 0)
+	s.loop()
+	return s.stats(), nil
+}
+
+func (s *clusterSim) schedule(t float64, kind int, tk *ctask, q *cquery, shard int) {
+	s.seq++
+	heap.Push(&s.events, cevent{t: t, seq: s.seq, kind: kind, task: tk, q: q, shard: shard})
+}
+
+func (s *clusterSim) loop() {
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(cevent)
+		if ev.t > s.winEnd {
+			return
+		}
+		s.now = ev.t
+		switch ev.kind {
+		case cevArrival:
+			s.arrive()
+		case cevTaskDone:
+			s.taskDone(ev.task)
+		case cevQueryDone:
+			s.queryDone(ev.q)
+		case cevHedge:
+			s.hedge(ev.q, ev.shard)
+		}
+		s.dispatchAll()
+	}
+}
+
+// replicaNode returns the node index of replica r of shard n.
+func (s *clusterSim) replicaNode(shard, r int) int { return shard*s.replicas + r }
+
+// arrive scatters one query's work to one replica of every shard.
+func (s *clusterSim) arrive() {
+	s.schedule(s.now+s.rng.ExpFloat64()/s.cfg.Open.RateQPS, cevArrival, nil, nil, 0)
+	w := s.cfg.Demands[s.rng.Intn(len(s.cfg.Demands))]
+	q := &cquery{
+		arrive:     s.now,
+		shards:     make([]cshard, s.cfg.Nodes),
+		shardsLeft: s.cfg.Nodes,
+	}
+	for n := 0; n < s.cfg.Nodes; n++ {
+		wn := w
+		if s.cfg.NodeImbalanceCV > 0 {
+			wn *= math.Max(0.05, 1+s.cfg.NodeImbalanceCV*s.rng.NormFloat64())
+		}
+		r := 0
+		if s.replicas > 1 {
+			r = s.rng.Intn(s.replicas)
+		}
+		q.shards[n] = cshard{demand: wn, lastReplica: r}
+		s.dispatchShard(q, n, r)
+		if s.cfg.HedgeAfter > 0 {
+			s.schedule(s.now+s.cfg.HedgeAfter, cevHedge, nil, q, n)
+		}
+	}
+}
+
+// dispatchShard enqueues one attempt of shard n's work onto replica r.
+func (s *clusterSim) dispatchShard(q *cquery, n, r int) {
+	p := s.cfg.PartitionsPerNode
+	at := &cattempt{q: q, shard: n, remaining: p}
+	weights := make([]float64, p)
+	sum := 0.0
+	for i := range weights {
+		wt := 1.0
+		if s.cfg.ImbalanceCV > 0 && p > 1 {
+			wt = math.Max(0.05, 1+s.cfg.ImbalanceCV*s.rng.NormFloat64())
+		}
+		weights[i] = wt
+		sum += wt
+	}
+	// Transient server-side slowdown, independent per attempt.
+	jitter := 1.0
+	if s.cfg.ServerJitterProb > 0 && s.rng.Float64() < s.cfg.ServerJitterProb {
+		jitter = s.cfg.ServerJitterFactor
+	}
+	node := s.replicaNode(n, r)
+	for i := 0; i < p; i++ {
+		s.nodes[node].runq = append(s.nodes[node].runq, &ctask{
+			at:     at,
+			node:   node,
+			demand: (q.shards[n].demand*weights[i]/sum + s.cfg.PartitionOverhead) * jitter,
+		})
+	}
+}
+
+// hedge re-dispatches a still-unanswered shard to another replica.
+func (s *clusterSim) hedge(q *cquery, shard int) {
+	sh := &q.shards[shard]
+	if sh.done {
+		return
+	}
+	s.hedged++
+	r := (sh.lastReplica + 1) % s.replicas
+	sh.lastReplica = r
+	s.dispatchShard(q, shard, r)
+}
+
+// taskDone handles a subtask or node-merge completion of one attempt.
+func (s *clusterSim) taskDone(t *ctask) {
+	node := &s.nodes[t.node]
+	node.freeCores++
+	at := t.at
+	sh := &at.q.shards[at.shard]
+	if sh.done {
+		return // another replica already answered; this work is wasted
+	}
+	if !t.isMerge {
+		at.remaining--
+		if at.remaining > 0 {
+			return
+		}
+		// Node-local merge, unless single-partition (folded into demand).
+		if s.cfg.PartitionsPerNode > 1 && !at.merged {
+			at.merged = true
+			demand := s.cfg.MergeBase + s.cfg.MergePerPartition*float64(s.cfg.PartitionsPerNode)
+			if demand > 0 {
+				node.runq = append(node.runq, &ctask{at: at, node: t.node, demand: demand, isMerge: true})
+				return
+			}
+		}
+	}
+	s.shardDone(at.q, at.shard)
+}
+
+// shardDone accounts one shard's first response; the last shard triggers
+// the front-end completion after network and merge delays.
+func (s *clusterSim) shardDone(q *cquery, shard int) {
+	sh := &q.shards[shard]
+	if sh.done {
+		return
+	}
+	sh.done = true
+	if q.arrive >= s.winStart && s.now <= s.winEnd {
+		s.nodeHist.Record(time.Duration((s.now - q.arrive) * float64(time.Second)))
+	}
+	q.shardsLeft--
+	if q.shardsLeft > 0 {
+		return
+	}
+	done := s.now + 2*s.cfg.NetworkDelay + s.cfg.FrontendMerge
+	s.schedule(done, cevQueryDone, nil, q, 0)
+}
+
+func (s *clusterSim) queryDone(q *cquery) {
+	if q.arrive >= s.winStart && s.now <= s.winEnd {
+		s.hist.Record(time.Duration((s.now - q.arrive) * float64(time.Second)))
+		s.completed++
+	}
+}
+
+// dispatchAll assigns queued tasks to free cores on every node.
+func (s *clusterSim) dispatchAll() {
+	for n := range s.nodes {
+		node := &s.nodes[n]
+		for node.freeCores > 0 && len(node.runq) > 0 {
+			t := node.runq[0]
+			node.runq = node.runq[1:]
+			node.freeCores--
+			exec := t.demand / s.cfg.Node.SpeedFactor
+			end := s.now + exec
+			lo := math.Max(s.now, s.winStart)
+			hi := math.Min(end, s.winEnd)
+			if hi > lo {
+				node.busy += hi - lo
+			}
+			s.schedule(end, cevTaskDone, t, nil, 0)
+		}
+	}
+}
+
+func (s *clusterSim) stats() ClusterStats {
+	st := ClusterStats{
+		Latency:     s.hist.Snapshot(),
+		NodeLatency: s.nodeHist.Snapshot(),
+		Completed:   s.completed,
+	}
+	if s.cfg.Duration > 0 {
+		st.Throughput = float64(s.completed) / s.cfg.Duration
+		var busy float64
+		for i := range s.nodes {
+			busy += s.nodes[i].busy
+		}
+		st.MeanNodeUtilization = busy /
+			(s.cfg.Duration * float64(s.cfg.Node.Cores) * float64(len(s.nodes)))
+	}
+	st.Hedged = s.hedged
+	return st
+}

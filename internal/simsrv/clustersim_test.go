@@ -1,0 +1,232 @@
+package simsrv
+
+import (
+	"math"
+	"testing"
+)
+
+func clusterCfg(nodes int, qps float64) ClusterConfig {
+	return ClusterConfig{
+		Nodes:             nodes,
+		Node:              ServerModel{Name: "n", Cores: 4, SpeedFactor: 1},
+		PartitionsPerNode: 1,
+		Demands:           []float64{0.010},
+		NodeImbalanceCV:   0.1,
+		NetworkDelay:      0.0005,
+		FrontendMerge:     0.0002,
+		Open:              OpenLoop{RateQPS: qps},
+		Warmup:            5,
+		Duration:          120,
+		Seed:              1,
+	}
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	good := clusterCfg(2, 50)
+	mutations := []func(*ClusterConfig){
+		func(c *ClusterConfig) { c.Nodes = 0 },
+		func(c *ClusterConfig) { c.Node.Cores = 0 },
+		func(c *ClusterConfig) { c.PartitionsPerNode = 0 },
+		func(c *ClusterConfig) { c.Demands = nil },
+		func(c *ClusterConfig) { c.Demands = []float64{-1} },
+		func(c *ClusterConfig) { c.NodeImbalanceCV = -1 },
+		func(c *ClusterConfig) { c.PartitionOverhead = -1 },
+		func(c *ClusterConfig) { c.NetworkDelay = -1 },
+		func(c *ClusterConfig) { c.FrontendMerge = -1 },
+		func(c *ClusterConfig) { c.Open.RateQPS = 0 },
+		func(c *ClusterConfig) { c.Duration = 0 },
+		func(c *ClusterConfig) { c.Warmup = -1 },
+	}
+	for i, mut := range mutations {
+		c := good
+		mut(&c)
+		if _, err := RunCluster(c); err == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+	}
+	if _, err := RunCluster(good); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+// One node at light load behaves like the single-server simulator plus
+// the fixed network and merge delays.
+func TestClusterSingleNodeBaseline(t *testing.T) {
+	cfg := clusterCfg(1, 5)
+	cfg.NodeImbalanceCV = 0
+	st, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.010 + 2*0.0005 + 0.0002
+	got := st.Latency.Mean.Seconds()
+	if math.Abs(got-want)/want > 0.10 {
+		t.Errorf("mean = %v, want ~%v", got, want)
+	}
+	if st.Completed == 0 {
+		t.Fatal("no completions")
+	}
+	// Node latency excludes network and frontend merge.
+	nodeWant := 0.010
+	if nodeGot := st.NodeLatency.Mean.Seconds(); math.Abs(nodeGot-nodeWant)/nodeWant > 0.10 {
+		t.Errorf("node mean = %v, want ~%v", nodeGot, nodeWant)
+	}
+}
+
+// The tail-at-scale effect: with per-node load held constant, fan-out
+// latency grows with the node count because every query waits for the
+// slowest node.
+func TestClusterTailAmplification(t *testing.T) {
+	run := func(nodes int) ClusterStats {
+		cfg := clusterCfg(nodes, 100) // same arrival rate: per-node load constant
+		st, err := RunCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	n1, n16 := run(1), run(16)
+	if n16.Latency.Mean <= n1.Latency.Mean {
+		t.Errorf("fan-out mean %v not above single-node %v",
+			n16.Latency.Mean, n1.Latency.Mean)
+	}
+	// The per-node latency distribution is load-dependent, not fan-out-
+	// dependent: it must stay roughly unchanged.
+	r := n16.NodeLatency.Mean.Seconds() / n1.NodeLatency.Mean.Seconds()
+	if r < 0.8 || r > 1.2 {
+		t.Errorf("per-node latency changed with fan-out: ratio %v", r)
+	}
+	// The amplified mean approaches the single-node tail.
+	if n16.Latency.Mean < n1.Latency.P50 {
+		t.Errorf("fan-out mean %v below single-node median %v",
+			n16.Latency.Mean, n1.Latency.P50)
+	}
+}
+
+// Intra-node partitioning still cuts latency inside a cluster.
+func TestClusterIntraNodePartitioning(t *testing.T) {
+	base := clusterCfg(4, 50) // rho = 50 * 0.040 / 4 cores = 0.5
+	base.Demands = []float64{0.040}
+	base.PartitionOverhead = 0.0002
+	base.MergeBase = 0.0002
+	p1, err := RunCluster(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := base
+	part.PartitionsPerNode = 4
+	p4, err := RunCluster(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4.Latency.Mean >= p1.Latency.Mean {
+		t.Errorf("intra-node partitioning did not help: %v vs %v",
+			p4.Latency.Mean, p1.Latency.Mean)
+	}
+}
+
+func TestClusterUtilizationBounded(t *testing.T) {
+	st, err := RunCluster(clusterCfg(4, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MeanNodeUtilization < 0 || st.MeanNodeUtilization > 1.0001 {
+		t.Errorf("utilization = %v", st.MeanNodeUtilization)
+	}
+	// rho = 100*0.01/4 cores... offered 300 qps * 10ms / 4 cores = 0.75.
+	if st.MeanNodeUtilization < 0.6 || st.MeanNodeUtilization > 0.9 {
+		t.Errorf("utilization = %v, want ~0.75", st.MeanNodeUtilization)
+	}
+}
+
+func TestClusterDeterminism(t *testing.T) {
+	a, err := RunCluster(clusterCfg(3, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := RunCluster(clusterCfg(3, 80))
+	if a.Latency != b.Latency || a.Completed != b.Completed {
+		t.Error("same seed differs")
+	}
+}
+
+// Hedged requests: with replicas, a duplicate dispatch after a deadline
+// must cut the fan-out tail, at a bounded extra-work cost.
+func TestHedgingCutsTail(t *testing.T) {
+	base := ClusterConfig{
+		Nodes:             8,
+		Replicas:          2,
+		Node:              ServerModel{Name: "n", Cores: 4, SpeedFactor: 1},
+		PartitionsPerNode: 1,
+		Demands:           []float64{0.004},
+		NodeImbalanceCV:   0.1,
+		// 5% of shard dispatches land on a transiently slow server
+		// (10x): the server-side failure mode hedging masks.
+		ServerJitterProb:   0.05,
+		ServerJitterFactor: 10,
+		NetworkDelay:       0.0002,
+		FrontendMerge:      0.0001,
+		Open:               OpenLoop{RateQPS: 150},
+		Warmup:             5,
+		Duration:           200,
+		Seed:               4,
+	}
+	plain, err := RunCluster(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hedged := base
+	hedged.HedgeAfter = 0.010 // ~p95 of a healthy response
+	hd, err := RunCluster(hedged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Hedged != 0 {
+		t.Errorf("plain run hedged %d times", plain.Hedged)
+	}
+	if hd.Hedged == 0 {
+		t.Fatal("hedging never fired")
+	}
+	if hd.Latency.P99 >= plain.Latency.P99 {
+		t.Errorf("hedged p99 %v not below plain %v", hd.Latency.P99, plain.Latency.P99)
+	}
+	// Hedging duplicates only the slow minority: bounded extra dispatches.
+	perQuery := float64(hd.Hedged) / float64(hd.Completed) / float64(base.Nodes)
+	if perQuery > 0.5 {
+		t.Errorf("hedge rate %.2f per shard-dispatch too high", perQuery)
+	}
+}
+
+func TestHedgingValidation(t *testing.T) {
+	cfg := clusterCfg(2, 20)
+	cfg.HedgeAfter = 0.01 // replicas defaults to 1: invalid
+	if _, err := RunCluster(cfg); err == nil {
+		t.Error("hedging without replicas accepted")
+	}
+	cfg.Replicas = -1
+	if _, err := RunCluster(cfg); err == nil {
+		t.Error("negative replicas accepted")
+	}
+}
+
+// Replicas without hedging spread load: utilization halves.
+func TestReplicasSpreadLoad(t *testing.T) {
+	single := clusterCfg(4, 100)
+	one, err := RunCluster(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := single
+	dup.Replicas = 2
+	two, err := RunCluster(dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := two.MeanNodeUtilization / one.MeanNodeUtilization
+	if ratio < 0.4 || ratio > 0.6 {
+		t.Errorf("2-replica utilization ratio = %v, want ~0.5", ratio)
+	}
+	if two.Completed == 0 || two.Latency.Mean <= 0 {
+		t.Fatal("replicated run broken")
+	}
+}

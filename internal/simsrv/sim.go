@@ -1,0 +1,368 @@
+package simsrv
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"time"
+
+	"websearchbench/internal/metrics"
+)
+
+// Stats summarizes one simulation run over the measurement window.
+type Stats struct {
+	Latency metrics.Snapshot
+	// Completed counts queries that both arrived and completed inside
+	// the measurement window.
+	Completed int64
+	// Throughput is Completed divided by the window length (QPS).
+	Throughput float64
+	// Utilization is busy core-time divided by total core-time in the
+	// window, in [0, 1].
+	Utilization float64
+	// MeanQueueLen is the time-averaged number of tasks waiting for a
+	// core (not including running tasks).
+	MeanQueueLen float64
+	// MeanInFlight is the time-averaged number of queries in the system.
+	MeanInFlight float64
+	// Latencies holds every windowed response time when
+	// Config.CollectLatencies is set; nil otherwise.
+	Latencies []time.Duration
+	// ArrivalTimes holds the corresponding arrival times (simulated
+	// seconds) when Config.CollectLatencies is set, for time-bucketed
+	// analyses like the diurnal QoS study.
+	ArrivalTimes []float64
+}
+
+// event kinds.
+const (
+	evArrival = iota
+	evTaskDone
+)
+
+type task struct {
+	q       *query
+	demand  float64 // reference-core seconds
+	isMerge bool
+	seq     int64 // queue-arrival order, for deterministic SJF ties
+}
+
+type query struct {
+	arrive    float64
+	remaining int  // subtasks outstanding
+	merged    bool // merge task already issued
+}
+
+type event struct {
+	t    float64
+	seq  int64 // tie-break for determinism
+	kind int
+	task *task // for evTaskDone
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// taskQueue holds runnable tasks in the configured dispatch order.
+type taskQueue struct {
+	d    Discipline
+	fifo []*task
+	heap sjfHeap
+}
+
+func (q *taskQueue) push(t *task) {
+	if q.d == SJF {
+		heap.Push(&q.heap, t)
+		return
+	}
+	q.fifo = append(q.fifo, t)
+}
+
+func (q *taskQueue) pop() *task {
+	if q.d == SJF {
+		return heap.Pop(&q.heap).(*task)
+	}
+	t := q.fifo[0]
+	q.fifo = q.fifo[1:]
+	return t
+}
+
+func (q *taskQueue) len() int {
+	if q.d == SJF {
+		return len(q.heap)
+	}
+	return len(q.fifo)
+}
+
+// sjfHeap orders tasks by demand, breaking ties by arrival sequence for
+// determinism.
+type sjfHeap []*task
+
+func (h sjfHeap) Len() int { return len(h) }
+func (h sjfHeap) Less(i, j int) bool {
+	if h[i].demand != h[j].demand {
+		return h[i].demand < h[j].demand
+	}
+	return h[i].seq < h[j].seq
+}
+func (h sjfHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *sjfHeap) Push(x any)   { *h = append(*h, x.(*task)) }
+func (h *sjfHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// sim is the simulation state.
+type sim struct {
+	cfg Config
+	rng *rand.Rand
+
+	events eventHeap
+	seq    int64
+	now    float64
+
+	runq      taskQueue
+	freeCores int
+
+	inFlight int // queries in system
+
+	// accumulators (measurement window only)
+	winStart, winEnd float64
+	busy             float64
+	queueArea        float64
+	inFlightArea     float64
+	lastT            float64
+	hist             metrics.Histogram
+	completed        int64
+	latencies        []time.Duration
+	arrivals         []float64
+}
+
+// Run executes one simulation and returns window statistics.
+func Run(cfg Config) (Stats, error) {
+	if err := cfg.validate(); err != nil {
+		return Stats{}, err
+	}
+	s := &sim{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		runq:      taskQueue{d: cfg.Discipline},
+		freeCores: cfg.Server.Cores,
+		winStart:  cfg.Warmup,
+		winEnd:    cfg.Warmup + cfg.Duration,
+		lastT:     cfg.Warmup,
+	}
+	s.seed()
+	s.loop()
+	return s.stats(), nil
+}
+
+// seed schedules the initial arrivals.
+func (s *sim) seed() {
+	if s.cfg.Open != nil {
+		s.schedule(s.nextGap(), evArrival, nil)
+		return
+	}
+	for i := 0; i < s.cfg.Closed.Clients; i++ {
+		// Stagger initial arrivals over one mean think time to avoid a
+		// synchronized burst at t=0.
+		t := 0.0
+		if s.cfg.Closed.MeanThink > 0 {
+			t = s.rng.Float64() * s.cfg.Closed.MeanThink
+		}
+		s.schedule(t, evArrival, nil)
+	}
+}
+
+// rateAt returns the instantaneous arrival rate at simulated time t.
+func (s *sim) rateAt(t float64) float64 {
+	o := s.cfg.Open
+	if o.Diurnal == nil {
+		return o.RateQPS
+	}
+	// Sinusoid from trough (t=0) to peak at half period.
+	frac := 0.5 - 0.5*math.Cos(2*math.Pi*t/o.Diurnal.Period)
+	return o.RateQPS + (o.Diurnal.PeakQPS-o.RateQPS)*frac
+}
+
+// nextGap samples the next inter-arrival gap from s.now. Time-varying
+// rates use Lewis-Shedler thinning against the peak rate.
+func (s *sim) nextGap() float64 {
+	o := s.cfg.Open
+	if o.Diurnal == nil {
+		return s.rng.ExpFloat64() / o.RateQPS
+	}
+	peak := o.Diurnal.PeakQPS
+	t := s.now
+	for {
+		t += s.rng.ExpFloat64() / peak
+		if s.rng.Float64() <= s.rateAt(t)/peak {
+			return t - s.now
+		}
+	}
+}
+
+func (s *sim) schedule(t float64, kind int, tk *task) {
+	s.seq++
+	heap.Push(&s.events, event{t: t, seq: s.seq, kind: kind, task: tk})
+}
+
+// integrate advances the time-weighted accumulators to time t.
+func (s *sim) integrate(t float64) {
+	lo := math.Max(s.lastT, s.winStart)
+	hi := math.Min(t, s.winEnd)
+	if hi > lo {
+		s.queueArea += float64(s.runq.len()) * (hi - lo)
+		s.inFlightArea += float64(s.inFlight) * (hi - lo)
+	}
+	s.lastT = t
+}
+
+func (s *sim) loop() {
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(event)
+		if ev.t > s.winEnd {
+			s.integrate(s.winEnd)
+			return
+		}
+		s.integrate(ev.t)
+		s.now = ev.t
+		switch ev.kind {
+		case evArrival:
+			s.arrive()
+		case evTaskDone:
+			s.taskDone(ev.task)
+		}
+		s.dispatch()
+	}
+	s.integrate(s.winEnd)
+}
+
+// arrive creates a query's fork-join task set and, for open loops,
+// schedules the next arrival.
+func (s *sim) arrive() {
+	if s.cfg.Open != nil {
+		s.schedule(s.now+s.nextGap(), evArrival, nil)
+	}
+	w := s.cfg.Demands[s.rng.Intn(len(s.cfg.Demands))]
+	p := s.cfg.Partitions
+	q := &query{arrive: s.now, remaining: p}
+	s.inFlight++
+	// Split total work across partitions with configurable imbalance.
+	// Noisy weights are normalized so the shares always sum to one: the
+	// imbalance redistributes work between partitions without changing
+	// the query's total demand.
+	weights := make([]float64, p)
+	sum := 0.0
+	for i := range weights {
+		wt := 1.0
+		if s.cfg.ImbalanceCV > 0 && p > 1 {
+			wt = math.Max(0.05, 1+s.cfg.ImbalanceCV*s.rng.NormFloat64())
+		}
+		weights[i] = wt
+		sum += wt
+	}
+	for i := 0; i < p; i++ {
+		share := weights[i] / sum
+		s.seq++
+		s.runq.push(&task{q: q, demand: w*share + s.cfg.PartitionOverhead, seq: s.seq})
+	}
+}
+
+// taskDone handles a subtask or merge completion.
+func (s *sim) taskDone(t *task) {
+	s.freeCores++
+	q := t.q
+	if t.isMerge {
+		s.complete(q)
+		return
+	}
+	q.remaining--
+	if q.remaining > 0 {
+		return
+	}
+	// All partition subtasks done: issue the merge task (even for P=1 the
+	// engine assembles results, but its cost is folded into the demand
+	// measurement, so skip the merge at P=1).
+	if s.cfg.Partitions == 1 || q.merged {
+		s.complete(q)
+		return
+	}
+	q.merged = true
+	demand := s.cfg.MergeBase + s.cfg.MergePerPartition*float64(s.cfg.Partitions)
+	if demand <= 0 {
+		s.complete(q)
+		return
+	}
+	s.seq++
+	s.runq.push(&task{q: q, demand: demand, isMerge: true, seq: s.seq})
+}
+
+// complete finishes a query: record latency, count it, and for closed
+// loops schedule the client's next arrival after a think time.
+func (s *sim) complete(q *query) {
+	s.inFlight--
+	if q.arrive >= s.winStart && s.now <= s.winEnd {
+		lat := time.Duration((s.now - q.arrive) * float64(time.Second))
+		s.hist.Record(lat)
+		s.completed++
+		if s.cfg.CollectLatencies {
+			s.latencies = append(s.latencies, lat)
+			s.arrivals = append(s.arrivals, q.arrive)
+		}
+	}
+	if s.cfg.Closed != nil {
+		think := 0.0
+		if s.cfg.Closed.MeanThink > 0 {
+			think = s.rng.ExpFloat64() * s.cfg.Closed.MeanThink
+		}
+		s.schedule(s.now+think, evArrival, nil)
+	}
+}
+
+// dispatch assigns queued tasks to free cores (FCFS).
+func (s *sim) dispatch() {
+	for s.freeCores > 0 && s.runq.len() > 0 {
+		t := s.runq.pop()
+		s.freeCores--
+		exec := t.demand / s.cfg.Server.SpeedFactor
+		end := s.now + exec
+		// Busy-time contribution clamped to the measurement window.
+		lo := math.Max(s.now, s.winStart)
+		hi := math.Min(end, s.winEnd)
+		if hi > lo {
+			s.busy += hi - lo
+		}
+		s.schedule(end, evTaskDone, t)
+	}
+}
+
+func (s *sim) stats() Stats {
+	st := Stats{
+		Latency:      s.hist.Snapshot(),
+		Completed:    s.completed,
+		Latencies:    s.latencies,
+		ArrivalTimes: s.arrivals,
+	}
+	if s.cfg.Duration > 0 {
+		st.Throughput = float64(s.completed) / s.cfg.Duration
+		coreTime := s.cfg.Duration * float64(s.cfg.Server.Cores)
+		st.Utilization = s.busy / coreTime
+		st.MeanQueueLen = s.queueArea / s.cfg.Duration
+		st.MeanInFlight = s.inFlightArea / s.cfg.Duration
+	}
+	return st
+}

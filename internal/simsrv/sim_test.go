@@ -1,0 +1,439 @@
+package simsrv
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func openCfg(cores int, speed float64, parts int, demand float64, qps float64) Config {
+	return Config{
+		Server:     ServerModel{Name: "t", Cores: cores, SpeedFactor: speed},
+		Partitions: parts,
+		Demands:    []float64{demand},
+		Open:       &OpenLoop{RateQPS: qps},
+		Warmup:     5,
+		Duration:   60,
+		Seed:       1,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := openCfg(1, 1, 1, 0.01, 10)
+	mutations := []func(*Config){
+		func(c *Config) { c.Server.Cores = 0 },
+		func(c *Config) { c.Server.SpeedFactor = 0 },
+		func(c *Config) { c.Partitions = 0 },
+		func(c *Config) { c.Demands = nil },
+		func(c *Config) { c.Demands = []float64{0} },
+		func(c *Config) { c.Demands = []float64{-1} },
+		func(c *Config) { c.PartitionOverhead = -1 },
+		func(c *Config) { c.MergeBase = -1 },
+		func(c *Config) { c.ImbalanceCV = -0.1 },
+		func(c *Config) { c.Duration = 0 },
+		func(c *Config) { c.Warmup = -1 },
+		func(c *Config) { c.Open = nil },
+		func(c *Config) { c.Closed = &ClosedLoop{Clients: 1} }, // both set
+		func(c *Config) { c.Open.RateQPS = 0 },
+	}
+	for i, mut := range mutations {
+		c := good
+		o := *good.Open
+		c.Open = &o // deep-copy the pointer field before mutating
+		mut(&c)
+		if _, err := Run(c); err == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+	}
+	if _, err := Run(good); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+	bad := good
+	bad.Closed = &ClosedLoop{Clients: 0}
+	bad.Open = nil
+	if _, err := Run(bad); err == nil {
+		t.Error("closed loop with 0 clients accepted")
+	}
+}
+
+// An M/D/1 queue has a closed-form mean response time; the simulator must
+// match it. R = d + rho*d / (2*(1-rho)).
+func TestMD1MeanResponse(t *testing.T) {
+	d := 0.010 // 10ms deterministic service
+	for _, rho := range []float64{0.3, 0.6, 0.8} {
+		cfg := openCfg(1, 1, 1, d, rho/d)
+		cfg.Duration = 2000
+		cfg.Warmup = 50
+		st, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := d + rho*d/(2*(1-rho))
+		got := st.Latency.Mean.Seconds()
+		if math.Abs(got-want)/want > 0.08 {
+			t.Errorf("rho=%v: mean response %v, M/D/1 predicts %v", rho, got, want)
+		}
+		if math.Abs(st.Utilization-rho) > 0.05 {
+			t.Errorf("rho=%v: utilization %v", rho, st.Utilization)
+		}
+	}
+}
+
+// Service time scales inversely with core speed.
+func TestSpeedFactorScalesService(t *testing.T) {
+	// Light load: response ~= service time.
+	fast, err := Run(openCfg(1, 1.0, 1, 0.01, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Run(openCfg(1, 0.5, 1, 0.01, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := slow.Latency.Mean.Seconds() / fast.Latency.Mean.Seconds()
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("half-speed core response ratio = %v, want ~2", ratio)
+	}
+}
+
+// A lone query on an idle P-core server with P partitions completes in
+// roughly W/P plus merge, the fork-join span.
+func TestForkJoinSpan(t *testing.T) {
+	w := 0.080
+	cfg := Config{
+		Server:     ServerModel{Name: "t", Cores: 8, SpeedFactor: 1},
+		Partitions: 8,
+		Demands:    []float64{w},
+		MergeBase:  0.001,
+		Closed:     &ClosedLoop{Clients: 1, MeanThink: 0.1},
+		Warmup:     1,
+		Duration:   50,
+		Seed:       2,
+	}
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := w/8 + 0.001
+	got := st.Latency.Mean.Seconds()
+	if math.Abs(got-want)/want > 0.06 {
+		t.Errorf("fork-join span = %v, want %v", got, want)
+	}
+	// P99 equals the mean for a deterministic lone query.
+	if p99 := st.Latency.P99.Seconds(); math.Abs(p99-want)/want > 0.06 {
+		t.Errorf("p99 = %v, want %v", p99, want)
+	}
+}
+
+// With one partition the merge task must not run.
+func TestSinglePartitionNoMerge(t *testing.T) {
+	w := 0.020
+	cfg := Config{
+		Server:     ServerModel{Name: "t", Cores: 4, SpeedFactor: 1},
+		Partitions: 1,
+		Demands:    []float64{w},
+		MergeBase:  10, // would be catastrophic if charged
+		Closed:     &ClosedLoop{Clients: 1, MeanThink: 0.05},
+		Warmup:     1,
+		Duration:   30,
+		Seed:       3,
+	}
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Latency.Mean.Seconds(); math.Abs(got-w)/w > 0.06 {
+		t.Errorf("P=1 latency = %v, want %v (merge should be skipped)", got, w)
+	}
+}
+
+// The interactive response-time law X = N/(R+Z) must hold for closed
+// loops.
+func TestClosedLoopResponseTimeLaw(t *testing.T) {
+	cfg := Config{
+		Server:     ServerModel{Name: "t", Cores: 2, SpeedFactor: 1},
+		Partitions: 1,
+		Demands:    []float64{0.01},
+		Closed:     &ClosedLoop{Clients: 8, MeanThink: 0.05},
+		Warmup:     20,
+		Duration:   500,
+		Seed:       4,
+	}
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 8.0
+	x := st.Throughput
+	r := st.Latency.Mean.Seconds()
+	z := 0.05
+	predicted := n / (r + z)
+	if math.Abs(x-predicted)/predicted > 0.08 {
+		t.Errorf("response-time law: X=%v, N/(R+Z)=%v", x, predicted)
+	}
+}
+
+// Open-loop saturation: offered load above capacity caps throughput at
+// roughly capacity and utilization near 1.
+func TestOpenLoopSaturation(t *testing.T) {
+	d := 0.01
+	cfg := openCfg(2, 1, 1, d, 2/d*1.5) // 150% of 2-core capacity
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := 2 / d
+	if st.Throughput > capacity*1.05 {
+		t.Errorf("throughput %v exceeds capacity %v", st.Throughput, capacity)
+	}
+	if st.Utilization < 0.95 || st.Utilization > 1.0001 {
+		t.Errorf("utilization = %v, want ~1", st.Utilization)
+	}
+	if st.MeanQueueLen <= 1 {
+		t.Errorf("overloaded queue length = %v, want large", st.MeanQueueLen)
+	}
+}
+
+// Partitioning must cut tail latency at moderate load: the paper's
+// headline mechanism.
+func TestPartitioningReducesTail(t *testing.T) {
+	// Highly variable demand: mostly cheap queries, a heavy tail.
+	demands := make([]float64, 100)
+	for i := range demands {
+		demands[i] = 0.002
+	}
+	for i := 90; i < 100; i++ {
+		demands[i] = 0.080 // 10% slow queries dominate the tail
+	}
+	run := func(parts int) Stats {
+		cfg := Config{
+			Server:            ServerModel{Name: "t", Cores: 8, SpeedFactor: 1},
+			Partitions:        parts,
+			Demands:           demands,
+			PartitionOverhead: 0.0002,
+			MergeBase:         0.0002,
+			MergePerPartition: 0.00005,
+			ImbalanceCV:       0.1,
+			Open:              &OpenLoop{RateQPS: 300},
+			Warmup:            10,
+			Duration:          300,
+			Seed:              5,
+		}
+		st, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	p1, p8 := run(1), run(8)
+	if p8.Latency.P99 >= p1.Latency.P99 {
+		t.Errorf("8 partitions p99 %v not below 1 partition p99 %v",
+			p8.Latency.P99, p1.Latency.P99)
+	}
+	if p8.Latency.Mean >= p1.Latency.Mean {
+		t.Errorf("8 partitions mean %v not below 1 partition mean %v",
+			p8.Latency.Mean, p1.Latency.Mean)
+	}
+}
+
+// The low-power crossover: an Atom-like server is far slower at P=1 but
+// approaches the Xeon-like server with enough partitions.
+func TestLowPowerConvergesWithPartitioning(t *testing.T) {
+	demands := []float64{0.020}
+	run := func(m ServerModel, parts int) Stats {
+		cfg := Config{
+			Server:            m,
+			Partitions:        parts,
+			Demands:           demands,
+			PartitionOverhead: 0.0002,
+			MergeBase:         0.0002,
+			Open:              &OpenLoop{RateQPS: 50},
+			Warmup:            10,
+			Duration:          200,
+			Seed:              6,
+		}
+		st, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	xeon1 := run(XeonLike(), 1)
+	atom1 := run(AtomLike(), 1)
+	atom8 := run(AtomLike(), 8)
+	gap1 := atom1.Latency.Mean.Seconds() / xeon1.Latency.Mean.Seconds()
+	gap8 := atom8.Latency.Mean.Seconds() / xeon1.Latency.Mean.Seconds()
+	if gap1 < 2 {
+		t.Errorf("P=1 atom/xeon gap = %v, want > 2x", gap1)
+	}
+	if gap8 > gap1/2 {
+		t.Errorf("partitioning did not close the gap: %v -> %v", gap1, gap8)
+	}
+}
+
+// Deterministic for a fixed seed, different across seeds.
+func TestDeterminism(t *testing.T) {
+	cfg := openCfg(4, 1, 4, 0.01, 100)
+	cfg.ImbalanceCV = 0.1
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Run(cfg)
+	if a.Latency != b.Latency || a.Completed != b.Completed ||
+		a.Throughput != b.Throughput || a.Utilization != b.Utilization {
+		t.Error("same seed gave different results")
+	}
+	cfg.Seed = 99
+	c, _ := Run(cfg)
+	if a.Latency == c.Latency && a.Completed == c.Completed {
+		t.Error("different seed gave identical results")
+	}
+}
+
+// Property: conservation laws hold for arbitrary configurations.
+func TestPropertyConservation(t *testing.T) {
+	f := func(seed int64, coresRaw, partsRaw, loadRaw uint8) bool {
+		cores := int(coresRaw%8) + 1
+		parts := int(partsRaw%8) + 1
+		d := 0.005
+		capacity := float64(cores) / d
+		qps := capacity * (0.1 + float64(loadRaw%20)/10) // 0.1x..2x capacity
+		cfg := Config{
+			Server:            ServerModel{Name: "t", Cores: cores, SpeedFactor: 1},
+			Partitions:        parts,
+			Demands:           []float64{d},
+			PartitionOverhead: 0.0001,
+			MergeBase:         0.0001,
+			ImbalanceCV:       0.05,
+			Open:              &OpenLoop{RateQPS: qps},
+			Warmup:            2,
+			Duration:          20,
+			Seed:              seed,
+		}
+		st, err := Run(cfg)
+		if err != nil {
+			return false
+		}
+		if st.Utilization < 0 || st.Utilization > 1.0001 {
+			return false
+		}
+		if st.MeanQueueLen < 0 || st.MeanInFlight < 0 {
+			return false
+		}
+		// Response time can never beat the critical path of an idle run.
+		minSpan := d/float64(parts) + 0.0001
+		if st.Completed > 0 && st.Latency.Min.Seconds() < minSpan*0.99 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	in := []time.Duration{time.Millisecond, 0, -time.Second, 2 * time.Millisecond}
+	got := Calibrate(in)
+	if len(got) != 2 || got[0] != 0.001 || got[1] != 0.002 {
+		t.Errorf("Calibrate = %v", got)
+	}
+}
+
+func TestServerModels(t *testing.T) {
+	x, a := XeonLike(), AtomLike()
+	if x.SpeedFactor <= a.SpeedFactor {
+		t.Error("Xeon-like should be faster than Atom-like")
+	}
+	if x.Cores <= 0 || a.Cores <= 0 {
+		t.Error("models must have cores")
+	}
+}
+
+func BenchmarkSimRun(b *testing.B) {
+	cfg := openCfg(8, 1, 8, 0.01, 400)
+	cfg.Duration = 50
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Diurnal arrivals: the measured rate must track the sinusoid, and the
+// config must validate its parameters.
+func TestDiurnalArrivals(t *testing.T) {
+	cfg := openCfg(8, 1, 1, 0.001, 50) // trough 50 qps
+	cfg.Open.Diurnal = &DiurnalLoad{PeakQPS: 500, Period: 50}
+	cfg.Warmup = 0
+	cfg.Duration = 500 // 10 full cycles
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean of the sinusoid between 50 and 500 is 275 qps.
+	if st.Throughput < 230 || st.Throughput > 320 {
+		t.Errorf("diurnal throughput = %v, want ~275", st.Throughput)
+	}
+	// Validation.
+	bad := cfg
+	bad.Open = &OpenLoop{RateQPS: 100, Diurnal: &DiurnalLoad{PeakQPS: 50, Period: 10}}
+	if _, err := Run(bad); err == nil {
+		t.Error("peak below trough accepted")
+	}
+	bad.Open = &OpenLoop{RateQPS: 100, Diurnal: &DiurnalLoad{PeakQPS: 200, Period: 0}}
+	if _, err := Run(bad); err == nil {
+		t.Error("zero period accepted")
+	}
+}
+
+// Collected latencies must come with matching arrival timestamps.
+func TestCollectLatenciesWithArrivals(t *testing.T) {
+	cfg := openCfg(2, 1, 2, 0.005, 100)
+	cfg.CollectLatencies = true
+	cfg.Duration = 30
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Latencies) == 0 || len(st.Latencies) != len(st.ArrivalTimes) {
+		t.Fatalf("latencies %d, arrivals %d", len(st.Latencies), len(st.ArrivalTimes))
+	}
+	for i, at := range st.ArrivalTimes {
+		if at < cfg.Warmup || at > cfg.Warmup+cfg.Duration {
+			t.Fatalf("arrival %d = %v outside window", i, at)
+		}
+	}
+}
+
+// SJF vs FCFS on a bimodal workload: SJF must cut the mean at high load.
+func TestSJFReducesMean(t *testing.T) {
+	demands := []float64{0.001, 0.001, 0.001, 0.001, 0.050}
+	run := func(d Discipline) Stats {
+		cfg := Config{
+			Server:     ServerModel{Name: "t", Cores: 2, SpeedFactor: 1},
+			Partitions: 1,
+			Demands:    demands,
+			Discipline: d,
+			Open:       &OpenLoop{RateQPS: 150}, // ~80% load
+			Warmup:     10,
+			Duration:   300,
+			Seed:       11,
+		}
+		st, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	fcfs, sjf := run(FCFS), run(SJF)
+	if sjf.Latency.Mean >= fcfs.Latency.Mean {
+		t.Errorf("SJF mean %v not below FCFS %v", sjf.Latency.Mean, fcfs.Latency.Mean)
+	}
+	if FCFS.String() != "FCFS" || SJF.String() != "SJF" || Discipline(9).String() == "" {
+		t.Error("Discipline.String broken")
+	}
+}

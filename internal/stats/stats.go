@@ -1,0 +1,249 @@
+// Package stats provides small statistical helpers used throughout the
+// benchmark: summary statistics, percentiles, empirical CDFs, and linear
+// fitting used when calibrating the server simulator from measured service
+// times.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that require at least one sample.
+var ErrEmpty = errors.New("stats: empty sample set")
+
+// Mean returns the arithmetic mean of xs, or 0 if xs is empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 if len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// CoefficientOfVariation returns stddev/mean, a scale-free measure of
+// dispersion. It returns 0 when the mean is 0.
+func CoefficientOfVariation(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// Min returns the smallest value in xs, or 0 if xs is empty.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value in xs, or 0 if xs is empty.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. The input need not be sorted.
+// It returns an error if xs is empty or p is out of range.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of range [0,100]")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p), nil
+}
+
+// percentileSorted computes a percentile over already-sorted data.
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summary holds the usual five-number-plus summary of a sample set.
+type Summary struct {
+	Count  int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	P50    float64
+	P90    float64
+	P95    float64
+	P99    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs. A zero Summary is returned for empty
+// input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return Summary{
+		Count:  len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    sorted[0],
+		P50:    percentileSorted(sorted, 50),
+		P90:    percentileSorted(sorted, 90),
+		P95:    percentileSorted(sorted, 95),
+		P99:    percentileSorted(sorted, 99),
+		Max:    sorted[len(sorted)-1],
+	}
+}
+
+// CDFPoint is a single point of an empirical cumulative distribution.
+type CDFPoint struct {
+	Value    float64 // sample value
+	Fraction float64 // fraction of samples <= Value, in (0, 1]
+}
+
+// CDF returns the empirical CDF of xs evaluated at up to points positions
+// evenly spaced in rank. For points <= 0 one point per sample is returned.
+func CDF(xs []float64, points int) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if points <= 0 || points > len(sorted) {
+		points = len(sorted)
+	}
+	out := make([]CDFPoint, 0, points)
+	for i := 1; i <= points; i++ {
+		// Rank of the sample this point represents.
+		idx := i*len(sorted)/points - 1
+		out = append(out, CDFPoint{
+			Value:    sorted[idx],
+			Fraction: float64(idx+1) / float64(len(sorted)),
+		})
+	}
+	return out
+}
+
+// LinearFit holds the result of an ordinary-least-squares line fit
+// y = Slope*x + Intercept.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64 // coefficient of determination
+}
+
+// FitLine fits y = a*x + b by ordinary least squares. It returns an error
+// if fewer than two points are given or all x values are identical.
+func FitLine(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, errors.New("stats: mismatched sample lengths")
+	}
+	if len(xs) < 2 {
+		return LinearFit{}, ErrEmpty
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, errors.New("stats: degenerate x values")
+	}
+	slope := sxy / sxx
+	fit := LinearFit{Slope: slope, Intercept: my - slope*mx}
+	if syy > 0 {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	} else {
+		fit.R2 = 1 // all y identical and perfectly predicted
+	}
+	return fit, nil
+}
+
+// Histogram buckets xs into n equal-width bins between min and max and
+// returns the bin counts. Returns nil for empty input or n <= 0.
+func Histogram(xs []float64, n int) []int {
+	if len(xs) == 0 || n <= 0 {
+		return nil
+	}
+	lo, hi := Min(xs), Max(xs)
+	counts := make([]int, n)
+	if hi == lo {
+		counts[0] = len(xs)
+		return counts
+	}
+	w := (hi - lo) / float64(n)
+	for _, x := range xs {
+		// The fraction is clamped before conversion so that extreme
+		// values (where hi-lo overflows to +Inf, or the division is
+		// not exactly representable) still land in a valid bin.
+		frac := (x - lo) / w
+		i := 0
+		switch {
+		case math.IsNaN(frac) || frac < 0:
+			i = 0
+		case frac >= float64(n):
+			i = n - 1
+		default:
+			i = int(frac)
+		}
+		counts[i]++
+	}
+	return counts
+}

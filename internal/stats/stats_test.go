@@ -1,0 +1,325 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{5}, 5},
+		{"pair", []float64{2, 4}, 3},
+		{"negatives", []float64{-1, 1, -3, 3}, 0},
+		{"fractions", []float64{0.5, 1.5}, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.in); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Mean(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := Variance([]float64{1}); got != 0 {
+		t.Errorf("Variance(single) = %v, want 0", got)
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	if got := CoefficientOfVariation([]float64{5, 5, 5}); got != 0 {
+		t.Errorf("CV of constant = %v, want 0", got)
+	}
+	if got := CoefficientOfVariation(nil); got != 0 {
+		t.Errorf("CV of empty = %v, want 0", got)
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9} // mean 5, sd 2
+	if got := CoefficientOfVariation(xs); !almostEqual(got, 0.4, 1e-12) {
+		t.Errorf("CV = %v, want 0.4", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if got := Min(xs); got != -1 {
+		t.Errorf("Min = %v, want -1", got)
+	}
+	if got := Max(xs); got != 7 {
+		t.Errorf("Max = %v, want 7", got)
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("Min/Max of empty should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1},
+		{100, 10},
+		{50, 5.5},
+		{25, 3.25},
+		{90, 9.1},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(xs, tt.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", tt.p, err)
+		}
+		if !almostEqual(got, tt.want, 1e-9) {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("expected error for empty input")
+	}
+	if _, err := Percentile([]float64{1}, -1); err == nil {
+		t.Error("expected error for p < 0")
+	}
+	if _, err := Percentile([]float64{1}, 101); err == nil {
+		t.Error("expected error for p > 100")
+	}
+}
+
+func TestPercentileSingleValue(t *testing.T) {
+	got, err := Percentile([]float64{42}, 99)
+	if err != nil || got != 42 {
+		t.Errorf("Percentile(single, 99) = %v, %v; want 42, nil", got, err)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1) // 1..100
+	}
+	s := Summarize(xs)
+	if s.Count != 100 {
+		t.Errorf("Count = %d, want 100", s.Count)
+	}
+	if !almostEqual(s.Mean, 50.5, 1e-9) {
+		t.Errorf("Mean = %v, want 50.5", s.Mean)
+	}
+	if s.Min != 1 || s.Max != 100 {
+		t.Errorf("Min/Max = %v/%v, want 1/100", s.Min, s.Max)
+	}
+	if !almostEqual(s.P50, 50.5, 1e-9) {
+		t.Errorf("P50 = %v, want 50.5", s.P50)
+	}
+	if s.P90 < s.P50 || s.P95 < s.P90 || s.P99 < s.P95 {
+		t.Errorf("percentiles not monotone: %+v", s)
+	}
+	if got := Summarize(nil); got != (Summary{}) {
+		t.Errorf("Summarize(nil) = %+v, want zero", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	pts := CDF(xs, 0)
+	if len(pts) != 4 {
+		t.Fatalf("len(CDF) = %d, want 4", len(pts))
+	}
+	if pts[0].Value != 1 || !almostEqual(pts[0].Fraction, 0.25, 1e-12) {
+		t.Errorf("first point = %+v", pts[0])
+	}
+	if pts[3].Value != 4 || !almostEqual(pts[3].Fraction, 1, 1e-12) {
+		t.Errorf("last point = %+v", pts[3])
+	}
+	// Downsampled CDF still ends at the max with fraction 1.
+	pts2 := CDF(xs, 2)
+	if len(pts2) != 2 || pts2[1].Value != 4 || pts2[1].Fraction != 1 {
+		t.Errorf("downsampled CDF = %+v", pts2)
+	}
+	if CDF(nil, 10) != nil {
+		t.Error("CDF(nil) should be nil")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	pts := CDF(xs, 50)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value < pts[i-1].Value || pts[i].Fraction < pts[i-1].Fraction {
+			t.Fatalf("CDF not monotone at %d: %+v -> %+v", i, pts[i-1], pts[i])
+		}
+	}
+}
+
+func TestFitLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 2x + 1
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 2, 1e-9) || !almostEqual(fit.Intercept, 1, 1e-9) {
+		t.Errorf("fit = %+v, want slope 2 intercept 1", fit)
+	}
+	if !almostEqual(fit.R2, 1, 1e-9) {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestFitLineErrors(t *testing.T) {
+	if _, err := FitLine([]float64{1}, []float64{1}); err == nil {
+		t.Error("expected error for < 2 points")
+	}
+	if _, err := FitLine([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("expected error for mismatched lengths")
+	}
+	if _, err := FitLine([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("expected error for degenerate x")
+	}
+}
+
+func TestFitLineConstantY(t *testing.T) {
+	fit, err := FitLine([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 0, 1e-12) || !almostEqual(fit.Intercept, 5, 1e-12) {
+		t.Errorf("fit = %+v, want slope 0 intercept 5", fit)
+	}
+	if fit.R2 != 1 {
+		t.Errorf("R2 = %v, want 1 for perfectly predicted constant", fit.R2)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	h := Histogram(xs, 5)
+	want := []int{2, 2, 2, 2, 2}
+	if len(h) != len(want) {
+		t.Fatalf("len = %d, want %d", len(h), len(want))
+	}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Errorf("bin %d = %d, want %d", i, h[i], want[i])
+		}
+	}
+	if h := Histogram([]float64{5, 5, 5}, 3); h[0] != 3 {
+		t.Errorf("constant input should land in first bin: %v", h)
+	}
+	if Histogram(nil, 3) != nil || Histogram([]float64{1}, 0) != nil {
+		t.Error("degenerate inputs should return nil")
+	}
+}
+
+// Property: percentile is bounded by min and max and monotone in p.
+func TestPercentilePropertyBounded(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		lo, hi := Min(xs), Max(xs)
+		prev := math.Inf(-1)
+		for _, p := range []float64{0, 10, 25, 50, 75, 90, 99, 100} {
+			v, err := Percentile(xs, p)
+			if err != nil {
+				return false
+			}
+			if v < lo-1e-9 || v > hi+1e-9 || v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the sum of histogram bins equals the sample count.
+func TestHistogramPropertyConserves(t *testing.T) {
+	f := func(raw []float64, n uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		bins := int(n%20) + 1
+		h := Histogram(xs, bins)
+		if len(xs) == 0 {
+			return h == nil
+		}
+		total := 0
+		for _, c := range h {
+			total += c
+		}
+		return total == len(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Summarize percentiles agree with direct sorting.
+func TestSummarizePropertyAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(300)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.ExpFloat64() * 100
+		}
+		s := Summarize(xs)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		if s.Min != sorted[0] || s.Max != sorted[n-1] {
+			t.Fatalf("trial %d: min/max mismatch", trial)
+		}
+		p99, _ := Percentile(xs, 99)
+		if !almostEqual(s.P99, p99, 1e-9) {
+			t.Fatalf("trial %d: P99 %v != %v", trial, s.P99, p99)
+		}
+	}
+}

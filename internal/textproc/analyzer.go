@@ -1,0 +1,53 @@
+package textproc
+
+// Analyzer is the full text-analysis pipeline: tokenize, lowercase,
+// optionally drop stopwords, optionally stem. The default configuration
+// matches the standard analyzer of the Lucene-based index-serving stack
+// the benchmark characterizes (lowercase + stopword removal; stemming is
+// configurable because the benchmark's crawler profile enables it).
+type Analyzer struct {
+	// KeepStopwords disables stopword removal when true.
+	KeepStopwords bool
+	// DisableStemming disables the Porter stemmer when true.
+	DisableStemming bool
+}
+
+// NewAnalyzer returns the default analyzer: lowercase, stopword removal,
+// Porter stemming.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{}
+}
+
+// Analyze runs the pipeline over text and returns the resulting index
+// terms in order.
+func (a *Analyzer) Analyze(text string) []string {
+	var terms []string
+	a.AnalyzeFunc(text, func(term string) {
+		terms = append(terms, term)
+	})
+	return terms
+}
+
+// AnalyzeFunc runs the pipeline over text, calling fn for each resulting
+// term. It is the allocation-lean variant used on the indexing and query
+// hot paths.
+func (a *Analyzer) AnalyzeFunc(text string, fn func(term string)) {
+	TokenizeFunc(text, func(token string) {
+		term := Lowercase(token)
+		if !a.KeepStopwords && IsStopword(term) {
+			return
+		}
+		if !a.DisableStemming {
+			term = Stem(term)
+		}
+		if term != "" {
+			fn(term)
+		}
+	})
+}
+
+// AnalyzeQuery analyzes a free-text query using the same pipeline as
+// indexing, so query terms match index terms.
+func (a *Analyzer) AnalyzeQuery(query string) []string {
+	return a.Analyze(query)
+}

@@ -1,0 +1,382 @@
+package textproc
+
+// Porter stemmer, M.F. Porter, "An algorithm for suffix stripping",
+// Program 14(3):130-137, 1980. This is a faithful port of Porter's
+// reference implementation (the revised version, including the bli->ble
+// and logi->log departures), operating on lowercase ASCII words.
+
+// Stem returns the Porter stem of word. Words shorter than three letters
+// and words containing non-ASCII-letter characters are returned unchanged
+// (after lowercasing), matching the behaviour of the reference stemmer as
+// used in search-engine analyzers.
+func Stem(word string) string {
+	word = Lowercase(word)
+	if len(word) < 3 {
+		return word
+	}
+	for i := 0; i < len(word); i++ {
+		if word[i] < 'a' || word[i] > 'z' {
+			return word
+		}
+	}
+	s := stemmer{b: []byte(word), k: len(word) - 1}
+	s.step1ab()
+	s.step1c()
+	s.step2()
+	s.step3()
+	s.step4()
+	s.step5()
+	return string(s.b[:s.k+1])
+}
+
+// stemmer holds the working state: b[0..k] is the current word, and j is
+// the offset set by the most recent ends() call (end of candidate stem).
+type stemmer struct {
+	b    []byte
+	j, k int
+}
+
+// cons reports whether b[i] is a consonant. 'y' is a consonant at position
+// 0 and after a vowel; after a consonant it acts as a vowel.
+func (s *stemmer) cons(i int) bool {
+	switch s.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !s.cons(i - 1)
+	default:
+		return true
+	}
+}
+
+// m measures the number of consonant-vowel sequences in b[0..j]:
+// [C](VC)^m[V] has measure m.
+func (s *stemmer) m() int {
+	n, i := 0, 0
+	for {
+		if i > s.j {
+			return n
+		}
+		if !s.cons(i) {
+			break
+		}
+		i++
+	}
+	i++
+	for {
+		for {
+			if i > s.j {
+				return n
+			}
+			if s.cons(i) {
+				break
+			}
+			i++
+		}
+		i++
+		n++
+		for {
+			if i > s.j {
+				return n
+			}
+			if !s.cons(i) {
+				break
+			}
+			i++
+		}
+		i++
+	}
+}
+
+// vowelInStem reports whether b[0..j] contains a vowel.
+func (s *stemmer) vowelInStem() bool {
+	for i := 0; i <= s.j; i++ {
+		if !s.cons(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// doublec reports whether b[j-1..j] is a double consonant.
+func (s *stemmer) doublec(j int) bool {
+	if j < 1 {
+		return false
+	}
+	if s.b[j] != s.b[j-1] {
+		return false
+	}
+	return s.cons(j)
+}
+
+// cvc reports whether b[i-2..i] is consonant-vowel-consonant and the final
+// consonant is not w, x or y; used to restore a trailing e (e.g. hop->hope
+// is avoided, cav(e) is restored).
+func (s *stemmer) cvc(i int) bool {
+	if i < 2 || !s.cons(i) || s.cons(i-1) || !s.cons(i-2) {
+		return false
+	}
+	switch s.b[i] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+// ends reports whether b[0..k] ends with suffix, setting j to the end of
+// the remaining stem if so.
+func (s *stemmer) ends(suffix string) bool {
+	l := len(suffix)
+	if l > s.k+1 {
+		return false
+	}
+	if string(s.b[s.k+1-l:s.k+1]) != suffix {
+		return false
+	}
+	s.j = s.k - l
+	return true
+}
+
+// setto replaces b[j+1..k] with repl and adjusts k.
+func (s *stemmer) setto(repl string) {
+	s.b = append(s.b[:s.j+1], repl...)
+	s.k = s.j + len(repl)
+}
+
+// r replaces the matched suffix with repl when the stem measure is positive.
+func (s *stemmer) r(repl string) {
+	if s.m() > 0 {
+		s.setto(repl)
+	}
+}
+
+// step1ab removes plurals and -ed / -ing suffixes.
+func (s *stemmer) step1ab() {
+	if s.b[s.k] == 's' {
+		switch {
+		case s.ends("sses"):
+			s.k -= 2
+		case s.ends("ies"):
+			s.setto("i")
+		case s.b[s.k-1] != 's':
+			s.k--
+		}
+	}
+	if s.ends("eed") {
+		if s.m() > 0 {
+			s.k--
+		}
+	} else if (s.ends("ed") || s.ends("ing")) && s.vowelInStem() {
+		s.k = s.j
+		switch {
+		case s.ends("at"):
+			s.setto("ate")
+		case s.ends("bl"):
+			s.setto("ble")
+		case s.ends("iz"):
+			s.setto("ize")
+		case s.doublec(s.k):
+			s.k--
+			switch s.b[s.k] {
+			case 'l', 's', 'z':
+				s.k++
+			}
+		default:
+			s.j = s.k
+			if s.m() == 1 && s.cvc(s.k) {
+				s.setto("e")
+			}
+		}
+	}
+}
+
+// step1c turns terminal y into i when there is another vowel in the stem.
+func (s *stemmer) step1c() {
+	if s.ends("y") && s.vowelInStem() {
+		s.b[s.k] = 'i'
+	}
+}
+
+// step2 maps double suffixes to single ones, e.g. -ization -> -ize.
+func (s *stemmer) step2() {
+	if s.k < 1 {
+		return
+	}
+	switch s.b[s.k-1] {
+	case 'a':
+		switch {
+		case s.ends("ational"):
+			s.r("ate")
+		case s.ends("tional"):
+			s.r("tion")
+		}
+	case 'c':
+		switch {
+		case s.ends("enci"):
+			s.r("ence")
+		case s.ends("anci"):
+			s.r("ance")
+		}
+	case 'e':
+		if s.ends("izer") {
+			s.r("ize")
+		}
+	case 'l':
+		switch {
+		case s.ends("bli"):
+			s.r("ble")
+		case s.ends("alli"):
+			s.r("al")
+		case s.ends("entli"):
+			s.r("ent")
+		case s.ends("eli"):
+			s.r("e")
+		case s.ends("ousli"):
+			s.r("ous")
+		}
+	case 'o':
+		switch {
+		case s.ends("ization"):
+			s.r("ize")
+		case s.ends("ation"):
+			s.r("ate")
+		case s.ends("ator"):
+			s.r("ate")
+		}
+	case 's':
+		switch {
+		case s.ends("alism"):
+			s.r("al")
+		case s.ends("iveness"):
+			s.r("ive")
+		case s.ends("fulness"):
+			s.r("ful")
+		case s.ends("ousness"):
+			s.r("ous")
+		}
+	case 't':
+		switch {
+		case s.ends("aliti"):
+			s.r("al")
+		case s.ends("iviti"):
+			s.r("ive")
+		case s.ends("biliti"):
+			s.r("ble")
+		}
+	case 'g':
+		if s.ends("logi") {
+			s.r("log")
+		}
+	}
+}
+
+// step3 deals with -ic-, -full, -ness etc.
+func (s *stemmer) step3() {
+	switch s.b[s.k] {
+	case 'e':
+		switch {
+		case s.ends("icate"):
+			s.r("ic")
+		case s.ends("ative"):
+			s.r("")
+		case s.ends("alize"):
+			s.r("al")
+		}
+	case 'i':
+		if s.ends("iciti") {
+			s.r("ic")
+		}
+	case 'l':
+		switch {
+		case s.ends("ical"):
+			s.r("ic")
+		case s.ends("ful"):
+			s.r("")
+		}
+	case 's':
+		if s.ends("ness") {
+			s.r("")
+		}
+	}
+}
+
+// step4 removes -ant, -ence etc. in the context (m>1).
+func (s *stemmer) step4() {
+	if s.k < 1 {
+		return
+	}
+	switch s.b[s.k-1] {
+	case 'a':
+		if !s.ends("al") {
+			return
+		}
+	case 'c':
+		if !s.ends("ance") && !s.ends("ence") {
+			return
+		}
+	case 'e':
+		if !s.ends("er") {
+			return
+		}
+	case 'i':
+		if !s.ends("ic") {
+			return
+		}
+	case 'l':
+		if !s.ends("able") && !s.ends("ible") {
+			return
+		}
+	case 'n':
+		if !s.ends("ant") && !s.ends("ement") && !s.ends("ment") && !s.ends("ent") {
+			return
+		}
+	case 'o':
+		if s.ends("ion") && s.j >= 0 && (s.b[s.j] == 's' || s.b[s.j] == 't') {
+			// matched
+		} else if !s.ends("ou") {
+			return
+		}
+	case 's':
+		if !s.ends("ism") {
+			return
+		}
+	case 't':
+		if !s.ends("ate") && !s.ends("iti") {
+			return
+		}
+	case 'u':
+		if !s.ends("ous") {
+			return
+		}
+	case 'v':
+		if !s.ends("ive") {
+			return
+		}
+	case 'z':
+		if !s.ends("ize") {
+			return
+		}
+	default:
+		return
+	}
+	if s.m() > 1 {
+		s.k = s.j
+	}
+}
+
+// step5 removes a final -e if m > 1, and changes -ll to -l if m > 1.
+func (s *stemmer) step5() {
+	s.j = s.k
+	if s.b[s.k] == 'e' {
+		a := s.m()
+		if a > 1 || a == 1 && !s.cvc(s.k-1) {
+			s.k--
+		}
+	}
+	if s.b[s.k] == 'l' && s.doublec(s.k) && s.m() > 1 {
+		s.k--
+	}
+}

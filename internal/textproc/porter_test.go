@@ -1,0 +1,146 @@
+package textproc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Full-algorithm vectors, each hand-traced through the published algorithm
+// (and matching the reference implementation's output vocabulary).
+func TestStemVectors(t *testing.T) {
+	tests := []struct{ in, want string }{
+		// Step 1a.
+		{"caresses", "caress"},
+		{"ponies", "poni"},
+		{"ties", "ti"},
+		{"caress", "caress"},
+		{"cats", "cat"},
+		// Step 1b.
+		{"feed", "feed"},
+		{"agreed", "agre"},
+		{"plastered", "plaster"},
+		{"motoring", "motor"},
+		{"sing", "sing"},
+		{"conflated", "conflat"},
+		{"hopping", "hop"},
+		{"tanned", "tan"},
+		{"falling", "fall"},
+		{"hissing", "hiss"},
+		{"fizzed", "fizz"},
+		{"failing", "fail"},
+		{"filing", "file"},
+		// Step 1c.
+		{"happy", "happi"},
+		{"sky", "sky"},
+		// Step 2.
+		{"relational", "relat"},
+		{"conditional", "condit"},
+		{"rational", "ration"},
+		{"valenci", "valenc"},
+		{"hesitanci", "hesit"},
+		{"digitizer", "digit"},
+		{"generalization", "gener"},
+		{"oscillators", "oscil"},
+		{"feudalism", "feudal"},
+		{"hopefulness", "hope"},
+		{"formality", "formal"},
+		{"sensitivity", "sensit"},
+		{"sensibility", "sensibl"},
+		// Step 3.
+		{"triplicate", "triplic"},
+		{"formative", "form"},
+		{"electrical", "electr"},
+		{"goodness", "good"},
+		{"predication", "predic"},
+		// Step 4.
+		{"effective", "effect"},
+		{"adjustment", "adjust"},
+		{"replacement", "replac"},
+		{"adoption", "adopt"},
+		{"communism", "commun"},
+		{"activate", "activ"},
+		{"homologous", "homolog"},
+		// Step 5.
+		{"probate", "probat"},
+		{"rate", "rate"},
+		{"cease", "ceas"},
+		{"controll", "control"},
+		{"roll", "roll"},
+		// Short words and non-alpha words pass through.
+		{"go", "go"},
+		{"a", "a"},
+		{"2021", "2021"},
+		{"web2", "web2"},
+		// Uppercase input is lowercased first.
+		{"Motoring", "motor"},
+		{"CATS", "cat"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.in, func(t *testing.T) {
+			if got := Stem(tt.in); got != tt.want {
+				t.Errorf("Stem(%q) = %q, want %q", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+// Property: the stem of an ASCII-letter word is never longer than the word
+// and consists only of lowercase letters.
+func TestStemPropertyShrinks(t *testing.T) {
+	f := func(raw []byte) bool {
+		var b strings.Builder
+		for _, c := range raw {
+			b.WriteByte('a' + c%26)
+		}
+		w := b.String()
+		s := Stem(w)
+		if len(s) > len(w) {
+			return false
+		}
+		if len(w) > 0 && len(s) == 0 {
+			return false
+		}
+		for i := 0; i < len(s); i++ {
+			if s[i] < 'a' || s[i] > 'z' {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Stem never panics on arbitrary strings and returns the
+// lowercased input unchanged when the input has a non-letter.
+func TestStemPropertyArbitraryInput(t *testing.T) {
+	f := func(w string) bool {
+		s := Stem(w)
+		hasNonAlpha := false
+		for i := 0; i < len(w); i++ {
+			c := w[i]
+			if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z') {
+				hasNonAlpha = true
+				break
+			}
+		}
+		if hasNonAlpha || len(w) < 3 {
+			return s == Lowercase(w)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkStem(b *testing.B) {
+	words := []string{"generalizations", "oscillators", "characterization",
+		"partitioning", "throughput", "responsiveness", "architectural"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Stem(words[i%len(words)])
+	}
+}

@@ -1,0 +1,33 @@
+package textproc
+
+// defaultStopwords is the classic English stopword list used by the
+// Lucene StandardAnalyzer, which the characterized benchmark's index-serving
+// stack uses by default.
+var defaultStopwords = map[string]struct{}{
+	"a": {}, "an": {}, "and": {}, "are": {}, "as": {}, "at": {},
+	"be": {}, "but": {}, "by": {},
+	"for": {},
+	"if":  {}, "in": {}, "into": {}, "is": {}, "it": {},
+	"no": {}, "not": {},
+	"of": {}, "on": {}, "or": {},
+	"such": {},
+	"that": {}, "the": {}, "their": {}, "then": {}, "there": {},
+	"these": {}, "they": {}, "this": {}, "to": {},
+	"was": {}, "will": {}, "with": {},
+}
+
+// IsStopword reports whether the lowercase token is in the default English
+// stopword list.
+func IsStopword(token string) bool {
+	_, ok := defaultStopwords[token]
+	return ok
+}
+
+// Stopwords returns a copy of the default stopword list.
+func Stopwords() []string {
+	out := make([]string, 0, len(defaultStopwords))
+	for w := range defaultStopwords {
+		out = append(out, w)
+	}
+	return out
+}

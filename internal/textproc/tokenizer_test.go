@@ -1,0 +1,90 @@
+package textproc
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want []string
+	}{
+		{"empty", "", nil},
+		{"single", "hello", []string{"hello"}},
+		{"spaces", "hello world", []string{"hello", "world"}},
+		{"punctuation", "hello, world!", []string{"hello", "world"}},
+		{"digits", "page 42 of 100", []string{"page", "42", "of", "100"}},
+		{"mixed", "web2.0 search-engine", []string{"web2", "0", "search", "engine"}},
+		{"leading trailing", "  spaced  ", []string{"spaced"}},
+		{"only punct", "!?.,;", nil},
+		{"unicode", "café au lait", []string{"café", "au", "lait"}},
+		{"newlines tabs", "a\nb\tc", []string{"a", "b", "c"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Tokenize(tt.in); !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("Tokenize(%q) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+// Property: TokenizeFunc visits exactly the tokens Tokenize returns.
+func TestTokenizeFuncMatchesTokenize(t *testing.T) {
+	f := func(s string) bool {
+		want := Tokenize(s)
+		var got []string
+		TokenizeFunc(s, func(tok string) { got = append(got, tok) })
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLowercase(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"", ""},
+		{"hello", "hello"},
+		{"Hello", "hello"},
+		{"HELLO", "hello"},
+		{"MiXeD123", "mixed123"},
+		{"ÇAFÉ", "çafé"},
+	}
+	for _, tt := range tests {
+		if got := Lowercase(tt.in); got != tt.want {
+			t.Errorf("Lowercase(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestLowercaseFastPathNoAlloc(t *testing.T) {
+	s := "already lowercase ascii"
+	got := Lowercase(s)
+	if got != s {
+		t.Errorf("Lowercase(%q) = %q", s, got)
+	}
+	n := testing.AllocsPerRun(100, func() { Lowercase(s) })
+	if n != 0 {
+		t.Errorf("Lowercase fast path allocates %v times per run, want 0", n)
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	for _, w := range []string{"the", "a", "and", "of", "with"} {
+		if !IsStopword(w) {
+			t.Errorf("IsStopword(%q) = false, want true", w)
+		}
+	}
+	for _, w := range []string{"search", "engine", "web", ""} {
+		if IsStopword(w) {
+			t.Errorf("IsStopword(%q) = true, want false", w)
+		}
+	}
+	if len(Stopwords()) != 33 {
+		t.Errorf("len(Stopwords()) = %d, want 33", len(Stopwords()))
+	}
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"websearchbench/internal/search"
+)
+
+// TimedQuery is a query with a recorded arrival offset from the start of
+// the trace — the replayable form of a production query log.
+type TimedQuery struct {
+	At    time.Duration
+	Query Query
+}
+
+// GenerateTimed produces a timed trace of n queries with Poisson arrivals
+// at rateQPS, drawn from the generator's popularity-weighted pool.
+func (g *Generator) GenerateTimed(n int, rateQPS float64, rng *rand.Rand) ([]TimedQuery, error) {
+	if rateQPS <= 0 {
+		return nil, fmt.Errorf("workload: rateQPS = %v, must be positive", rateQPS)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(g.cfg.Seed + 1))
+	}
+	out := make([]TimedQuery, n)
+	at := 0.0
+	for i := range out {
+		at += rng.ExpFloat64() / rateQPS
+		out[i] = TimedQuery{
+			At:    time.Duration(at * float64(time.Second)),
+			Query: g.Next(),
+		}
+	}
+	return out, nil
+}
+
+// WriteTimedTrace writes a timed trace: one "<offset-seconds>\t<query>"
+// line per query, with an extra "AND\t" marker for conjunctive queries.
+func WriteTimedTrace(w io.Writer, trace []TimedQuery) error {
+	bw := bufio.NewWriter(w)
+	for _, tq := range trace {
+		if _, err := fmt.Fprintf(bw, "%.6f\t", tq.At.Seconds()); err != nil {
+			return err
+		}
+		if tq.Query.Mode == search.ModeAnd {
+			if _, err := bw.WriteString("AND\t"); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString(tq.Query.Text); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTimedTrace parses a timed trace written by WriteTimedTrace.
+// Arrival offsets must be non-decreasing.
+func ReadTimedTrace(r io.Reader) ([]TimedQuery, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []TimedQuery
+	lineNo := 0
+	var prev time.Duration
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		ts, rest, ok := strings.Cut(line, "\t")
+		if !ok {
+			return nil, fmt.Errorf("workload: line %d: missing timestamp", lineNo)
+		}
+		secs, err := strconv.ParseFloat(ts, 64)
+		if err != nil || secs < 0 {
+			return nil, fmt.Errorf("workload: line %d: bad timestamp %q", lineNo, ts)
+		}
+		at := time.Duration(secs * float64(time.Second))
+		if at < prev {
+			return nil, fmt.Errorf("workload: line %d: timestamps not monotone", lineNo)
+		}
+		prev = at
+		q := Query{Text: rest, Mode: search.ModeOr}
+		if cut, ok := strings.CutPrefix(rest, "AND\t"); ok {
+			q = Query{Text: cut, Mode: search.ModeAnd}
+		}
+		out = append(out, TimedQuery{At: at, Query: q})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

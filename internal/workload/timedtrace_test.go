@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"websearchbench/internal/corpus"
+	"websearchbench/internal/search"
+)
+
+func TestGenerateTimed(t *testing.T) {
+	g, err := NewGenerator(DefaultConfig(), corpus.NewVocabulary(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := g.GenerateTimed(500, 100, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 500 {
+		t.Fatalf("len = %d", len(trace))
+	}
+	var prev time.Duration
+	for i, tq := range trace {
+		if tq.At < prev {
+			t.Fatalf("offsets not monotone at %d", i)
+		}
+		prev = tq.At
+		if tq.Query.Text == "" {
+			t.Fatalf("empty query at %d", i)
+		}
+	}
+	// 500 arrivals at 100 qps: the span should be near 5s.
+	span := trace[len(trace)-1].At.Seconds()
+	if span < 3.5 || span > 7 {
+		t.Errorf("trace span = %vs, want ~5s", span)
+	}
+	if _, err := g.GenerateTimed(10, 0, nil); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+func TestTimedTraceRoundTrip(t *testing.T) {
+	trace := []TimedQuery{
+		{At: 0, Query: Query{Text: "web search", Mode: search.ModeOr}},
+		{At: 1500 * time.Millisecond, Query: Query{Text: "tail latency", Mode: search.ModeAnd}},
+		{At: 2 * time.Second, Query: Query{Text: "single", Mode: search.ModeOr}},
+	}
+	var buf bytes.Buffer
+	if err := WriteTimedTrace(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTimedTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, trace) {
+		t.Errorf("round trip:\n got %v\nwant %v", got, trace)
+	}
+}
+
+func TestReadTimedTraceErrors(t *testing.T) {
+	cases := []string{
+		"notanumber\tquery\n",
+		"-1.0\tquery\n",
+		"queryonly\n",
+		"2.0\ta\n1.0\tb\n", // non-monotone
+	}
+	for _, in := range cases {
+		if _, err := ReadTimedTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+	// Blank lines are fine.
+	got, err := ReadTimedTrace(strings.NewReader("0.5\tq\n\n1.0\tr\n"))
+	if err != nil || len(got) != 2 {
+		t.Errorf("blank-line trace: %v, %v", got, err)
+	}
+}

@@ -1,0 +1,252 @@
+// Package workload generates the query stream the load driver replays.
+// It reproduces the two workload properties of the characterized
+// benchmark's Faban driver that matter for performance: a short-query
+// length distribution (web queries average two to three terms) and a
+// Zipfian popularity skew over both terms and whole queries (the same
+// queries recur, which is what makes result caching interesting).
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"websearchbench/internal/corpus"
+	"websearchbench/internal/search"
+)
+
+// Query is one workload query.
+type Query struct {
+	Text string
+	Mode search.Mode
+}
+
+// Config parameterizes the query generator.
+type Config struct {
+	// UniqueQueries is the size of the distinct-query pool the stream is
+	// drawn from.
+	UniqueQueries int
+	// PopularityS is the Zipf exponent of query popularity over the
+	// pool; web query streams show s near 0.85.
+	PopularityS float64
+	// TermZipfS is the Zipf exponent for picking query terms from the
+	// vocabulary; flatter than document text (users query the middle of
+	// the vocabulary, not stopwords).
+	TermZipfS float64
+	// LenProbs[i] is the probability of a query with i+1 terms.
+	// Defaults to the canonical web query-length distribution.
+	LenProbs []float64
+	// AndFraction is the fraction of conjunctive (AND) queries; the
+	// benchmark's default parser is OR, so this defaults to 0.
+	AndFraction float64
+	Seed        int64
+}
+
+// DefaultConfig returns the workload used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		UniqueQueries: 1000,
+		PopularityS:   0.85,
+		TermZipfS:     0.8,
+		LenProbs:      []float64{0.22, 0.36, 0.24, 0.11, 0.05, 0.02},
+		AndFraction:   0,
+		Seed:          7,
+	}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.UniqueQueries <= 0:
+		return fmt.Errorf("workload: UniqueQueries = %d, must be positive", c.UniqueQueries)
+	case c.PopularityS <= 0:
+		return fmt.Errorf("workload: PopularityS = %v, must be positive", c.PopularityS)
+	case c.TermZipfS <= 0:
+		return fmt.Errorf("workload: TermZipfS = %v, must be positive", c.TermZipfS)
+	case len(c.LenProbs) == 0:
+		return fmt.Errorf("workload: LenProbs empty")
+	case c.AndFraction < 0 || c.AndFraction > 1:
+		return fmt.Errorf("workload: AndFraction = %v, must be in [0,1]", c.AndFraction)
+	}
+	sum := 0.0
+	for _, p := range c.LenProbs {
+		if p < 0 {
+			return fmt.Errorf("workload: negative length probability")
+		}
+		sum += p
+	}
+	if sum <= 0 {
+		return fmt.Errorf("workload: LenProbs sum to 0")
+	}
+	return nil
+}
+
+// Generator produces a deterministic query stream.
+type Generator struct {
+	cfg        Config
+	rng        *rand.Rand
+	pool       []Query
+	popularity *corpus.Zipf
+}
+
+// NewGenerator builds the unique-query pool from vocab and returns a
+// stream generator.
+func NewGenerator(cfg Config, vocab *corpus.Vocabulary) (*Generator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	termZipf := corpus.NewZipf(rng, vocab.Size(), cfg.TermZipfS)
+
+	// Normalize the length distribution into a CDF.
+	cdf := make([]float64, len(cfg.LenProbs))
+	sum := 0.0
+	for i, p := range cfg.LenProbs {
+		sum += p
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+
+	pool := make([]Query, cfg.UniqueQueries)
+	for i := range pool {
+		u := rng.Float64()
+		length := len(cdf)
+		for j, c := range cdf {
+			if u <= c {
+				length = j + 1
+				break
+			}
+		}
+		terms := make([]string, length)
+		for j := range terms {
+			terms[j] = vocab.Word(termZipf.Sample())
+		}
+		mode := search.ModeOr
+		if rng.Float64() < cfg.AndFraction {
+			mode = search.ModeAnd
+		}
+		pool[i] = Query{Text: strings.Join(terms, " "), Mode: mode}
+	}
+	return &Generator{
+		cfg:        cfg,
+		rng:        rng,
+		pool:       pool,
+		popularity: corpus.NewZipf(rng, len(pool), cfg.PopularityS),
+	}, nil
+}
+
+// Next returns the next query of the stream (Zipf-popular draws from the
+// unique pool).
+func (g *Generator) Next() Query {
+	return g.pool[g.popularity.Sample()]
+}
+
+// Generate returns the next n queries.
+func (g *Generator) Generate(n int) []Query {
+	out := make([]Query, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Pool returns the unique-query pool. The caller must not modify it.
+func (g *Generator) Pool() []Query { return g.pool }
+
+// WriteTrace writes queries as a text trace, one query per line, with an
+// "AND\t" prefix for conjunctive queries.
+func WriteTrace(w io.Writer, queries []Query) error {
+	bw := bufio.NewWriter(w)
+	for _, q := range queries {
+		if q.Mode == search.ModeAnd {
+			if _, err := bw.WriteString("AND\t"); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString(q.Text); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a text trace written by WriteTrace. Blank lines are
+// skipped.
+func ReadTrace(r io.Reader) ([]Query, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Query
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		q := Query{Text: line, Mode: search.ModeOr}
+		if rest, ok := strings.CutPrefix(line, "AND\t"); ok {
+			q = Query{Text: rest, Mode: search.ModeAnd}
+		}
+		out = append(out, q)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Characterize summarizes a query stream: the E2 workload table.
+type Characterization struct {
+	Queries       int
+	UniqueQueries int
+	MeanLen       float64
+	LenHistogram  []int // LenHistogram[i] = queries with i+1 terms
+	AndQueries    int
+	// TopShare is the fraction of the stream covered by the 10 most
+	// popular queries — the skew that makes caching effective.
+	TopShare float64
+}
+
+// Characterize analyzes a query stream.
+func Characterize(queries []Query) Characterization {
+	c := Characterization{Queries: len(queries)}
+	counts := make(map[string]int)
+	var totalLen int
+	for _, q := range queries {
+		n := len(strings.Fields(q.Text))
+		totalLen += n
+		for len(c.LenHistogram) < n {
+			c.LenHistogram = append(c.LenHistogram, 0)
+		}
+		if n > 0 {
+			c.LenHistogram[n-1]++
+		}
+		if q.Mode == search.ModeAnd {
+			c.AndQueries++
+		}
+		counts[q.Text]++
+	}
+	c.UniqueQueries = len(counts)
+	if len(queries) > 0 {
+		c.MeanLen = float64(totalLen) / float64(len(queries))
+	}
+	// Share of the top-10 most popular queries.
+	top := make([]int, 0, len(counts))
+	for _, n := range counts {
+		top = append(top, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(top)))
+	sum := 0
+	for i := 0; i < len(top) && i < 10; i++ {
+		sum += top[i]
+	}
+	if len(queries) > 0 {
+		c.TopShare = float64(sum) / float64(len(queries))
+	}
+	return c
+}

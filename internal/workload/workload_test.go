@@ -1,0 +1,208 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"websearchbench/internal/corpus"
+	"websearchbench/internal/search"
+)
+
+func testVocab() *corpus.Vocabulary { return corpus.NewVocabulary(2000) }
+
+func TestConfigValidate(t *testing.T) {
+	base := DefaultConfig()
+	mutations := []func(*Config){
+		func(c *Config) { c.UniqueQueries = 0 },
+		func(c *Config) { c.PopularityS = 0 },
+		func(c *Config) { c.TermZipfS = -1 },
+		func(c *Config) { c.LenProbs = nil },
+		func(c *Config) { c.LenProbs = []float64{0, 0} },
+		func(c *Config) { c.LenProbs = []float64{0.5, -0.1} },
+		func(c *Config) { c.AndFraction = 1.5 },
+	}
+	for i, mut := range mutations {
+		c := base
+		mut(&c)
+		if _, err := NewGenerator(c, testVocab()); err == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+	}
+	if _, err := NewGenerator(base, testVocab()); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	v := testVocab()
+	g1, err := NewGenerator(DefaultConfig(), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := NewGenerator(DefaultConfig(), v)
+	a, b := g1.Generate(500), g2.Generate(500)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different streams")
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 99
+	g3, _ := NewGenerator(cfg, v)
+	if reflect.DeepEqual(a, g3.Generate(500)) {
+		t.Error("different seed produced identical stream")
+	}
+}
+
+func TestQueryLengths(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UniqueQueries = 5000
+	g, err := NewGenerator(cfg, testVocab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLen := len(cfg.LenProbs)
+	var total, count int
+	for _, q := range g.Pool() {
+		n := len(strings.Fields(q.Text))
+		if n < 1 || n > maxLen {
+			t.Fatalf("query %q has %d terms, want 1..%d", q.Text, n, maxLen)
+		}
+		total += n
+		count++
+	}
+	mean := float64(total) / float64(count)
+	// Configured mean is ~2.27; allow slack.
+	if mean < 1.8 || mean > 2.8 {
+		t.Errorf("mean query length = %v, want ~2.3", mean)
+	}
+}
+
+func TestPopularitySkew(t *testing.T) {
+	cfg := DefaultConfig()
+	g, err := NewGenerator(cfg, testVocab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := g.Generate(20000)
+	c := Characterize(stream)
+	if c.Queries != 20000 {
+		t.Fatalf("Queries = %d", c.Queries)
+	}
+	// Zipf popularity: top 10 of 1000 unique queries must cover far more
+	// than the uniform 1%.
+	if c.TopShare < 0.05 {
+		t.Errorf("TopShare = %v, want >= 0.05 (skew missing)", c.TopShare)
+	}
+	if c.UniqueQueries > cfg.UniqueQueries {
+		t.Errorf("UniqueQueries = %d > pool %d", c.UniqueQueries, cfg.UniqueQueries)
+	}
+}
+
+func TestAndFraction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AndFraction = 0.5
+	cfg.UniqueQueries = 2000
+	g, err := NewGenerator(cfg, testVocab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	and := 0
+	for _, q := range g.Pool() {
+		if q.Mode == search.ModeAnd {
+			and++
+		}
+	}
+	frac := float64(and) / float64(len(g.Pool()))
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("AND fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	queries := []Query{
+		{Text: "web search", Mode: search.ModeOr},
+		{Text: "tail latency", Mode: search.ModeAnd},
+		{Text: "single", Mode: search.ModeOr},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, queries); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, queries) {
+		t.Errorf("round trip = %v, want %v", got, queries)
+	}
+}
+
+func TestReadTraceSkipsBlanks(t *testing.T) {
+	got, err := ReadTrace(strings.NewReader("a b\n\n  \nc\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Text != "a b" || got[1].Text != "c" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestCharacterizeEmpty(t *testing.T) {
+	c := Characterize(nil)
+	if c.Queries != 0 || c.MeanLen != 0 || c.TopShare != 0 {
+		t.Errorf("empty characterization = %+v", c)
+	}
+}
+
+func TestCharacterizeHistogram(t *testing.T) {
+	qs := []Query{
+		{Text: "a"}, {Text: "a b"}, {Text: "a b"}, {Text: "a b c"},
+	}
+	c := Characterize(qs)
+	if !reflect.DeepEqual(c.LenHistogram, []int{1, 2, 1}) {
+		t.Errorf("LenHistogram = %v", c.LenHistogram)
+	}
+	if c.UniqueQueries != 3 {
+		t.Errorf("UniqueQueries = %d, want 3", c.UniqueQueries)
+	}
+	if c.MeanLen != 2.0 {
+		t.Errorf("MeanLen = %v, want 2", c.MeanLen)
+	}
+}
+
+// Queries must actually hit the index built from the same vocabulary:
+// the stream is useless if every query misses.
+func TestQueriesMatchCorpus(t *testing.T) {
+	ccfg := corpus.DefaultConfig()
+	ccfg.NumDocs = 300
+	ccfg.VocabSize = 2000
+	ccfg.MeanBodyTerms = 80
+	gen, err := corpus.NewGenerator(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	terms := make(map[string]bool)
+	gen.GenerateFunc(func(d corpus.Document) {
+		for _, w := range strings.Fields(d.Body) {
+			terms[w] = true
+		}
+	})
+	g, err := NewGenerator(DefaultConfig(), gen.Vocabulary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	stream := g.Generate(500)
+	for _, q := range stream {
+		for _, w := range strings.Fields(q.Text) {
+			if terms[w] {
+				hits++
+				break
+			}
+		}
+	}
+	if frac := float64(hits) / float64(len(stream)); frac < 0.5 {
+		t.Errorf("only %v of queries match any document term", frac)
+	}
+}

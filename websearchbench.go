@@ -1,0 +1,179 @@
+// Package websearchbench is a from-scratch reproduction of the web search
+// benchmark characterized by Hadjilambrou, Kleanthous and Sazeides
+// (ISPASS 2015): a complete search engine (analyzer, compressed inverted
+// index, BM25 top-k retrieval with MaxScore pruning), intra-server index
+// partitioning, a distributed front-end/index-node tier, a Faban-style
+// load driver, and a calibrated discrete-event server simulator used for
+// the paper's partitioning and low-power-server studies.
+//
+// This file is the high-level facade: build an engine over a synthetic
+// web corpus and search it. The full machinery lives under internal/
+// (see DESIGN.md for the map) and the paper's evaluation is regenerated
+// by cmd/benchrunner.
+package websearchbench
+
+import (
+	"fmt"
+
+	"websearchbench/internal/corpus"
+	"websearchbench/internal/index"
+	"websearchbench/internal/partition"
+	"websearchbench/internal/qcache"
+	"websearchbench/internal/search"
+	"websearchbench/internal/textproc"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Docs is the synthetic corpus size (default 20000).
+	Docs int
+	// VocabSize is the number of distinct terms (default 30000).
+	VocabSize int
+	// Seed makes the corpus reproducible (default 1).
+	Seed int64
+	// Partitions is the intra-server partition count (default 1).
+	Partitions int
+	// Parallel searches partitions with concurrent workers.
+	Parallel bool
+	// TopK is the number of results per query (default 10).
+	TopK int
+	// GlobalStats enables distributed-IDF scoring so results are
+	// identical regardless of the partition count.
+	GlobalStats bool
+	// Conjunctive makes Search require all query terms (AND semantics).
+	Conjunctive bool
+	// Positions stores term positions in the index, enabling quoted
+	// phrase queries ("tail latency").
+	Positions bool
+	// CacheSize, when positive, adds an LRU result cache in front of the
+	// engine: repeated queries (which dominate real web streams) are
+	// answered without touching the index.
+	CacheSize int
+}
+
+// Result is one search hit.
+type Result struct {
+	URL     string
+	Title   string
+	Snippet string
+	// Highlighted is the snippet with query terms wrapped in <b> tags.
+	Highlighted string
+	Score       float64
+}
+
+// Engine is an in-process web search engine over a partitioned index.
+// It is safe for concurrent use.
+type Engine struct {
+	cfg      Config
+	idx      *partition.Index
+	searcher *partition.Searcher
+	mode     search.Mode
+	cache    *qcache.Cache[[]Result]
+}
+
+// New builds an Engine: it generates the synthetic corpus and indexes it
+// into the configured number of partitions.
+func New(cfg Config) (*Engine, error) {
+	// Zero means "use the default"; negative values are configuration
+	// errors rather than silently repaired.
+	if cfg.Docs < 0 || cfg.VocabSize < 0 || cfg.Partitions < 0 || cfg.TopK < 0 {
+		return nil, fmt.Errorf("websearchbench: negative config value in %+v", cfg)
+	}
+	if cfg.Docs == 0 {
+		cfg.Docs = 20000
+	}
+	if cfg.VocabSize == 0 {
+		cfg.VocabSize = 30000
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Partitions == 0 {
+		cfg.Partitions = 1
+	}
+	if cfg.TopK == 0 {
+		cfg.TopK = 10
+	}
+	ccfg := corpus.DefaultConfig()
+	ccfg.NumDocs = cfg.Docs
+	ccfg.VocabSize = cfg.VocabSize
+	ccfg.Seed = cfg.Seed
+	var bopts []index.BuilderOption
+	if cfg.Positions {
+		bopts = append(bopts, index.WithPositions())
+	}
+	idx, err := partition.Build(ccfg, cfg.Partitions, partition.RoundRobin, bopts...)
+	if err != nil {
+		return nil, fmt.Errorf("websearchbench: %w", err)
+	}
+	opts := search.Options{TopK: cfg.TopK, UseMaxScore: true}
+	if cfg.GlobalStats {
+		opts.Stats = partition.GlobalStats(idx)
+	}
+	mode := search.ModeOr
+	if cfg.Conjunctive {
+		mode = search.ModeAnd
+	}
+	e := &Engine{
+		cfg:      cfg,
+		idx:      idx,
+		searcher: partition.NewSearcher(idx, opts, cfg.Parallel),
+		mode:     mode,
+	}
+	if cfg.CacheSize > 0 {
+		e.cache = qcache.New[[]Result](cfg.CacheSize)
+	}
+	return e, nil
+}
+
+// Search evaluates a free-text query and returns the ranked results.
+func (e *Engine) Search(query string) []Result {
+	if e.cache != nil {
+		if cached, ok := e.cache.Get(query); ok {
+			return cached
+		}
+	}
+	analyzer := textproc.NewAnalyzer()
+	q := search.ParseQuery(analyzer, query, e.mode)
+	res := e.searcher.Search(q)
+	// Highlighting matches loose terms and phrase members alike.
+	highlightTerms := append([]string(nil), q.Terms...)
+	for _, p := range q.Phrases {
+		highlightTerms = append(highlightTerms, p...)
+	}
+	out := make([]Result, 0, len(res.Hits))
+	for _, h := range res.Hits {
+		doc := e.idx.Doc(h.Doc)
+		snip := search.MakeSnippet(analyzer, doc.Snippet, highlightTerms, 0)
+		out = append(out, Result{
+			URL:         doc.URL,
+			Title:       doc.Title,
+			Snippet:     doc.Snippet,
+			Highlighted: snip.HTML(),
+			Score:       h.Score,
+		})
+	}
+	if e.cache != nil {
+		e.cache.Put(query, out)
+	}
+	return out
+}
+
+// CacheHitRate reports the engine result cache's lifetime hit rate (0
+// when no cache is configured).
+func (e *Engine) CacheHitRate() float64 {
+	if e.cache == nil {
+		return 0
+	}
+	return e.cache.HitRate()
+}
+
+// NumDocs returns the number of indexed documents.
+func (e *Engine) NumDocs() int { return e.idx.NumDocs() }
+
+// NumPartitions returns the intra-server partition count.
+func (e *Engine) NumPartitions() int { return e.idx.NumPartitions() }
+
+// Index exposes the underlying partitioned index for advanced use (the
+// examples use it to serve HTTP nodes).
+func (e *Engine) Index() *partition.Index { return e.idx }
