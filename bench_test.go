@@ -155,6 +155,12 @@ func BenchmarkE18Hedging(b *testing.B) {
 	benchExperiment(b, func(c *experiments.Context) { c.E18Hedging() })
 }
 
+// BenchmarkE19LiveFaults regenerates the live fault-injection resilience
+// experiment.
+func BenchmarkE19LiveFaults(b *testing.B) {
+	benchExperiment(b, func(c *experiments.Context) { c.E19LiveFaults() })
+}
+
 // BenchmarkAblationMaxScore regenerates the MaxScore pruning ablation.
 func BenchmarkAblationMaxScore(b *testing.B) {
 	benchExperiment(b, func(c *experiments.Context) { c.AblationMaxScore() })

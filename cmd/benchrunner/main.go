@@ -25,7 +25,7 @@ func main() {
 
 	var (
 		scale = flag.Float64("scale", 1.0, "scale factor for corpus/queries/sim durations")
-		only  = flag.String("only", "", "run a single experiment (E1..E18, ABL-1..ABL-6)")
+		only  = flag.String("only", "", "run a single experiment (E1..E19, ABL-1..ABL-6)")
 	)
 	flag.Parse()
 
@@ -53,6 +53,7 @@ func main() {
 		"E16":   func() { c.E16TailAtScale() },
 		"E17":   func() { c.E17Diurnal() },
 		"E18":   func() { c.E18Hedging() },
+		"E19":   func() { c.E19LiveFaults() },
 		"ABL-1": func() { c.AblationMaxScore() },
 		"ABL-2": func() { c.AblationCompression() },
 		"ABL-3": func() { c.AblationAssignment() },

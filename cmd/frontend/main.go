@@ -1,9 +1,11 @@
 // Command frontend serves the scatter/gather tier in front of searchd
-// nodes.
+// nodes, with the resilience layer (deadlines, hedging, retries, circuit
+// breakers) exposed as flags.
 //
 // Usage:
 //
-//	frontend -addr :8080 -nodes http://127.0.0.1:8081,http://127.0.0.1:8082
+//	frontend -addr :8080 -nodes http://127.0.0.1:8081,http://127.0.0.1:8082 \
+//	  -deadline 2s -hedge -hedge-after 0 -retries 2
 package main
 
 import (
@@ -14,18 +16,31 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"websearchbench/internal/cluster"
+	"websearchbench/internal/cluster/resilience"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("frontend: ")
 
+	def := resilience.DefaultPolicy()
 	var (
 		addr  = flag.String("addr", "127.0.0.1:8080", "listen address")
 		nodes = flag.String("nodes", "http://127.0.0.1:8081", "comma-separated node base URLs")
 		topK  = flag.Int("topk", 10, "merged results per query")
+		cache = flag.Int("cache", 0, "result-cache capacity (0 disables)")
+
+		deadline   = flag.Duration("deadline", def.Deadline, "per-query deadline (0 disables)")
+		hedge      = flag.Bool("hedge", false, "hedge straggling node sub-requests")
+		hedgeAfter = flag.Duration("hedge-after", 0, "fixed hedge delay (0 = adaptive per-node p95)")
+		retries    = flag.Int("retries", def.MaxRetries, "max retries for transient node errors")
+		budget     = flag.Float64("retry-budget", def.RetryBudgetRatio, "retry budget ratio (0 = unlimited)")
+		brkThresh  = flag.Int("breaker-threshold", def.BreakerThreshold, "consecutive failures tripping a node's breaker (0 disables)")
+		brkCool    = flag.Duration("breaker-cooldown", def.BreakerCooldown, "breaker open time before the half-open probe")
+		drain      = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 	)
 	flag.Parse()
 
@@ -37,15 +52,36 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	policy := def
+	policy.Deadline = *deadline
+	policy.HedgeEnabled = *hedge
+	policy.HedgeAfter = *hedgeAfter
+	policy.MaxRetries = *retries
+	policy.RetryBudgetRatio = *budget
+	policy.BreakerThreshold = *brkThresh
+	policy.BreakerCooldown = *brkCool
+	fe.SetPolicy(policy)
+	fe.SetDrainTimeout(*drain)
+	if *cache > 0 {
+		fe.EnableCache(*cache)
+	}
 	bound, err := fe.Start(*addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("frontend on http://%s scattering to %d nodes\n", bound, len(urls))
+	fmt.Printf("frontend on http://%s scattering to %d nodes (deadline %v, hedge %v, retries %d)\n",
+		bound, len(urls), *deadline, *hedge, *retries)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	st := fe.ResilienceStats()
+	fmt.Printf("served %d queries: %d hedges (%.2f%% of sub-requests), %d retries\n",
+		st.Queries, st.Hedges, st.HedgeRate*100, st.Retries)
+	for i, n := range st.Nodes {
+		fmt.Printf("  %s: %d reqs, %d failures, breaker %s, p95 %v\n",
+			urls[i], n.Requests, n.Failures, n.State, n.P95)
+	}
 	if err := fe.Close(); err != nil {
 		log.Fatal(err)
 	}

@@ -40,8 +40,9 @@ func main() {
 		qosTgt  = flag.Duration("qos-target", 500*time.Millisecond, "QoS response-time target")
 		seed    = flag.Int64("seed", 7, "workload seed")
 		nq      = flag.Int("queries", 5000, "query stream length")
-		replay  = flag.String("replay", "", "timed trace file to replay (overrides open/closed modes)")
-		speedup = flag.Float64("speedup", 1, "replay time scaling")
+		replay   = flag.String("replay", "", "timed trace file to replay (overrides open/closed modes)")
+		speedup  = flag.Float64("speedup", 1, "replay time scaling")
+		deadline = flag.Duration("deadline", 0, "per-query client deadline (0 = transport default)")
 	)
 	flag.Parse()
 
@@ -56,11 +57,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		replayClient := cluster.NewClient(*target, 10)
+		replayClient.SetDeadline(*deadline)
 		res, err := loadgen.RunReplay(loadgen.ReplayConfig{
 			Speedup:    *speedup,
 			SkipWarmup: *rampUp,
 			QoS:        backendQoS,
-		}, trace, cluster.NewClient(*target, 10))
+		}, trace, replayClient)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -76,6 +79,7 @@ func main() {
 	}
 	stream := gen.Generate(*nq)
 	backend := cluster.NewClient(*target, 10)
+	backend.SetDeadline(*deadline)
 	qos := backendQoS
 
 	var res loadgen.Result
@@ -97,7 +101,7 @@ func main() {
 }
 
 func report(res loadgen.Result, qos loadgen.QoS) {
-	fmt.Printf("completed: %d (errors %d)\n", res.Completed, res.Errors)
+	fmt.Printf("completed: %d (errors %d, degraded %d)\n", res.Completed, res.Errors, res.Degraded)
 	fmt.Printf("throughput: %.1f qps\n", res.Throughput)
 	fmt.Printf("latency: %s\n", res.Latency)
 	status := "MET"

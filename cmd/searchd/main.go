@@ -8,17 +8,27 @@
 // searchd builds its slice of the synthetic corpus in memory on startup
 // (deterministic for a given seed), so multi-node clusters are started by
 // giving each node its shard via -shard/-shards.
+//
+// For resilience experiments a node can injure itself with the -fault-*
+// flags (deterministic latency/error/blackhole injection in front of the
+// handler), letting a live cluster be tested against stragglers and
+// failures without external tooling:
+//
+//	searchd -addr :8082 -shard 1 -shards 2 -fault-latency 50ms -fault-latency-prob 0.05
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"websearchbench/internal/cluster"
+	"websearchbench/internal/cluster/resilience"
 	"websearchbench/internal/corpus"
 	"websearchbench/internal/partition"
 	"websearchbench/internal/search"
@@ -39,6 +49,16 @@ func main() {
 		shard    = flag.Int("shard", 0, "this node's shard number")
 		shards   = flag.Int("shards", 1, "total index-serving nodes")
 		topK     = flag.Int("topk", 10, "results per query")
+		drain    = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
+
+		// Fault injection, for resilience experiments against a live
+		// node: searchd can make itself a straggler, an error source,
+		// or a blackhole.
+		faultLatency   = flag.Duration("fault-latency", 0, "injected latency per faulted request")
+		faultLatProb   = flag.Float64("fault-latency-prob", 0, "probability of injecting latency")
+		faultErrProb   = flag.Float64("fault-error-prob", 0, "probability of injecting a 503")
+		faultBlackProb = flag.Float64("fault-blackhole-prob", 0, "probability of swallowing a request")
+		faultSeed      = flag.Int64("fault-seed", 1, "fault-injection random seed")
 	)
 	flag.Parse()
 	if *shard < 0 || *shards <= 0 || *shard >= *shards {
@@ -67,12 +87,29 @@ func main() {
 	idx := b.Finalize()
 
 	node := cluster.NewNode(*name, idx, search.Options{TopK: *topK}, *parallel)
-	bound, err := node.Start(*addr)
+	node.SetDrainTimeout(*drain)
+	var wrap func(http.Handler) http.Handler
+	injecting := *faultLatProb > 0 || *faultErrProb > 0 || *faultBlackProb > 0
+	if injecting {
+		cfg := resilience.FaultConfig{
+			Latency:       *faultLatency,
+			LatencyProb:   *faultLatProb,
+			ErrorProb:     *faultErrProb,
+			BlackholeProb: *faultBlackProb,
+			Seed:          *faultSeed,
+		}
+		wrap = func(h http.Handler) http.Handler { return resilience.NewFaultInjector(h, cfg) }
+	}
+	bound, err := node.StartWith(*addr, wrap)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%s serving %d docs in %d partitions on http://%s (shard %d/%d)\n",
 		*name, idx.NumDocs(), idx.NumPartitions(), bound, *shard, *shards)
+	if injecting {
+		fmt.Printf("%s injecting faults: latency %v@%.0f%%, errors %.0f%%, blackholes %.0f%%\n",
+			*name, *faultLatency, *faultLatProb*100, *faultErrProb*100, *faultBlackProb*100)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -2,10 +2,12 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"websearchbench/internal/search"
@@ -14,11 +16,14 @@ import (
 
 // Client issues search requests against a front-end or node URL. It
 // implements loadgen.Backend, so the load driver can push HTTP traffic at
-// a live cluster.
+// a live cluster, and counts degraded (partial-merge) responses so the
+// driver can distinguish full from partial answers.
 type Client struct {
-	base   string
-	client *http.Client
-	topK   int
+	base     string
+	client   *http.Client
+	topK     int
+	deadline time.Duration
+	degraded atomic.Int64
 }
 
 // NewClient returns a client for the service at base (no trailing slash).
@@ -29,6 +34,7 @@ func NewClient(base string, topK int) *Client {
 	return &Client{
 		base: base,
 		client: &http.Client{
+			// Backstop only; SetDeadline governs per-query time.
 			Timeout: 30 * time.Second,
 			Transport: &http.Transport{
 				MaxIdleConnsPerHost: 256,
@@ -38,14 +44,37 @@ func NewClient(base string, topK int) *Client {
 	}
 }
 
+// SetDeadline sets a per-query deadline applied by Search/Do when the
+// caller supplies no tighter context. 0 (the default) falls back to the
+// transport's 30 s backstop.
+func (c *Client) SetDeadline(d time.Duration) { c.deadline = d }
+
+// DegradedCount returns how many degraded (partial-merge) responses this
+// client has received. The load generator picks this up through an
+// optional interface to report partial answers alongside errors.
+func (c *Client) DegradedCount() int64 { return c.degraded.Load() }
+
 // Search issues one request and returns the parsed response.
 func (c *Client) Search(query string, mode search.Mode) (SearchResponse, error) {
+	ctx, cancel := c.queryContext(context.Background())
+	defer cancel()
+	return c.SearchContext(ctx, query, mode)
+}
+
+// SearchContext issues one request under ctx and returns the parsed
+// response.
+func (c *Client) SearchContext(ctx context.Context, query string, mode search.Mode) (SearchResponse, error) {
 	req := SearchRequest{Query: query, Mode: mode.String(), TopK: c.topK}
 	body, err := json.Marshal(req)
 	if err != nil {
 		return SearchResponse{}, err
 	}
-	resp, err := c.client.Post(c.base+"/search", "application/json", bytes.NewReader(body))
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/search", bytes.NewReader(body))
+	if err != nil {
+		return SearchResponse{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(hreq)
 	if err != nil {
 		return SearchResponse{}, err
 	}
@@ -58,12 +87,32 @@ func (c *Client) Search(query string, mode search.Mode) (SearchResponse, error) 
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return SearchResponse{}, err
 	}
+	if out.Degraded {
+		c.degraded.Add(1)
+	}
 	return out, nil
+}
+
+// queryContext derives the per-query context from the configured
+// deadline.
+func (c *Client) queryContext(parent context.Context) (context.Context, context.CancelFunc) {
+	if c.deadline > 0 {
+		return context.WithTimeout(parent, c.deadline)
+	}
+	return context.WithCancel(parent)
 }
 
 // Do implements loadgen.Backend.
 func (c *Client) Do(q workload.Query) error {
-	_, err := c.Search(q.Text, q.Mode)
+	return c.DoContext(context.Background(), q)
+}
+
+// DoContext executes one workload query under ctx (tightened by the
+// configured deadline).
+func (c *Client) DoContext(ctx context.Context, q workload.Query) error {
+	ctx, cancel := c.queryContext(ctx)
+	defer cancel()
+	_, err := c.SearchContext(ctx, q.Text, q.Mode)
 	return err
 }
 

@@ -2,20 +2,40 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
+	"net/url"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"websearchbench/internal/cluster/resilience"
 	"websearchbench/internal/qcache"
 )
 
+// ErrCircuitOpen marks a sub-request skipped because the node's circuit
+// breaker is open: the node is presumed down and not contacted.
+var ErrCircuitOpen = errors.New("circuit open")
+
+// defaultHedgeDelay is the hedge delay used before a node has enough
+// latency history for an adaptive p95.
+const defaultHedgeDelay = 10 * time.Millisecond
+
+// defaultDrainTimeout bounds how long Close waits for in-flight requests.
+const defaultDrainTimeout = 5 * time.Second
+
 // Frontend scatters queries to index-serving nodes and merges their
-// responses, like the benchmark's Tomcat front-end tier.
+// responses, like the benchmark's Tomcat front-end tier. Its scatter path
+// applies the configured resilience.Policy: per-query deadlines, hedged
+// requests against stragglers, budgeted retries for transient transport
+// errors, and a per-node circuit breaker.
 type Frontend struct {
 	nodes  []string // base URLs
 	client *http.Client
@@ -23,12 +43,24 @@ type Frontend struct {
 	mux    *http.ServeMux
 	cache  *qcache.Cache[SearchResponse]
 
-	srv *http.Server
-	ln  net.Listener
+	policy  resilience.Policy
+	health  []*resilience.NodeHealth
+	budget  *resilience.Budget
+	queries atomic.Int64
+	hedges  atomic.Int64
+	retries atomic.Int64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	drain time.Duration
+	srv   *http.Server
+	ln    net.Listener
 }
 
 // NewFrontend creates a front-end over the given node base URLs
-// (e.g. "http://127.0.0.1:8081"). topK caps merged results (default 10).
+// (e.g. "http://127.0.0.1:8081") with the default resilience policy.
+// topK caps merged results (default 10).
 func NewFrontend(nodeURLs []string, topK int) (*Frontend, error) {
 	if len(nodeURLs) == 0 {
 		return nil, fmt.Errorf("cluster: frontend needs at least one node")
@@ -39,23 +71,51 @@ func NewFrontend(nodeURLs []string, topK int) (*Frontend, error) {
 	f := &Frontend{
 		nodes: append([]string(nil), nodeURLs...),
 		client: &http.Client{
+			// Backstop only; the per-query deadline governs.
 			Timeout: 30 * time.Second,
 			Transport: &http.Transport{
 				MaxIdleConnsPerHost: 256,
 			},
 		},
-		topK: topK,
-		mux:  http.NewServeMux(),
+		topK:  topK,
+		mux:   http.NewServeMux(),
+		rng:   rand.New(rand.NewSource(rand.Int63())),
+		drain: defaultDrainTimeout,
 	}
+	f.SetPolicy(resilience.DefaultPolicy())
 	f.mux.HandleFunc("POST /search", f.handleSearch)
 	return f, nil
 }
+
+// SetPolicy installs a resilience policy, resetting per-node health
+// trackers, the retry budget, and the hedge/retry counters. Call before
+// serving traffic.
+func (f *Frontend) SetPolicy(p resilience.Policy) {
+	f.policy = p
+	f.health = make([]*resilience.NodeHealth, len(f.nodes))
+	for i := range f.health {
+		f.health[i] = resilience.NewNodeHealth(p.BreakerThreshold, p.BreakerCooldown)
+	}
+	f.budget = resilience.NewBudget(p.RetryBudgetRatio, 10)
+	f.queries.Store(0)
+	f.hedges.Store(0)
+	f.retries.Store(0)
+}
+
+// Policy returns the active resilience policy.
+func (f *Frontend) Policy() resilience.Policy { return f.policy }
+
+// SetDrainTimeout bounds how long Close waits for in-flight requests
+// before forcing connections shut.
+func (f *Frontend) SetDrainTimeout(d time.Duration) { f.drain = d }
 
 // Handler returns the front-end's HTTP handler.
 func (f *Frontend) Handler() http.Handler { return f.mux }
 
 // EnableCache adds an LRU result cache of the given capacity in front of
-// the scatter/gather path. Call before serving traffic.
+// the scatter/gather path. Call before serving traffic. Only complete
+// responses (every node answered) are cached, so a transient node outage
+// can never poison the cache with partial result lists.
 func (f *Frontend) EnableCache(capacity int) {
 	f.cache = qcache.New[SearchResponse](capacity)
 }
@@ -69,14 +129,61 @@ func (f *Frontend) CacheHitRate() float64 {
 	return f.cache.HitRate()
 }
 
+// ResilienceStats summarizes the front-end's resilience counters.
+type ResilienceStats struct {
+	// Queries is the number of scatter/gather queries served (cache
+	// hits excluded).
+	Queries int64
+	// Hedges is the number of hedge sub-requests issued.
+	Hedges int64
+	// Retries is the number of retry attempts issued.
+	Retries int64
+	// HedgeRate is hedges per node sub-request.
+	HedgeRate float64
+	// Nodes holds one health snapshot per configured node, in node
+	// order.
+	Nodes []resilience.HealthSnapshot
+}
+
+// ResilienceStats returns a point-in-time view of hedging, retry and
+// per-node health counters.
+func (f *Frontend) ResilienceStats() ResilienceStats {
+	st := ResilienceStats{
+		Queries: f.queries.Load(),
+		Hedges:  f.hedges.Load(),
+		Retries: f.retries.Load(),
+		Nodes:   make([]resilience.HealthSnapshot, len(f.health)),
+	}
+	var subRequests int64
+	for i, h := range f.health {
+		st.Nodes[i] = h.Snapshot()
+		subRequests += st.Nodes[i].Requests
+	}
+	if subRequests > 0 {
+		st.HedgeRate = float64(st.Hedges) / float64(subRequests)
+	}
+	return st
+}
+
 // cacheKey identifies a request for caching.
 func cacheKey(req SearchRequest) string {
 	return fmt.Sprintf("%s\x00%s\x00%d", req.Mode, req.Query, req.TopK)
 }
 
-// Search scatters req to all nodes and merges the responses. It is the
-// in-process API used both by the HTTP handler and by local clients.
+// Search scatters req to all nodes and merges the responses, with no
+// caller deadline beyond the policy's. It is the in-process API used by
+// local clients; HTTP traffic flows through SearchContext with the
+// request's context.
 func (f *Frontend) Search(req SearchRequest) (SearchResponse, error) {
+	return f.SearchContext(context.Background(), req)
+}
+
+// SearchContext scatters req to all nodes and merges the responses,
+// honoring ctx and the policy's per-query deadline (whichever is
+// sooner). A partial merge — some nodes failed or were breaker-skipped —
+// is returned with Degraded set; total failure returns the join of every
+// node's error.
+func (f *Frontend) SearchContext(ctx context.Context, req SearchRequest) (SearchResponse, error) {
 	if req.TopK <= 0 {
 		req.TopK = f.topK
 	}
@@ -91,6 +198,12 @@ func (f *Frontend) Search(req SearchRequest) (SearchResponse, error) {
 	if err != nil {
 		return SearchResponse{}, err
 	}
+	if f.policy.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, f.policy.Deadline)
+		defer cancel()
+	}
+	f.queries.Add(1)
 
 	type nodeResult struct {
 		resp SearchResponse
@@ -98,36 +211,36 @@ func (f *Frontend) Search(req SearchRequest) (SearchResponse, error) {
 	}
 	results := make([]nodeResult, len(f.nodes))
 	var wg sync.WaitGroup
-	for i, base := range f.nodes {
+	for i := range f.nodes {
 		wg.Add(1)
-		go func(i int, base string) {
+		go func(i int) {
 			defer wg.Done()
-			results[i].resp, results[i].err = f.queryNode(base, body)
-		}(i, base)
+			results[i].resp, results[i].err = f.dispatchNode(ctx, i, body)
+		}(i)
 	}
 	wg.Wait()
 
 	var merged SearchResponse
-	var firstErr error
+	var errs []error
 	var maxTook int64
 	for i := range results {
 		if results[i].err != nil {
 			// Degraded results: the benchmark front-end answers with
 			// whatever nodes responded; total failure is an error.
-			if firstErr == nil {
-				firstErr = fmt.Errorf("cluster: node %s: %w", f.nodes[i], results[i].err)
-			}
+			errs = append(errs, fmt.Errorf("cluster: node %s: %w", f.nodes[i], results[i].err))
 			continue
 		}
+		merged.NodesAnswered++
 		merged.Hits = append(merged.Hits, results[i].resp.Hits...)
 		merged.Matches += results[i].resp.Matches
 		if results[i].resp.TookMicros > maxTook {
 			maxTook = results[i].resp.TookMicros
 		}
 	}
-	if len(merged.Hits) == 0 && firstErr != nil {
-		return SearchResponse{}, firstErr
+	if merged.NodesAnswered == 0 {
+		return SearchResponse{}, errors.Join(errs...)
 	}
+	merged.Degraded = merged.NodesAnswered < len(f.nodes)
 	sort.SliceStable(merged.Hits, func(i, j int) bool {
 		if merged.Hits[i].Score != merged.Hits[j].Score {
 			return merged.Hits[i].Score > merged.Hits[j].Score
@@ -139,21 +252,171 @@ func (f *Frontend) Search(req SearchRequest) (SearchResponse, error) {
 	}
 	merged.TookMicros = maxTook
 	merged.Node = "frontend"
-	if f.cache != nil {
+	if f.cache != nil && !merged.Degraded {
 		f.cache.Put(cacheKey(req), merged)
 	}
 	return merged, nil
 }
 
-func (f *Frontend) queryNode(base string, body []byte) (SearchResponse, error) {
-	resp, err := f.client.Post(base+"/search", "application/json", bytes.NewReader(body))
+// dispatchNode runs the full per-node resilience ladder: breaker check,
+// hedged attempt, then budgeted retries with jittered backoff for
+// transient errors.
+func (f *Frontend) dispatchNode(ctx context.Context, i int, body []byte) (SearchResponse, error) {
+	h := f.health[i]
+	h.ObserveRequest()
+	f.budget.Deposit()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if !h.Breaker().Allow() {
+			if lastErr != nil {
+				return SearchResponse{}, lastErr
+			}
+			return SearchResponse{}, ErrCircuitOpen
+		}
+		resp, err := f.hedgedQuery(ctx, i, body)
+		if err == nil {
+			return resp, nil
+		}
+		h.ObserveFailure()
+		lastErr = err
+		if attempt >= f.policy.MaxRetries || !transientErr(err) || ctx.Err() != nil {
+			return SearchResponse{}, lastErr
+		}
+		if !f.budget.Withdraw() {
+			return SearchResponse{}, fmt.Errorf("retry budget exhausted: %w", lastErr)
+		}
+		f.retries.Add(1)
+		h.ObserveRetry()
+		if delay := f.backoffDelay(attempt); delay > 0 {
+			timer := time.NewTimer(delay)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return SearchResponse{}, lastErr
+			case <-timer.C:
+			}
+		}
+	}
+}
+
+// backoffDelay draws the jittered backoff for one retry attempt.
+func (f *Frontend) backoffDelay(attempt int) time.Duration {
+	f.rngMu.Lock()
+	defer f.rngMu.Unlock()
+	return f.policy.RetryBackoff.Delay(attempt, f.rng)
+}
+
+// hedgedQuery issues one sub-request to node i and, when hedging is
+// enabled and the node has not answered within the hedge delay, races a
+// duplicate against it, returning the first success. Success latency
+// feeds the node's p95 tracker (and hence the adaptive hedge delay).
+func (f *Frontend) hedgedQuery(ctx context.Context, i int, body []byte) (SearchResponse, error) {
+	h := f.health[i]
+	base := f.nodes[i]
+	if !f.policy.HedgeEnabled {
+		start := time.Now()
+		resp, err := f.queryNode(ctx, base, body)
+		if err == nil {
+			h.ObserveSuccess(time.Since(start))
+		}
+		return resp, err
+	}
+	delay := f.policy.HedgeAfter
+	if delay <= 0 {
+		delay = h.P95()
+		if delay <= 0 {
+			delay = defaultHedgeDelay
+		}
+		if delay < f.policy.HedgeMinDelay {
+			delay = f.policy.HedgeMinDelay
+		}
+	}
+	// The loser is canceled as soon as a winner returns, freeing the
+	// node (its handler honors request-context cancellation).
+	subCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type attemptResult struct {
+		resp SearchResponse
+		err  error
+		lat  time.Duration
+	}
+	ch := make(chan attemptResult, 2)
+	launch := func() {
+		start := time.Now()
+		resp, err := f.queryNode(subCtx, base, body)
+		ch <- attemptResult{resp, err, time.Since(start)}
+	}
+	go launch()
+	launched := 1
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	var lastErr error
+	for received := 0; received < launched; {
+		select {
+		case r := <-ch:
+			received++
+			if r.err == nil {
+				h.ObserveSuccess(r.lat)
+				return r.resp, nil
+			}
+			lastErr = r.err
+		case <-timer.C:
+			if launched == 1 {
+				launched++
+				f.hedges.Add(1)
+				h.ObserveHedge()
+				go launch()
+			}
+		case <-ctx.Done():
+			return SearchResponse{}, ctx.Err()
+		}
+	}
+	return SearchResponse{}, lastErr
+}
+
+// statusError is a non-200 node response, kept typed so the retry path
+// can distinguish transient (502/503/504/429) from permanent statuses.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return fmt.Sprintf("status %d: %s", e.code, e.msg) }
+
+// transientErr reports whether an error is worth a retry: transport-level
+// failures and overload statuses are; context cancellation, client
+// errors, and malformed responses are not.
+func transientErr(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var se *statusError
+	if errors.As(err, &se) {
+		switch se.code {
+		case http.StatusTooManyRequests, http.StatusBadGateway,
+			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true
+		}
+		return false
+	}
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+func (f *Frontend) queryNode(ctx context.Context, base string, body []byte) (SearchResponse, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/search", bytes.NewReader(body))
+	if err != nil {
+		return SearchResponse{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := f.client.Do(hreq)
 	if err != nil {
 		return SearchResponse{}, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return SearchResponse{}, fmt.Errorf("status %d: %s", resp.StatusCode, msg)
+		return SearchResponse{}, &statusError{code: resp.StatusCode, msg: string(msg)}
 	}
 	var out SearchResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
@@ -173,8 +436,12 @@ func (f *Frontend) handleSearch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	resp, err := f.Search(req)
+	resp, err := f.SearchContext(r.Context(), req)
 	if err != nil {
+		if r.Context().Err() != nil {
+			// Client is gone; nothing useful to write.
+			return
+		}
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
@@ -194,10 +461,17 @@ func (f *Frontend) Start(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close shuts the front-end down.
+// Close shuts the front-end down gracefully: the listener stops accepting
+// immediately, in-flight requests get up to the drain timeout to finish,
+// then remaining connections are forced shut.
 func (f *Frontend) Close() error {
 	if f.srv == nil {
 		return nil
 	}
-	return f.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), f.drain)
+	defer cancel()
+	if err := f.srv.Shutdown(ctx); err != nil {
+		return f.srv.Close()
+	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -19,8 +20,9 @@ type Node struct {
 	topK     int
 	mux      *http.ServeMux
 
-	srv *http.Server
-	ln  net.Listener
+	drain time.Duration
+	srv   *http.Server
+	ln    net.Listener
 }
 
 // NewNode creates a serving node over idx. Queries are evaluated with
@@ -35,6 +37,7 @@ func NewNode(name string, idx *partition.Index, opts search.Options, parallel bo
 		searcher: partition.NewSearcher(idx, opts, parallel),
 		topK:     opts.TopK,
 		mux:      http.NewServeMux(),
+		drain:    defaultDrainTimeout,
 	}
 	n.mux.HandleFunc("POST /search", n.handleSearch)
 	n.mux.HandleFunc("GET /stats", n.handleStats)
@@ -45,7 +48,14 @@ func NewNode(name string, idx *partition.Index, opts search.Options, parallel bo
 // tests.
 func (n *Node) Handler() http.Handler { return n.mux }
 
-// handleSearch evaluates one query.
+// SetDrainTimeout bounds how long Close waits for in-flight requests
+// before forcing connections shut.
+func (n *Node) SetDrainTimeout(d time.Duration) { n.drain = d }
+
+// handleSearch evaluates one query. It honors request-context
+// cancellation: when the front-end's deadline fires or a hedged duplicate
+// wins the race, the handler returns immediately instead of holding the
+// connection until the evaluation finishes.
 func (n *Node) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var req SearchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -57,26 +67,41 @@ func (n *Node) handleSearch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	start := time.Now()
-	res := n.searcher.ParseAndSearch(req.Query, mode)
-	took := time.Since(start)
+	ctx := r.Context()
+	if ctx.Err() != nil {
+		return
+	}
+	done := make(chan SearchResponse, 1)
+	go func() {
+		start := time.Now()
+		res := n.searcher.ParseAndSearch(req.Query, mode)
+		took := time.Since(start)
 
-	k := req.TopK
-	if k <= 0 || k > len(res.Hits) {
-		k = len(res.Hits)
+		k := req.TopK
+		if k <= 0 || k > len(res.Hits) {
+			k = len(res.Hits)
+		}
+		resp := SearchResponse{
+			Hits:       make([]WireHit, 0, k),
+			Matches:    res.Matches,
+			TookMicros: took.Microseconds(),
+			Node:       n.name,
+		}
+		idx := n.searcher.Index()
+		for _, h := range res.Hits[:k] {
+			doc := idx.Doc(h.Doc)
+			resp.Hits = append(resp.Hits, WireHit{URL: doc.URL, Title: doc.Title, Score: h.Score})
+		}
+		done <- resp
+	}()
+	select {
+	case resp := <-done:
+		writeJSON(w, resp)
+	case <-ctx.Done():
+		// Caller gave up (deadline, hedge win, or disconnect); the
+		// evaluation goroutine finishes into the buffered channel and
+		// its result is dropped.
 	}
-	resp := SearchResponse{
-		Hits:       make([]WireHit, 0, k),
-		Matches:    res.Matches,
-		TookMicros: took.Microseconds(),
-		Node:       n.name,
-	}
-	idx := n.searcher.Index()
-	for _, h := range res.Hits[:k] {
-		doc := idx.Doc(h.Doc)
-		resp.Hits = append(resp.Hits, WireHit{URL: doc.URL, Title: doc.Title, Score: h.Score})
-	}
-	writeJSON(w, resp)
 }
 
 // handleStats reports the node's index shape.
@@ -112,24 +137,43 @@ func writeJSON(w http.ResponseWriter, v any) {
 // Start listens on addr ("127.0.0.1:0" picks a free port) and serves in
 // the background. It returns the bound address.
 func (n *Node) Start(addr string) (string, error) {
+	return n.StartWith(addr, nil)
+}
+
+// StartWith is Start with an optional middleware wrapped around the
+// node's handler — the hook fault-injection tests and experiments use to
+// put a resilience.FaultInjector in front of a live node.
+func (n *Node) StartWith(addr string, wrap func(http.Handler) http.Handler) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("cluster: node %s listen: %w", n.name, err)
 	}
 	n.ln = ln
-	n.srv = &http.Server{Handler: n.mux}
+	var h http.Handler = n.mux
+	if wrap != nil {
+		h = wrap(h)
+	}
+	n.srv = &http.Server{Handler: h}
 	go func() {
-		// Serve exits with ErrServerClosed on Close; other errors mean
-		// the listener died, which tests will observe as conn refused.
+		// Serve exits with ErrServerClosed on Shutdown/Close; other
+		// errors mean the listener died, which tests will observe as
+		// conn refused.
 		_ = n.srv.Serve(ln)
 	}()
 	return ln.Addr().String(), nil
 }
 
-// Close shuts the node down.
+// Close shuts the node down gracefully: the listener stops accepting
+// immediately, in-flight requests get up to the drain timeout to finish,
+// then remaining connections are forced shut.
 func (n *Node) Close() error {
 	if n.srv == nil {
 		return nil
 	}
-	return n.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), n.drain)
+	defer cancel()
+	if err := n.srv.Shutdown(ctx); err != nil {
+		return n.srv.Close()
+	}
+	return nil
 }

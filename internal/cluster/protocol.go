@@ -49,6 +49,13 @@ type SearchResponse struct {
 	TookMicros int64 `json:"tookMicros"`
 	// Node identifies the responding node, for debugging.
 	Node string `json:"node,omitempty"`
+	// NodesAnswered is how many index-serving nodes contributed to a
+	// merged front-end response (0 on single-node responses).
+	NodesAnswered int `json:"nodesAnswered,omitempty"`
+	// Degraded marks a partial merge: at least one node failed or was
+	// skipped by its circuit breaker, so Hits may be incomplete.
+	// Degraded responses are never cached by the front-end.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // Took returns the node-side service time.

@@ -1,0 +1,92 @@
+package resilience
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff is a jittered exponential backoff schedule: attempt n waits a
+// uniformly random duration in (0, min(Max, Base·Factorⁿ)] ("full
+// jitter"), which decorrelates retry storms across clients.
+type Backoff struct {
+	Base   time.Duration
+	Max    time.Duration
+	Factor float64
+}
+
+// Delay returns the wait before retry attempt n (0-based), drawn from
+// rng. A zero Base disables waiting.
+func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
+	if b.Base <= 0 {
+		return 0
+	}
+	factor := b.Factor
+	if factor < 1 {
+		factor = 2
+	}
+	ceil := float64(b.Base)
+	for i := 0; i < attempt; i++ {
+		ceil *= factor
+		if b.Max > 0 && ceil >= float64(b.Max) {
+			ceil = float64(b.Max)
+			break
+		}
+	}
+	if b.Max > 0 && ceil > float64(b.Max) {
+		ceil = float64(b.Max)
+	}
+	return time.Duration(rng.Float64() * ceil)
+}
+
+// Budget is a token-bucket retry budget (the Finagle discipline): every
+// first attempt deposits Ratio tokens, every retry withdraws one, so
+// sustained retry volume is capped at ~Ratio of request volume and a
+// failing backend cannot trigger a retry storm.
+type Budget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	ratio  float64
+}
+
+// NewBudget returns a budget refilling at ratio tokens per request,
+// holding at most maxTokens. A non-positive ratio returns nil, which
+// every method treats as "unlimited".
+func NewBudget(ratio float64, maxTokens float64) *Budget {
+	if ratio <= 0 {
+		return nil
+	}
+	if maxTokens <= 0 {
+		maxTokens = 10
+	}
+	// Start full so cold-start failures can still retry.
+	return &Budget{tokens: maxTokens, max: maxTokens, ratio: ratio}
+}
+
+// Deposit credits the budget for one first attempt.
+func (b *Budget) Deposit() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.max {
+		b.tokens = b.max
+	}
+	b.mu.Unlock()
+}
+
+// Withdraw takes one retry token, reporting whether the retry is allowed.
+func (b *Budget) Withdraw() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -1,0 +1,138 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// Closed: requests flow normally.
+	Closed BreakerState = iota
+	// Open: the node is presumed dead; requests are rejected locally.
+	Open
+	// HalfOpen: the cooldown elapsed and one probe is in flight.
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a consecutive-failure circuit breaker. It trips to Open
+// after threshold consecutive failures, rejects requests for the
+// cooldown, then admits a single half-open probe: success closes the
+// circuit, failure re-opens it for another cooldown. A zero threshold
+// disables tripping. Breaker is safe for concurrent use.
+type Breaker struct {
+	mu          sync.Mutex
+	threshold   int
+	cooldown    time.Duration
+	consecFails int
+	state       BreakerState
+	openedAt    time.Time
+	probing     bool
+	now         func() time.Time
+}
+
+// NewBreaker returns a breaker tripping after threshold consecutive
+// failures and cooling down for cooldown before the half-open probe.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// SetClock overrides the breaker's time source, for deterministic tests.
+func (b *Breaker) SetClock(now func() time.Time) {
+	b.mu.Lock()
+	b.now = now
+	b.mu.Unlock()
+}
+
+// Allow reports whether a request may be sent. In the half-open state
+// only one probe is admitted at a time.
+func (b *Breaker) Allow() bool {
+	if b == nil || b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = HalfOpen
+		b.probing = true
+		return true
+	case HalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return true
+}
+
+// OnSuccess records a successful request, closing the circuit.
+func (b *Breaker) OnSuccess() {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.consecFails = 0
+	b.state = Closed
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// OnFailure records a failed request. A half-open probe failure re-opens
+// the circuit immediately; in the closed state the consecutive-failure
+// counter advances toward the threshold.
+func (b *Breaker) OnFailure() {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case HalfOpen:
+		b.state = Open
+		b.openedAt = b.now()
+		b.probing = false
+	case Closed:
+		b.consecFails++
+		if b.consecFails >= b.threshold {
+			b.state = Open
+			b.openedAt = b.now()
+		}
+	case Open:
+		// Late failure from a request admitted before the trip.
+	}
+}
+
+// State returns the breaker's current position, advancing Open to
+// HalfOpen-eligible reporting only on Allow (State is a pure read).
+func (b *Breaker) State() BreakerState {
+	if b == nil || b.threshold <= 0 {
+		return Closed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

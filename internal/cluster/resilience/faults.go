@@ -1,0 +1,142 @@
+package resilience
+
+import (
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// FaultConfig describes the faults an injector applies to each request.
+// Probabilities are evaluated independently per request in the order
+// blackhole → error → latency, from a deterministic seeded stream.
+type FaultConfig struct {
+	// BlackholeProb is the probability a request is swallowed: the
+	// connection is held open and no bytes are ever written, until the
+	// client gives up (deadline, hedge win, or disconnect).
+	BlackholeProb float64
+	// ErrorProb is the probability a request fails fast with ErrorCode.
+	ErrorProb float64
+	// ErrorCode is the injected status (default 503).
+	ErrorCode int
+	// LatencyProb is the probability Latency is added before the real
+	// handler runs — the "10x straggler" of the hedging studies.
+	LatencyProb float64
+	Latency     time.Duration
+	// Seed makes the fault stream reproducible.
+	Seed int64
+}
+
+// FaultStats counts what an injector actually did.
+type FaultStats struct {
+	Requests    int64
+	Blackholed  int64
+	Errored     int64
+	Delayed     int64
+	PassedClean int64
+}
+
+// FaultInjector is an http.Handler middleware that injects latency,
+// errors, and blackholes in front of a real handler, with a deterministic
+// seeded random stream. Config can be swapped mid-run with Update, which
+// is how tests kill, slow, and heal a node while traffic flows.
+type FaultInjector struct {
+	mu    sync.Mutex
+	cfg   FaultConfig
+	rng   *rand.Rand
+	stats FaultStats
+	next  http.Handler
+}
+
+// NewFaultInjector wraps next with the given fault configuration.
+func NewFaultInjector(next http.Handler, cfg FaultConfig) *FaultInjector {
+	if cfg.ErrorCode == 0 {
+		cfg.ErrorCode = http.StatusServiceUnavailable
+	}
+	return &FaultInjector{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		next: next,
+	}
+}
+
+// Update swaps the fault configuration mid-run. The random stream is kept
+// so a run stays reproducible across reconfigurations.
+func (fi *FaultInjector) Update(cfg FaultConfig) {
+	fi.mu.Lock()
+	if cfg.ErrorCode == 0 {
+		cfg.ErrorCode = http.StatusServiceUnavailable
+	}
+	cfg.Seed = fi.cfg.Seed
+	fi.cfg = cfg
+	fi.mu.Unlock()
+}
+
+// Stats returns what the injector has done so far.
+func (fi *FaultInjector) Stats() FaultStats {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.stats
+}
+
+// fate draws this request's fault, consuming exactly one uniform variate
+// so the stream position is independent of the configured probabilities.
+type fate int
+
+const (
+	fateClean fate = iota
+	fateBlackhole
+	fateError
+	fateDelay
+)
+
+func (fi *FaultInjector) draw() (fate, FaultConfig) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	fi.stats.Requests++
+	u := fi.rng.Float64()
+	cfg := fi.cfg
+	switch {
+	case u < cfg.BlackholeProb:
+		fi.stats.Blackholed++
+		return fateBlackhole, cfg
+	case u < cfg.BlackholeProb+cfg.ErrorProb:
+		fi.stats.Errored++
+		return fateError, cfg
+	case u < cfg.BlackholeProb+cfg.ErrorProb+cfg.LatencyProb:
+		fi.stats.Delayed++
+		return fateDelay, cfg
+	default:
+		fi.stats.PassedClean++
+		return fateClean, cfg
+	}
+}
+
+// maxBlackhole bounds how long a blackholed connection is held when the
+// client never gives up, so a misconfigured test cannot leak handlers
+// forever.
+const maxBlackhole = 60 * time.Second
+
+// ServeHTTP applies the drawn fault and (unless the request was consumed
+// by it) forwards to the wrapped handler.
+func (fi *FaultInjector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f, cfg := fi.draw()
+	switch f {
+	case fateBlackhole:
+		select {
+		case <-r.Context().Done():
+		case <-time.After(maxBlackhole):
+		}
+		return
+	case fateError:
+		http.Error(w, "resilience: injected fault", cfg.ErrorCode)
+		return
+	case fateDelay:
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(cfg.Latency):
+		}
+	}
+	fi.next.ServeHTTP(w, r)
+}

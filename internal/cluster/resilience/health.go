@@ -1,0 +1,126 @@
+package resilience
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// healthWindow is the sliding sample count behind the latency estimate.
+const healthWindow = 128
+
+// minP95Samples is how many observations the tracker wants before it
+// trusts its p95; below this P95 returns 0 and callers fall back to a
+// fixed delay.
+const minP95Samples = 8
+
+// NodeHealth tracks one node's observed behaviour: a sliding window of
+// success latencies (for the adaptive hedge delay), lifetime counters,
+// and the node's circuit breaker. Safe for concurrent use.
+type NodeHealth struct {
+	mu      sync.Mutex
+	window  [healthWindow]time.Duration
+	idx     int
+	filled  int
+	breaker *Breaker
+
+	requests int64 // first attempts dispatched
+	failures int64 // attempts that errored (incl. hedges/retries)
+	hedges   int64 // hedge sub-requests issued
+	retries  int64 // retry attempts issued
+}
+
+// NewNodeHealth returns a tracker whose breaker trips after threshold
+// consecutive failures and cools down for cooldown.
+func NewNodeHealth(threshold int, cooldown time.Duration) *NodeHealth {
+	return &NodeHealth{breaker: NewBreaker(threshold, cooldown)}
+}
+
+// Breaker exposes the node's circuit breaker.
+func (h *NodeHealth) Breaker() *Breaker { return h.breaker }
+
+// ObserveSuccess records one successful attempt and its latency.
+func (h *NodeHealth) ObserveSuccess(lat time.Duration) {
+	h.mu.Lock()
+	h.window[h.idx] = lat
+	h.idx = (h.idx + 1) % healthWindow
+	if h.filled < healthWindow {
+		h.filled++
+	}
+	h.mu.Unlock()
+	h.breaker.OnSuccess()
+}
+
+// ObserveFailure records one failed attempt.
+func (h *NodeHealth) ObserveFailure() {
+	h.mu.Lock()
+	h.failures++
+	h.mu.Unlock()
+	h.breaker.OnFailure()
+}
+
+// ObserveRequest counts one first attempt.
+func (h *NodeHealth) ObserveRequest() {
+	h.mu.Lock()
+	h.requests++
+	h.mu.Unlock()
+}
+
+// ObserveHedge counts one hedge sub-request.
+func (h *NodeHealth) ObserveHedge() {
+	h.mu.Lock()
+	h.hedges++
+	h.mu.Unlock()
+}
+
+// ObserveRetry counts one retry attempt.
+func (h *NodeHealth) ObserveRetry() {
+	h.mu.Lock()
+	h.retries++
+	h.mu.Unlock()
+}
+
+// P95 returns the tracked 95th-percentile success latency, or 0 until
+// enough samples have been observed.
+func (h *NodeHealth) P95() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.filled < minP95Samples {
+		return 0
+	}
+	samples := make([]time.Duration, h.filled)
+	copy(samples, h.window[:h.filled])
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	rank := (95*h.filled + 99) / 100 // ceil(0.95 n)
+	if rank < 1 {
+		rank = 1
+	}
+	return samples[rank-1]
+}
+
+// HealthSnapshot is a point-in-time view of a node's tracked state.
+type HealthSnapshot struct {
+	Requests int64
+	Failures int64
+	Hedges   int64
+	Retries  int64
+	P95      time.Duration
+	State    BreakerState
+}
+
+// Snapshot returns the node's counters, latency estimate and breaker
+// state.
+func (h *NodeHealth) Snapshot() HealthSnapshot {
+	p95 := h.P95()
+	h.mu.Lock()
+	snap := HealthSnapshot{
+		Requests: h.requests,
+		Failures: h.failures,
+		Hedges:   h.hedges,
+		Retries:  h.retries,
+		P95:      p95,
+	}
+	h.mu.Unlock()
+	snap.State = h.breaker.State()
+	return snap
+}

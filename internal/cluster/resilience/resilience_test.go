@@ -1,0 +1,319 @@
+package resilience
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayBounds(t *testing.T) {
+	b := Backoff{Base: 2 * time.Millisecond, Max: 16 * time.Millisecond, Factor: 2}
+	rng := rand.New(rand.NewSource(1))
+	for attempt := 0; attempt < 8; attempt++ {
+		ceil := 2 * time.Millisecond << attempt
+		if ceil > 16*time.Millisecond {
+			ceil = 16 * time.Millisecond
+		}
+		for i := 0; i < 50; i++ {
+			d := b.Delay(attempt, rng)
+			if d < 0 || d > ceil {
+				t.Fatalf("attempt %d: delay %v outside [0, %v]", attempt, d, ceil)
+			}
+		}
+	}
+}
+
+func TestBackoffZeroBase(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if d := (Backoff{}).Delay(3, rng); d != 0 {
+		t.Errorf("zero backoff delay = %v", d)
+	}
+}
+
+func TestBudget(t *testing.T) {
+	b := NewBudget(0.5, 2)
+	// Starts full: 2 retries allowed.
+	if !b.Withdraw() || !b.Withdraw() {
+		t.Fatal("full budget refused a retry")
+	}
+	if b.Withdraw() {
+		t.Fatal("empty budget allowed a retry")
+	}
+	// Two deposits refill one token.
+	b.Deposit()
+	if b.Withdraw() {
+		t.Fatal("half a token allowed a retry")
+	}
+	b.Deposit()
+	if !b.Withdraw() {
+		t.Fatal("refilled budget refused a retry")
+	}
+}
+
+func TestBudgetNilUnlimited(t *testing.T) {
+	var b *Budget
+	b.Deposit()
+	if !b.Withdraw() {
+		t.Error("nil budget should be unlimited")
+	}
+	if NewBudget(0, 5) != nil {
+		t.Error("zero ratio should return nil budget")
+	}
+}
+
+func TestBreakerTripAndRecover(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	b := NewBreaker(3, 100*time.Millisecond)
+	b.SetClock(clock)
+
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker denied request %d", i)
+		}
+		b.OnFailure()
+	}
+	if b.State() != Closed {
+		t.Fatalf("state after 2 failures = %v", b.State())
+	}
+	b.OnFailure() // third consecutive failure trips
+	if b.State() != Open {
+		t.Fatalf("state after threshold = %v", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request inside cooldown")
+	}
+
+	now = now.Add(150 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker denied the half-open probe after cooldown")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state during probe = %v", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe allowed in half-open")
+	}
+	// Failed probe re-opens for another cooldown.
+	b.OnFailure()
+	if b.State() != Open || b.Allow() {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	now = now.Add(150 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("no second probe after re-open cooldown")
+	}
+	b.OnSuccess()
+	if b.State() != Closed {
+		t.Fatalf("state after successful probe = %v", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker denied requests after recovery")
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := NewBreaker(3, time.Second)
+	b.OnFailure()
+	b.OnFailure()
+	b.OnSuccess()
+	b.OnFailure()
+	b.OnFailure()
+	if b.State() != Closed {
+		t.Error("non-consecutive failures tripped the breaker")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := NewBreaker(0, time.Second)
+	for i := 0; i < 10; i++ {
+		b.OnFailure()
+	}
+	if !b.Allow() || b.State() != Closed {
+		t.Error("zero-threshold breaker tripped")
+	}
+	var nilB *Breaker
+	if !nilB.Allow() || nilB.State() != Closed {
+		t.Error("nil breaker not permissive")
+	}
+	nilB.OnSuccess()
+	nilB.OnFailure()
+}
+
+func TestNodeHealthP95(t *testing.T) {
+	h := NewNodeHealth(5, time.Second)
+	if h.P95() != 0 {
+		t.Error("P95 nonzero before enough samples")
+	}
+	// 100 samples 1..100ms: p95 is the 95th smallest.
+	for i := 1; i <= 100; i++ {
+		h.ObserveSuccess(time.Duration(i) * time.Millisecond)
+	}
+	if got := h.P95(); got != 95*time.Millisecond {
+		t.Errorf("P95 = %v, want 95ms", got)
+	}
+	// Window slides: 128 fast samples push the old ones out.
+	for i := 0; i < 2*healthWindow; i++ {
+		h.ObserveSuccess(time.Millisecond)
+	}
+	if got := h.P95(); got != time.Millisecond {
+		t.Errorf("P95 after slide = %v, want 1ms", got)
+	}
+}
+
+func TestNodeHealthSnapshot(t *testing.T) {
+	h := NewNodeHealth(2, time.Second)
+	h.ObserveRequest()
+	h.ObserveRequest()
+	h.ObserveHedge()
+	h.ObserveRetry()
+	h.ObserveFailure()
+	h.ObserveFailure()
+	s := h.Snapshot()
+	if s.Requests != 2 || s.Hedges != 1 || s.Retries != 1 || s.Failures != 2 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if s.State != Open {
+		t.Errorf("breaker state = %v after threshold failures", s.State)
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for s, want := range map[BreakerState]string{
+		Closed: "closed", Open: "open", HalfOpen: "half-open", BreakerState(9): "unknown",
+	} {
+		if s.String() != want {
+			t.Errorf("String(%d) = %q", int(s), s.String())
+		}
+	}
+}
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+}
+
+func TestFaultInjectorDeterministic(t *testing.T) {
+	run := func() FaultStats {
+		fi := NewFaultInjector(okHandler(), FaultConfig{ErrorProb: 0.3, Seed: 42})
+		srv := httptest.NewServer(fi)
+		defer srv.Close()
+		for i := 0; i < 50; i++ {
+			resp, err := http.Get(srv.URL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+		return fi.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed produced different fault streams: %+v vs %+v", a, b)
+	}
+	if a.Errored == 0 || a.PassedClean == 0 {
+		t.Errorf("expected a mix of faults and passes: %+v", a)
+	}
+	if a.Requests != 50 {
+		t.Errorf("requests = %d", a.Requests)
+	}
+}
+
+func TestFaultInjectorErrorCode(t *testing.T) {
+	fi := NewFaultInjector(okHandler(), FaultConfig{ErrorProb: 1})
+	srv := httptest.NewServer(fi)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("injected status = %d, want 503 default", resp.StatusCode)
+	}
+}
+
+func TestFaultInjectorLatencyAndUpdate(t *testing.T) {
+	fi := NewFaultInjector(okHandler(), FaultConfig{LatencyProb: 1, Latency: 40 * time.Millisecond})
+	srv := httptest.NewServer(fi)
+	defer srv.Close()
+
+	start := time.Now()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if took := time.Since(start); took < 40*time.Millisecond {
+		t.Errorf("latency injection took only %v", took)
+	}
+	// Heal mid-run: subsequent requests are fast and clean.
+	fi.Update(FaultConfig{})
+	start = time.Now()
+	resp, err = http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healed injector status = %d", resp.StatusCode)
+	}
+	if took := time.Since(start); took > 30*time.Millisecond {
+		t.Errorf("healed injector still slow: %v", took)
+	}
+}
+
+func TestFaultInjectorBlackhole(t *testing.T) {
+	fi := NewFaultInjector(okHandler(), FaultConfig{BlackholeProb: 1})
+	srv := httptest.NewServer(fi)
+	defer srv.Close()
+	client := &http.Client{Timeout: 60 * time.Millisecond}
+	start := time.Now()
+	_, err := client.Get(srv.URL)
+	if err == nil {
+		t.Fatal("blackholed request returned a response")
+	}
+	if time.Since(start) < 50*time.Millisecond {
+		t.Error("blackholed request failed before the client deadline")
+	}
+	if fi.Stats().Blackholed != 1 {
+		t.Errorf("stats = %+v", fi.Stats())
+	}
+}
+
+func TestFaultInjectorConcurrent(t *testing.T) {
+	fi := NewFaultInjector(okHandler(), FaultConfig{ErrorProb: 0.5, Seed: 7})
+	srv := httptest.NewServer(fi)
+	defer srv.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				resp, err := http.Get(srv.URL)
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := fi.Stats().Requests; got != 160 {
+		t.Errorf("requests = %d, want 160", got)
+	}
+}
+
+func TestDefaultPolicy(t *testing.T) {
+	p := DefaultPolicy()
+	if p.Deadline <= 0 || p.MaxRetries <= 0 || p.BreakerThreshold <= 0 {
+		t.Errorf("default policy not production-shaped: %+v", p)
+	}
+	if p.HedgeEnabled {
+		t.Error("hedging should be opt-in by default")
+	}
+}

@@ -1,0 +1,504 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"websearchbench/internal/cluster/resilience"
+	"websearchbench/internal/corpus"
+	"websearchbench/internal/partition"
+	"websearchbench/internal/search"
+)
+
+// lenientPolicy disables retries, hedging and the breaker so merge
+// semantics can be tested one mechanism at a time.
+func lenientPolicy() resilience.Policy {
+	return resilience.Policy{Deadline: 5 * time.Second}
+}
+
+// fakeNode is a controllable stand-in index node: it serves a canned
+// response and can be switched to fail, return garbage, or stall.
+type fakeNode struct {
+	srv   *httptest.Server
+	resp  SearchResponse
+	mode  atomic.Int32 // 0 ok, 1 error 500, 2 malformed JSON, 3 stall
+	stall time.Duration
+}
+
+const (
+	fakeOK = iota
+	fakeFail
+	fakeMalformed
+	fakeStall
+)
+
+func newFakeNode(t *testing.T, resp SearchResponse) *fakeNode {
+	t.Helper()
+	f := &fakeNode{resp: resp, stall: time.Second}
+	f.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch f.mode.Load() {
+		case fakeFail:
+			http.Error(w, "synthetic node failure", http.StatusInternalServerError)
+		case fakeMalformed:
+			w.Write([]byte("{this is not json"))
+		case fakeStall:
+			select {
+			case <-r.Context().Done():
+			case <-time.After(f.stall):
+				json.NewEncoder(w).Encode(f.resp)
+			}
+		default:
+			json.NewEncoder(w).Encode(f.resp)
+		}
+	}))
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func (f *fakeNode) URL() string { return f.srv.URL }
+
+func fakeResp(name string, hits ...float64) SearchResponse {
+	r := SearchResponse{Node: name, Matches: len(hits)}
+	for i, s := range hits {
+		r.Hits = append(r.Hits, WireHit{
+			URL:   fmt.Sprintf("http://%s/doc-%d", name, i),
+			Title: fmt.Sprintf("%s doc %d", name, i),
+			Score: s,
+		})
+	}
+	return r
+}
+
+// TestPartialFailureMerge is the table-driven partial-failure semantics
+// test: 0, 1, and all nodes failing (plus a malformed-JSON node),
+// asserting hit counts, Degraded, NodesAnswered, and error contents.
+func TestPartialFailureMerge(t *testing.T) {
+	cases := []struct {
+		name          string
+		modes         [3]int32
+		wantErr       bool
+		wantAnswered  int
+		wantDegraded  bool
+		wantHits      int
+		wantErrSubstr []string
+	}{
+		{
+			name:         "all nodes answer",
+			modes:        [3]int32{fakeOK, fakeOK, fakeOK},
+			wantAnswered: 3,
+			wantDegraded: false,
+			wantHits:     6,
+		},
+		{
+			name:         "one node fails",
+			modes:        [3]int32{fakeOK, fakeFail, fakeOK},
+			wantAnswered: 2,
+			wantDegraded: true,
+			wantHits:     4,
+		},
+		{
+			name:         "one node returns malformed JSON",
+			modes:        [3]int32{fakeOK, fakeOK, fakeMalformed},
+			wantAnswered: 2,
+			wantDegraded: true,
+			wantHits:     4,
+		},
+		{
+			name:    "all nodes fail",
+			modes:   [3]int32{fakeFail, fakeFail, fakeMalformed},
+			wantErr: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			nodes := []*fakeNode{
+				newFakeNode(t, fakeResp("a", 9, 7)),
+				newFakeNode(t, fakeResp("b", 8, 6)),
+				newFakeNode(t, fakeResp("c", 5, 4)),
+			}
+			urls := make([]string, len(nodes))
+			for i, n := range nodes {
+				n.mode.Store(tc.modes[i])
+				urls[i] = n.URL()
+			}
+			fe, err := NewFrontend(urls, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fe.SetPolicy(lenientPolicy())
+			resp, err := fe.Search(SearchRequest{Query: "q"})
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("total failure returned no error")
+				}
+				// errors.Join must surface every failing node, not
+				// just the first.
+				for _, u := range urls {
+					if !strings.Contains(err.Error(), u) {
+						t.Errorf("error hides node %s: %v", u, err)
+					}
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.NodesAnswered != tc.wantAnswered {
+				t.Errorf("NodesAnswered = %d, want %d", resp.NodesAnswered, tc.wantAnswered)
+			}
+			if resp.Degraded != tc.wantDegraded {
+				t.Errorf("Degraded = %v, want %v", resp.Degraded, tc.wantDegraded)
+			}
+			if len(resp.Hits) != tc.wantHits {
+				t.Errorf("hits = %d, want %d", len(resp.Hits), tc.wantHits)
+			}
+			if resp.Matches != 2*tc.wantAnswered {
+				t.Errorf("Matches = %d, want %d", resp.Matches, 2*tc.wantAnswered)
+			}
+		})
+	}
+}
+
+// TestDegradedResponsesNotCached is the cache-poisoning regression test:
+// a partial merge must not be served from the cache after nodes recover.
+func TestDegradedResponsesNotCached(t *testing.T) {
+	a := newFakeNode(t, fakeResp("a", 9, 7))
+	b := newFakeNode(t, fakeResp("b", 8, 6))
+	fe, err := NewFrontend([]string{a.URL(), b.URL()}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe.SetPolicy(lenientPolicy())
+	fe.EnableCache(16)
+
+	b.mode.Store(fakeFail)
+	req := SearchRequest{Query: "q"}
+	degraded, err := fe.Search(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !degraded.Degraded || len(degraded.Hits) != 2 {
+		t.Fatalf("setup: expected a degraded 2-hit response, got %+v", degraded)
+	}
+
+	// Node recovers: the next query must re-scatter, not replay the
+	// partial result from the cache.
+	b.mode.Store(fakeOK)
+	full, err := fe.Search(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Node == "frontend-cache" {
+		t.Fatal("degraded response was served from the cache after recovery")
+	}
+	if full.Degraded || full.NodesAnswered != 2 || len(full.Hits) != 4 {
+		t.Errorf("post-recovery response still partial: %+v", full)
+	}
+
+	// The full response is cacheable as usual.
+	cached, err := fe.Search(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Node != "frontend-cache" {
+		t.Errorf("full response not cached: %q", cached.Node)
+	}
+	if len(cached.Hits) != 4 || cached.Degraded {
+		t.Errorf("cached response corrupted: %+v", cached)
+	}
+}
+
+// TestDeadlineWithStraggler: a stalled node must not hold the query past
+// the policy deadline; the response arrives degraded from the live node.
+func TestDeadlineWithStraggler(t *testing.T) {
+	fast := newFakeNode(t, fakeResp("fast", 9))
+	slow := newFakeNode(t, fakeResp("slow", 8))
+	slow.stall = 2 * time.Second
+	slow.mode.Store(fakeStall)
+
+	fe, err := NewFrontend([]string{fast.URL(), slow.URL()}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := lenientPolicy()
+	p.Deadline = 150 * time.Millisecond
+	fe.SetPolicy(p)
+
+	start := time.Now()
+	resp, err := fe.Search(SearchRequest{Query: "q"})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed > time.Second {
+		t.Errorf("query took %v, deadline was 150ms", elapsed)
+	}
+	if !resp.Degraded || resp.NodesAnswered != 1 {
+		t.Errorf("straggler-bound response = %+v, want degraded 1-node answer", resp)
+	}
+}
+
+// TestBreakerTripsAndRecovers drives a real node through a fault
+// injector: kill it, watch the breaker trip (fail-fast without contacting
+// the node), heal it, and watch the half-open probe close the circuit.
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	idx, err := partition.Build(func() corpus.Config {
+		c := corpus.DefaultConfig()
+		c.NumDocs = 60
+		c.VocabSize = 500
+		c.MeanBodyTerms = 20
+		return c
+	}(), 1, partition.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := NewNode("n", idx, search.Options{TopK: 5}, false)
+	inj := resilience.NewFaultInjector(node.Handler(), resilience.FaultConfig{Seed: 1})
+	addr, err := node.StartWith("127.0.0.1:0", func(h http.Handler) http.Handler { return inj })
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { node.Close() })
+
+	fe, err := NewFrontend([]string{"http://" + addr}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := lenientPolicy()
+	p.BreakerThreshold = 3
+	p.BreakerCooldown = 100 * time.Millisecond
+	fe.SetPolicy(p)
+	vocab := corpus.NewVocabulary(500)
+	req := SearchRequest{Query: vocab.Word(0)}
+
+	if _, err := fe.Search(req); err != nil {
+		t.Fatalf("healthy search failed: %v", err)
+	}
+
+	// Kill the node: every request now 503s.
+	inj.Update(resilience.FaultConfig{ErrorProb: 1})
+	for i := 0; i < 3; i++ {
+		if _, err := fe.Search(req); err == nil {
+			t.Fatalf("search %d against dead node succeeded", i)
+		}
+	}
+	st := fe.ResilienceStats()
+	if st.Nodes[0].State != resilience.Open {
+		t.Fatalf("breaker state after %d failures = %v, want open", 3, st.Nodes[0].State)
+	}
+
+	// While open, the frontend fails fast without contacting the node.
+	before := inj.Stats().Requests
+	_, err = fe.Search(req)
+	if err == nil || !strings.Contains(err.Error(), "circuit open") {
+		t.Fatalf("open-breaker search error = %v, want circuit open", err)
+	}
+	if got := inj.Stats().Requests; got != before {
+		t.Errorf("open breaker still contacted the node: %d -> %d requests", before, got)
+	}
+
+	// Heal the node and wait out the cooldown: the half-open probe
+	// succeeds and closes the circuit.
+	inj.Update(resilience.FaultConfig{})
+	time.Sleep(150 * time.Millisecond)
+	resp, err := fe.Search(req)
+	if err != nil {
+		t.Fatalf("post-recovery search failed: %v", err)
+	}
+	if resp.Degraded {
+		t.Error("post-recovery response flagged degraded")
+	}
+	if st := fe.ResilienceStats(); st.Nodes[0].State != resilience.Closed {
+		t.Errorf("breaker state after successful probe = %v, want closed", st.Nodes[0].State)
+	}
+}
+
+// TestHedgingBeatsStraggler: with every other request stalled, a hedge
+// re-issued after the hedge delay must answer far below the stall time,
+// and the hedge counters must record it.
+func TestHedgingBeatsStraggler(t *testing.T) {
+	var reqs atomic.Int64
+	canned := fakeResp("h", 9, 7)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if reqs.Add(1)%2 == 1 { // odd requests (the primaries) stall
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(2 * time.Second):
+			}
+		}
+		json.NewEncoder(w).Encode(canned)
+	}))
+	defer srv.Close()
+
+	fe, err := NewFrontend([]string{srv.URL}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := lenientPolicy()
+	p.HedgeEnabled = true
+	p.HedgeAfter = 20 * time.Millisecond
+	fe.SetPolicy(p)
+
+	start := time.Now()
+	resp, err := fe.Search(SearchRequest{Query: "q"})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Hits) != 2 || resp.Degraded {
+		t.Errorf("hedged response = %+v", resp)
+	}
+	if elapsed >= time.Second {
+		t.Errorf("hedge did not beat the straggler: %v", elapsed)
+	}
+	st := fe.ResilienceStats()
+	if st.Hedges < 1 {
+		t.Errorf("hedge counter = %d, want >= 1", st.Hedges)
+	}
+	if st.HedgeRate <= 0 {
+		t.Errorf("hedge rate = %v, want > 0", st.HedgeRate)
+	}
+}
+
+// TestRetryTransientFailure: a node that 503s once then recovers is
+// absorbed by a retry; the response is complete and the retry counted.
+func TestRetryTransientFailure(t *testing.T) {
+	var reqs atomic.Int64
+	canned := fakeResp("r", 9)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if reqs.Add(1) == 1 {
+			http.Error(w, "transient", http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(canned)
+	}))
+	defer srv.Close()
+
+	fe, err := NewFrontend([]string{srv.URL}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := lenientPolicy()
+	p.MaxRetries = 2
+	p.RetryBackoff = resilience.Backoff{Base: time.Millisecond, Max: 5 * time.Millisecond, Factor: 2}
+	fe.SetPolicy(p)
+
+	resp, err := fe.Search(SearchRequest{Query: "q"})
+	if err != nil {
+		t.Fatalf("retry did not absorb the transient failure: %v", err)
+	}
+	if resp.Degraded || resp.NodesAnswered != 1 {
+		t.Errorf("response after retry = %+v", resp)
+	}
+	if st := fe.ResilienceStats(); st.Retries != 1 {
+		t.Errorf("retries = %d, want 1", st.Retries)
+	}
+}
+
+// TestGracefulShutdownDrainsInflight: an in-flight query must complete
+// across Close (Shutdown semantics), not be dropped mid-request.
+func TestGracefulShutdownDrainsInflight(t *testing.T) {
+	idx, err := partition.Build(func() corpus.Config {
+		c := corpus.DefaultConfig()
+		c.NumDocs = 60
+		c.VocabSize = 500
+		c.MeanBodyTerms = 20
+		return c
+	}(), 1, partition.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := NewNode("n", idx, search.Options{TopK: 5}, false)
+	// 200ms of injected latency keeps the query in flight across Close.
+	inj := resilience.NewFaultInjector(node.Handler(), resilience.FaultConfig{
+		LatencyProb: 1, Latency: 200 * time.Millisecond, Seed: 1,
+	})
+	addr, err := node.StartWith("127.0.0.1:0", func(h http.Handler) http.Handler { return inj })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vocab := corpus.NewVocabulary(500)
+	client := NewClient("http://"+addr, 5)
+	type outcome struct {
+		resp SearchResponse
+		err  error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		r, err := client.Search(vocab.Word(0), search.ModeOr)
+		done <- outcome{r, err}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the request reach the node
+	if err := node.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	out := <-done
+	if out.err != nil {
+		t.Fatalf("in-flight query dropped across Close: %v", out.err)
+	}
+	if len(out.resp.Hits) == 0 {
+		t.Error("drained query returned no hits")
+	}
+	// And the listener really is down.
+	if _, err := client.Search(vocab.Word(0), search.ModeOr); err == nil {
+		t.Error("node still serving after Close")
+	}
+}
+
+// TestClientContextCancellation: an already-canceled context aborts the
+// request before any bytes move.
+func TestClientContextCancellation(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(fakeResp("x", 1))
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.SearchContext(ctx, "q", search.ModeOr); err == nil {
+		t.Error("canceled context produced a response")
+	}
+	// SetDeadline bounds Do against a stalled server.
+	stalled := newFakeNode(t, fakeResp("s", 1))
+	stalled.stall = 2 * time.Second
+	stalled.mode.Store(fakeStall)
+	dc := NewClient(stalled.URL(), 10)
+	dc.SetDeadline(50 * time.Millisecond)
+	start := time.Now()
+	if _, err := dc.Search("q", search.ModeOr); err == nil {
+		t.Error("deadline-bound search against stalled server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("deadline not enforced: %v", elapsed)
+	}
+}
+
+// TestClientDegradedCount: the client counts degraded responses for the
+// load generator.
+func TestClientDegradedCount(t *testing.T) {
+	deg := fakeResp("d", 5)
+	deg.Degraded = true
+	deg.NodesAnswered = 1
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(deg)
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL, 10)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Search("q", search.ModeOr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.DegradedCount(); got != 3 {
+		t.Errorf("DegradedCount = %d, want 3", got)
+	}
+}

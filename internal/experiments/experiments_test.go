@@ -440,6 +440,53 @@ func TestE18Hedging(t *testing.T) {
 	}
 }
 
+func TestE19LiveFaults(t *testing.T) {
+	c := smokeContext(t)
+	res := c.E19LiveFaults()
+	if len(res.Rows) != 3 {
+		t.Fatal("want 3 rows")
+	}
+	plain, hedged, flaky := res.Rows[0], res.Rows[1], res.Rows[2]
+	// Injected 10x+ stragglers dominate the unhedged tail.
+	if plain.P99 < e19StragglerLatency {
+		t.Errorf("unhedged p99 %v below injected straggler latency %v",
+			plain.P99, e19StragglerLatency)
+	}
+	if plain.HedgeRate != 0 {
+		t.Errorf("unhedged run hedged: %+v", plain)
+	}
+	// Hedging must measurably cut p99 on the real cluster: a straggling
+	// sub-request is re-issued after the hedge delay and the duplicate
+	// (almost always fast) wins.
+	if hedged.P99 >= time.Duration(float64(plain.P99)*0.7) {
+		t.Errorf("hedging did not cut p99: hedged %v vs plain %v", hedged.P99, plain.P99)
+	}
+	if hedged.HedgeRate <= 0 {
+		t.Errorf("hedged run recorded no hedges: %+v", hedged)
+	}
+	// Stragglers are slow, not dead: nothing should fail or degrade.
+	if plain.Availability != 1 || hedged.Availability != 1 {
+		t.Errorf("straggler rows lost queries: plain %v hedged %v",
+			plain.Availability, hedged.Availability)
+	}
+	if plain.DegradedFrac != 0 || hedged.DegradedFrac != 0 {
+		t.Errorf("straggler rows degraded: plain %v hedged %v",
+			plain.DegradedFrac, hedged.DegradedFrac)
+	}
+	// A 50%-erroring node never takes the whole answer down (the other
+	// nodes still merge), some responses are flagged degraded, and the
+	// retry path was exercised.
+	if flaky.Availability != 1 {
+		t.Errorf("flaky-node availability = %v, want 1 (partial answers)", flaky.Availability)
+	}
+	if flaky.DegradedFrac <= 0 {
+		t.Errorf("flaky node produced no degraded responses: %+v", flaky)
+	}
+	if flaky.Retries <= 0 {
+		t.Errorf("flaky node triggered no retries: %+v", flaky)
+	}
+}
+
 func TestRunAllSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full RunAll in short mode")
@@ -447,11 +494,11 @@ func TestRunAllSmoke(t *testing.T) {
 	var buf bytes.Buffer
 	c := NewContext(&buf, 0.03)
 	names := c.RunAll()
-	if len(names) != 24 {
-		t.Errorf("ran %d experiments, want 24", len(names))
+	if len(names) != 25 {
+		t.Errorf("ran %d experiments, want 25", len(names))
 	}
 	out := buf.String()
-	for _, want := range []string{"E1", "E7", "E10", "ABL-4", "completed"} {
+	for _, want := range []string{"E1", "E7", "E10", "E19", "ABL-4", "completed"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q", want)
 		}

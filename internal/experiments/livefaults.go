@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"websearchbench/internal/cluster"
+	"websearchbench/internal/cluster/resilience"
+	"websearchbench/internal/corpus"
+	"websearchbench/internal/metrics"
+	"websearchbench/internal/partition"
+	"websearchbench/internal/search"
+	"websearchbench/internal/workload"
+)
+
+// E19Row is one fault/policy combination measured on the live cluster.
+type E19Row struct {
+	Policy string
+	P50    time.Duration
+	P99    time.Duration
+	// Availability is the fraction of queries that returned any answer
+	// (full or degraded).
+	Availability float64
+	// DegradedFrac is the fraction of answered queries flagged as
+	// partial merges.
+	DegradedFrac float64
+	// HedgeRate is hedge sub-requests per node sub-request.
+	HedgeRate float64
+	// Retries is total retry attempts across the run.
+	Retries int64
+}
+
+// E19Result is the live fault-injection experiment.
+type E19Result struct {
+	// Nodes is the cluster size driven.
+	Nodes int
+	// Queries is the per-row query count.
+	Queries int
+	Rows    []E19Row
+}
+
+// e19Stragglers parameterizes the injected server-side jitter: matching
+// E18's simulated scenario, a small fraction of node sub-requests are
+// made 10x+ slow. 40ms against sub-ms healthy service is the simulated
+// "transiently slow server".
+const (
+	e19StragglerProb    = 0.02
+	e19StragglerLatency = 40 * time.Millisecond
+	e19HedgeAfter       = 4 * time.Millisecond
+	e19ErrorProb        = 0.5
+)
+
+// E19LiveFaults drives the real HTTP cluster through injected faults and
+// measures what the resilience layer buys: hedging against stragglers
+// (the measured counterpart of the simulated E18), and retries plus
+// degraded-response accounting against a flaky node. Each row replays the
+// same query stream through a fresh front-end with one policy while the
+// per-node FaultInjectors apply one fault mix.
+func (c *Context) E19LiveFaults() E19Result {
+	const nodes = 3
+	queries := c.Stream()
+	n := min(len(queries), 300)
+
+	fe, injectors, teardown, err := c.buildFaultCluster(nodes)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: live-fault cluster failed: %v", err))
+	}
+	defer teardown()
+	_ = fe
+
+	basePolicy := resilience.Policy{
+		Deadline:     2 * time.Second,
+		RetryBackoff: resilience.Backoff{Base: time.Millisecond, Max: 20 * time.Millisecond, Factor: 2},
+	}
+	hedged := basePolicy
+	hedged.HedgeEnabled = true
+	hedged.HedgeAfter = e19HedgeAfter
+	retrying := basePolicy
+	retrying.MaxRetries = 2
+	retrying.RetryBudgetRatio = 0.2
+
+	straggle := func(i int) resilience.FaultConfig {
+		return resilience.FaultConfig{
+			LatencyProb: e19StragglerProb,
+			Latency:     e19StragglerLatency,
+			Seed:        int64(1900 + i),
+		}
+	}
+	flakyFirst := func(i int) resilience.FaultConfig {
+		cfg := resilience.FaultConfig{Seed: int64(1900 + i)}
+		if i == 0 {
+			cfg.ErrorProb = e19ErrorProb
+		}
+		return cfg
+	}
+
+	runs := []struct {
+		name   string
+		faults func(int) resilience.FaultConfig
+		policy resilience.Policy
+	}{
+		{"stragglers, no hedging", straggle, basePolicy},
+		{"stragglers, hedge @ " + e19HedgeAfter.String(), straggle, hedged},
+		{"1 node 50% errors, 2 retries", flakyFirst, retrying},
+	}
+
+	res := E19Result{Nodes: nodes, Queries: n}
+	for _, run := range runs {
+		for i, inj := range injectors {
+			inj.Update(run.faults(i))
+		}
+		row, err := c.runFaultedLoad(fe, run.policy, queries[:n])
+		if err != nil {
+			panic(fmt.Sprintf("experiments: live-fault run %q failed: %v", run.name, err))
+		}
+		row.Policy = run.name
+		res.Rows = append(res.Rows, row)
+	}
+
+	c.section("E19", "measured resilience on the live cluster under injected faults")
+	fmt.Fprintf(c.Out, "%d nodes over loopback HTTP, %d queries/row, %.0f%% of sub-requests %v slow\n",
+		nodes, n, e19StragglerProb*100, e19StragglerLatency)
+	w := c.table()
+	fmt.Fprintf(w, "policy\tp50\tp99\tavailability\tdegraded\thedge rate\tretries\n")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.1f%%\t%.1f%%\t%.1f%%\t%d\n",
+			r.Policy, ms(r.P50), ms(r.P99), r.Availability*100, r.DegradedFrac*100,
+			r.HedgeRate*100, r.Retries)
+	}
+	w.Flush()
+	return res
+}
+
+// buildFaultCluster starts a live loopback cluster with a FaultInjector
+// in front of every node, sharing the context's corpus across nodes.
+func (c *Context) buildFaultCluster(nodes int) (*cluster.Frontend, []*resilience.FaultInjector, func(), error) {
+	gen, err := corpus.NewGenerator(c.CorpusCfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	builders := make([]*partition.Builder, nodes)
+	for i := range builders {
+		b, err := partition.NewBuilder(2, partition.RoundRobin, 0)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		builders[i] = b
+	}
+	i := 0
+	gen.GenerateFunc(func(d corpus.Document) {
+		builders[i%nodes].AddCorpusDoc(d)
+		i++
+	})
+
+	urls := make([]string, nodes)
+	servers := make([]*cluster.Node, nodes)
+	injectors := make([]*resilience.FaultInjector, nodes)
+	teardown := func() {
+		for _, n := range servers {
+			if n != nil {
+				n.Close()
+			}
+		}
+	}
+	for j, b := range builders {
+		node := cluster.NewNode(fmt.Sprintf("node-%d", j), b.Finalize(),
+			search.Options{TopK: 10}, false)
+		inj := resilience.NewFaultInjector(node.Handler(), resilience.FaultConfig{Seed: int64(1900 + j)})
+		addr, err := node.StartWith("127.0.0.1:0", func(http.Handler) http.Handler { return inj })
+		if err != nil {
+			teardown()
+			return nil, nil, nil, err
+		}
+		servers[j] = node
+		injectors[j] = inj
+		urls[j] = "http://" + addr
+	}
+	fe, err := cluster.NewFrontend(urls, 10)
+	if err != nil {
+		teardown()
+		return nil, nil, nil, err
+	}
+	return fe, injectors, teardown, nil
+}
+
+// runFaultedLoad replays queries through the front-end under one policy
+// and summarizes latency, availability, and resilience counters. The
+// policy is (re)installed first, which also resets health trackers so
+// rows don't contaminate each other.
+func (c *Context) runFaultedLoad(fe *cluster.Frontend, p resilience.Policy, queries []workload.Query) (E19Row, error) {
+	fe.SetPolicy(p)
+	var lat metrics.Histogram
+	var answered, degraded int
+	for _, q := range queries {
+		start := time.Now()
+		resp, err := fe.Search(cluster.SearchRequest{Query: q.Text, Mode: q.Mode.String()})
+		if err != nil {
+			continue
+		}
+		lat.Record(time.Since(start))
+		answered++
+		if resp.Degraded {
+			degraded++
+		}
+	}
+	snap := lat.Snapshot()
+	row := E19Row{
+		P50:          snap.P50,
+		P99:          snap.P99,
+		Availability: float64(answered) / float64(max(1, len(queries))),
+	}
+	if answered > 0 {
+		row.DegradedFrac = float64(degraded) / float64(answered)
+	}
+	st := fe.ResilienceStats()
+	row.HedgeRate = st.HedgeRate
+	row.Retries = st.Retries
+	return row, nil
+}

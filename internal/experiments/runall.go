@@ -28,6 +28,7 @@ func (c *Context) RunAll() []string {
 		{"E16", func() { c.E16TailAtScale() }},
 		{"E17", func() { c.E17Diurnal() }},
 		{"E18", func() { c.E18Hedging() }},
+		{"E19", func() { c.E19LiveFaults() }},
 		{"ABL-1", func() { c.AblationMaxScore() }},
 		{"ABL-2", func() { c.AblationCompression() }},
 		{"ABL-3", func() { c.AblationAssignment() }},

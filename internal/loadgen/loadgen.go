@@ -28,6 +28,29 @@ type BackendFunc func(q workload.Query) error
 // Do calls f(q).
 func (f BackendFunc) Do(q workload.Query) error { return f(q) }
 
+// degradedCounter is the optional interface a backend implements to
+// report degraded (partial, some-nodes-failed) responses — answers that
+// succeeded but may be missing hits. cluster.Client implements it.
+type degradedCounter interface {
+	DegradedCount() int64
+}
+
+// degradedStart snapshots the backend's degraded counter before a run.
+func degradedStart(backend Backend) int64 {
+	if dc, ok := backend.(degradedCounter); ok {
+		return dc.DegradedCount()
+	}
+	return 0
+}
+
+// degradedDelta returns how many degraded responses arrived since start.
+func degradedDelta(backend Backend, start int64) int64 {
+	if dc, ok := backend.(degradedCounter); ok {
+		return dc.DegradedCount() - start
+	}
+	return 0
+}
+
 // QoS is a percentile response-time target, e.g. "90% of queries under
 // 500ms" — the service-level objective the benchmark's driver checks.
 type QoS struct {
@@ -45,6 +68,10 @@ type Result struct {
 	Duration  time.Duration // measurement window wall time
 	Completed int64
 	Errors    int64
+	// Degraded counts responses that succeeded but were flagged as
+	// partial merges (some cluster nodes failed to answer). Only
+	// backends implementing DegradedCount report it; others leave 0.
+	Degraded int64
 	// Throughput is completed queries per second over the measurement
 	// window.
 	Throughput float64
@@ -103,6 +130,7 @@ func RunClosedLoop(cfg ClosedLoopConfig, stream []workload.Query, backend Backen
 		underQoS  atomic.Int64
 		stop      atomic.Bool
 	)
+	degStart := degradedStart(backend)
 	measureStart := time.Now().Add(cfg.RampUp)
 	timeline := metrics.NewTimeline(measureStart, time.Second)
 	deadline := measureStart.Add(cfg.Measure)
@@ -141,8 +169,10 @@ func RunClosedLoop(cfg ClosedLoopConfig, stream []workload.Query, backend Backen
 	stop.Store(true)
 	wg.Wait()
 
-	return assemble(hist.Snapshot(), cfg.Measure, completed.Load(), errors.Load(),
-		underQoS.Load(), cfg.QoS, timeline), nil
+	res := assemble(hist.Snapshot(), cfg.Measure, completed.Load(), errors.Load(),
+		underQoS.Load(), cfg.QoS, timeline)
+	res.Degraded = degradedDelta(backend, degStart)
+	return res, nil
 }
 
 // OpenLoopConfig configures an open-loop run: queries arrive in a Poisson
@@ -197,6 +227,7 @@ func RunOpenLoop(cfg OpenLoopConfig, stream []workload.Query, backend Backend) (
 		underQoS  atomic.Int64
 	)
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	degStart := degradedStart(backend)
 	measureStart := time.Now().Add(cfg.RampUp)
 	timeline := metrics.NewTimeline(measureStart, time.Second)
 	deadline := measureStart.Add(cfg.Measure)
@@ -244,8 +275,10 @@ func RunOpenLoop(cfg OpenLoopConfig, stream []workload.Query, backend Backend) (
 	}
 	wg.Wait()
 
-	return assemble(hist.Snapshot(), cfg.Measure, completed.Load(), errors.Load(),
-		underQoS.Load(), cfg.QoS, timeline), nil
+	res := assemble(hist.Snapshot(), cfg.Measure, completed.Load(), errors.Load(),
+		underQoS.Load(), cfg.QoS, timeline)
+	res.Degraded = degradedDelta(backend, degStart)
+	return res, nil
 }
 
 func assemble(snap metrics.Snapshot, window time.Duration, completed, errs, under int64,

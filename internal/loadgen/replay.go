@@ -58,6 +58,7 @@ func RunReplay(cfg ReplayConfig, trace []workload.TimedQuery, backend Backend) (
 		errors    atomic.Int64
 		underQoS  atomic.Int64
 	)
+	degStart := degradedStart(backend)
 	start := time.Now()
 	timeline := metrics.NewTimeline(start, time.Second)
 
@@ -93,6 +94,8 @@ func RunReplay(cfg ReplayConfig, trace []workload.TimedQuery, backend Backend) (
 	if window <= 0 {
 		window = time.Since(start)
 	}
-	return assemble(hist.Snapshot(), window, completed.Load(), errors.Load(),
-		underQoS.Load(), cfg.QoS, timeline), nil
+	res := assemble(hist.Snapshot(), window, completed.Load(), errors.Load(),
+		underQoS.Load(), cfg.QoS, timeline)
+	res.Degraded = degradedDelta(backend, degStart)
+	return res, nil
 }
