@@ -44,6 +44,7 @@ func sharedCtx(b *testing.B) *experiments.Context {
 
 func benchExperiment(b *testing.B, run func(c *experiments.Context)) {
 	c := sharedCtx(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		run(c)
@@ -192,6 +193,13 @@ func BenchmarkAblationScheduling(b *testing.B) {
 // BenchmarkAblationSkipLists regenerates the skip-table ablation.
 func BenchmarkAblationSkipLists(b *testing.B) {
 	benchExperiment(b, func(c *experiments.Context) { c.AblationSkipLists() })
+}
+
+// BenchmarkAblationBlockMax regenerates the Block-Max pruning ablation
+// (pruning off vs MaxScore vs Block-Max: service time, postings decoded,
+// allocations per query).
+func BenchmarkAblationBlockMax(b *testing.B) {
+	benchExperiment(b, func(c *experiments.Context) { c.AblationBlockMax() })
 }
 
 // BenchmarkEngineSearch measures the end-to-end facade query path.

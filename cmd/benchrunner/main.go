@@ -5,12 +5,14 @@
 //
 // Usage:
 //
-//	benchrunner            # full scale (~ a couple of minutes)
-//	benchrunner -scale 0.1 # quick pass
-//	benchrunner -only E7   # a single experiment
+//	benchrunner                    # full scale (~ a couple of minutes)
+//	benchrunner -scale 0.1         # quick pass
+//	benchrunner -only E7           # a single experiment
+//	benchrunner -json results.json # also write machine-readable records
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -25,11 +27,20 @@ func main() {
 
 	var (
 		scale = flag.Float64("scale", 1.0, "scale factor for corpus/queries/sim durations")
-		only  = flag.String("only", "", "run a single experiment (E1..E19, ABL-1..ABL-6)")
+		only  = flag.String("only", "", "run a single experiment (E1..E19, ABL-1..ABL-7)")
+		jsonO = flag.String("json", "", "write the run's measurements to this file as a JSON array of records (see experiments.Record for the schema)")
 	)
 	flag.Parse()
 
 	c := experiments.NewContext(os.Stdout, *scale)
+	defer func() {
+		if *jsonO == "" {
+			return
+		}
+		if err := writeJSON(*jsonO, c.Records()); err != nil {
+			log.Fatal(err)
+		}
+	}()
 	if *only == "" {
 		c.RunAll()
 		return
@@ -60,6 +71,7 @@ func main() {
 		"ABL-4": func() { c.AblationTopK() },
 		"ABL-5": func() { c.AblationScheduling() },
 		"ABL-6": func() { c.AblationSkipLists() },
+		"ABL-7": func() { c.AblationBlockMax() },
 	}
 	run, ok := steps[*only]
 	if !ok {
@@ -71,4 +83,17 @@ func main() {
 		os.Exit(2)
 	}
 	run()
+}
+
+// writeJSON writes records to path as an indented JSON array. An empty
+// run writes "[]", not "null", so consumers always get an array.
+func writeJSON(path string, records []experiments.Record) error {
+	if records == nil {
+		records = []experiments.Record{}
+	}
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

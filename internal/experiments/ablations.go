@@ -50,6 +50,10 @@ func (c *Context) AblationMaxScore() AblationMaxScoreResult {
 	fmt.Fprintf(w, "speedup\t%.2fx\n", res.Speedup)
 	fmt.Fprintf(w, "postings saved\t%.1f%%\n", res.PostingsSavedPct)
 	w.Flush()
+	c.record("ABL-1", "exhaustive", "ns_per_query", float64(res.ExhaustiveMean))
+	c.record("ABL-1", "maxscore", "ns_per_query", float64(res.MaxScoreMean))
+	c.record("ABL-1", "maxscore", "speedup", res.Speedup)
+	c.record("ABL-1", "maxscore", "postings_saved_pct", res.PostingsSavedPct)
 	return res
 }
 
@@ -98,6 +102,10 @@ func (c *Context) AblationCompression() AblationCompressionResult {
 	fmt.Fprintf(w, "varint mean search\t%s\n", ms(res.VarintMean))
 	fmt.Fprintf(w, "raw mean search\t%s\n", ms(res.RawMean))
 	w.Flush()
+	c.record("ABL-2", "varint", "postings_bytes", float64(res.VarintBytes))
+	c.record("ABL-2", "raw", "postings_bytes", float64(res.RawBytes))
+	c.record("ABL-2", "varint", "ns_per_query", float64(res.VarintMean))
+	c.record("ABL-2", "raw", "ns_per_query", float64(res.RawMean))
 	return res
 }
 
@@ -148,6 +156,8 @@ func (c *Context) AblationAssignment() AblationAssignmentResult {
 	fmt.Fprintf(w, "round-robin posting imbalance\t%.3f\n", res.RoundRobinImbalance)
 	fmt.Fprintf(w, "range posting imbalance\t%.3f\n", res.RangeImbalance)
 	w.Flush()
+	c.record("ABL-3", "round-robin", "posting_imbalance", res.RoundRobinImbalance)
+	c.record("ABL-3", "range", "posting_imbalance", res.RangeImbalance)
 	return res
 }
 
@@ -179,6 +189,7 @@ func (c *Context) AblationTopK() AblationTopKResult {
 	fmt.Fprintf(w, "k\tmean service time\n")
 	for i, k := range res.K {
 		fmt.Fprintf(w, "%d\t%s\n", k, ms(res.Mean[i]))
+		c.record("ABL-4", fmt.Sprintf("k=%d", k), "ns_per_query", float64(res.Mean[i]))
 	}
 	w.Flush()
 	return res

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"websearchbench/internal/search"
+)
+
+// ABL7Row is one evaluation strategy's measurements in the Block-Max
+// pruning ablation.
+type ABL7Row struct {
+	Name        string
+	Mean        time.Duration // mean disjunctive query service time
+	Postings    int64         // total postings decoded over the workload
+	AllocsPerOp float64       // steady-state heap allocations per query
+}
+
+// ABL7Result contrasts exhaustive, MaxScore, and Block-Max MaxScore
+// disjunctive evaluation at identical top-k.
+type ABL7Result struct {
+	// Rows are ordered: pruning off, MaxScore, Block-Max.
+	Rows []ABL7Row
+	// TopKIdentical confirms all three strategies returned the same
+	// ranked results for every workload query (the safe-pruning
+	// invariant); a mismatch would mean a correctness bug, not a
+	// measurement artifact.
+	TopKIdentical bool
+}
+
+// AblationBlockMax measures what Block-Max pruning buys over plain
+// MaxScore and over exhaustive evaluation on the workload's disjunctive
+// queries: service time, postings decoded (the blocks the shallow
+// cursor lets evaluation skip are never decoded), and steady-state
+// allocations per query (the pooled hot path).
+func (c *Context) AblationBlockMax() ABL7Result {
+	seg := c.Segment()
+	qs := c.Analyzed()
+	configs := []struct {
+		name string
+		opts search.Options
+	}{
+		{"pruning off", search.Options{TopK: 10, UseMaxScore: false}},
+		{"maxscore", search.Options{TopK: 10, UseMaxScore: true, DisableBlockMax: true}},
+		{"blockmax", search.Options{TopK: 10, UseMaxScore: true}},
+	}
+	res := ABL7Result{TopKIdentical: true}
+	var baseline [][]search.Hit
+	for ci, cfg := range configs {
+		s := search.NewSearcher(seg, cfg.opts)
+		row := ABL7Row{Name: cfg.name}
+		var total time.Duration
+		var r search.Result
+		for qi, q := range qs {
+			start := time.Now()
+			s.SearchInto(q, &r)
+			total += time.Since(start)
+			row.Postings += r.PostingsScanned
+			if ci == 0 {
+				baseline = append(baseline, append([]search.Hit(nil), r.Hits...))
+			} else if !sameTopK(baseline[qi], r.Hits) {
+				res.TopKIdentical = false
+			}
+		}
+		row.Mean = total / time.Duration(max(1, len(qs)))
+		// Steady-state allocations of the reused-Result query path,
+		// sampled over a slice of the workload.
+		n := min(len(qs), 50)
+		i := 0
+		row.AllocsPerOp = testing.AllocsPerRun(n, func() {
+			s.SearchInto(qs[i%n], &r)
+			i++
+		})
+		res.Rows = append(res.Rows, row)
+	}
+
+	c.section("ABL-7", "Block-Max pruning ablation (OR queries, k=10)")
+	w := c.table()
+	fmt.Fprintf(w, "strategy\tmean service time\tpostings decoded\tallocs/op\n")
+	for _, row := range res.Rows {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%.1f\n", row.Name, ms(row.Mean), row.Postings, row.AllocsPerOp)
+		c.record("ABL-7", row.Name, "ns_per_query", float64(row.Mean))
+		c.record("ABL-7", row.Name, "postings_decoded", float64(row.Postings))
+		c.record("ABL-7", row.Name, "allocs_per_op", row.AllocsPerOp)
+	}
+	fmt.Fprintf(w, "top-k identical\t%v\n", res.TopKIdentical)
+	w.Flush()
+	return res
+}
+
+// sameTopK reports whether two ranked lists agree on documents and order
+// with scores equal to within float summation noise.
+func sameTopK(a, b []search.Hit) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Doc != b[i].Doc || math.Abs(a[i].Score-b[i].Score) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}

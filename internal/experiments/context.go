@@ -25,6 +25,24 @@ import (
 	"websearchbench/internal/workload"
 )
 
+// Record is one machine-readable measurement emitted by an experiment:
+// the experiment ID (e.g. "ABL-7"), the row within its table (e.g.
+// "blockmax"), the metric name (e.g. "postings_decoded") and the value.
+// cmd/benchrunner -json serializes a run's records as a JSON array of
+// these objects, for example:
+//
+//	[{"experiment":"ABL-7","row":"maxscore","metric":"ns_per_query","value":21580}]
+//
+// Durations are reported in nanoseconds, sizes in bytes, ratios and
+// percentages as plain floats; the metric name carries the unit suffix
+// (_ns, _bytes, _pct) where one applies.
+type Record struct {
+	Experiment string  `json:"experiment"`
+	Row        string  `json:"row"`
+	Metric     string  `json:"metric"`
+	Value      float64 `json:"value"`
+}
+
 // Context carries the shared artifacts of an experiment run. Create one
 // with NewContext; artifacts are built lazily and cached.
 type Context struct {
@@ -60,6 +78,8 @@ type Context struct {
 	demandFactor float64 // TargetMeanDemand / raw measured mean
 	calibration  Calibration
 	calibrated   bool
+
+	records []Record
 }
 
 // Calibration is the bridge from real-engine measurements to simulator
@@ -306,6 +326,22 @@ func (c *Context) SimulatorConfig(server simsrv.ServerModel, parts int, seed int
 		Duration:          c.SimDuration,
 		Seed:              seed,
 	}
+}
+
+// record appends one machine-readable measurement to the run's record
+// list alongside the human-readable table the experiment prints.
+func (c *Context) record(experiment, row, metric string, value float64) {
+	c.records = append(c.records, Record{
+		Experiment: experiment,
+		Row:        row,
+		Metric:     metric,
+		Value:      value,
+	})
+}
+
+// Records returns every measurement recorded so far, in emission order.
+func (c *Context) Records() []Record {
+	return c.records
 }
 
 // table returns a tabwriter over the context's output.

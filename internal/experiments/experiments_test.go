@@ -494,11 +494,11 @@ func TestRunAllSmoke(t *testing.T) {
 	var buf bytes.Buffer
 	c := NewContext(&buf, 0.03)
 	names := c.RunAll()
-	if len(names) != 25 {
-		t.Errorf("ran %d experiments, want 25", len(names))
+	if len(names) != 26 {
+		t.Errorf("ran %d experiments, want 26", len(names))
 	}
 	out := buf.String()
-	for _, want := range []string{"E1", "E7", "E10", "E19", "ABL-4", "completed"} {
+	for _, want := range []string{"E1", "E7", "E10", "E19", "ABL-4", "ABL-7", "completed"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q", want)
 		}

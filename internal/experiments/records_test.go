@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// TestRecordJSONRoundTrip checks the machine-readable record schema
+// survives encoding/json both ways — the contract benchrunner's -json
+// output is built on.
+func TestRecordJSONRoundTrip(t *testing.T) {
+	want := []Record{
+		{Experiment: "ABL-7", Row: "blockmax", Metric: "postings_decoded", Value: 44182},
+		{Experiment: "ABL-7", Row: "maxscore", Metric: "ns_per_query", Value: 7844.5},
+		{Experiment: "E3", Row: "score", Metric: "share_pct", Value: 61.2},
+	}
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("round trip changed records:\n want %+v\n got  %+v", want, got)
+	}
+	// The wire field names are part of the schema.
+	var raw []map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"experiment", "row", "metric", "value"} {
+		if _, ok := raw[0][key]; !ok {
+			t.Fatalf("serialized record missing field %q: %s", key, data)
+		}
+	}
+}
+
+// TestAblationBlockMaxRecords runs ABL-7 at smoke scale and checks it
+// emits records for every row/metric pair with the pruning invariants
+// intact.
+func TestAblationBlockMaxRecords(t *testing.T) {
+	c := NewContext(io.Discard, 0.03)
+	res := c.AblationBlockMax()
+	if !res.TopKIdentical {
+		t.Fatal("strategies disagreed on the top-k")
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(res.Rows))
+	}
+	off, ms, bm := res.Rows[0], res.Rows[1], res.Rows[2]
+	if ms.Postings >= off.Postings {
+		t.Fatalf("MaxScore decoded %d postings, pruning off %d: want fewer", ms.Postings, off.Postings)
+	}
+	if bm.Postings > ms.Postings {
+		t.Fatalf("Block-Max decoded %d postings, MaxScore %d: want no more", bm.Postings, ms.Postings)
+	}
+	recs := c.Records()
+	if len(recs) != 9 {
+		t.Fatalf("got %d records, want 9 (3 rows x 3 metrics)", len(recs))
+	}
+	for _, r := range recs {
+		if r.Experiment != "ABL-7" || r.Row == "" || r.Metric == "" {
+			t.Fatalf("malformed record %+v", r)
+		}
+	}
+}

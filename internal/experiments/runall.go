@@ -35,6 +35,7 @@ func (c *Context) RunAll() []string {
 		{"ABL-4", func() { c.AblationTopK() }},
 		{"ABL-5", func() { c.AblationScheduling() }},
 		{"ABL-6", func() { c.AblationSkipLists() }},
+		{"ABL-7", func() { c.AblationBlockMax() }},
 	}
 	names := make([]string, 0, len(steps))
 	for _, s := range steps {

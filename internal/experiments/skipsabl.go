@@ -50,5 +50,8 @@ func (c *Context) AblationSkipLists() ABL6Result {
 	fmt.Fprintf(w, "linear SkipTo\t%s\n", ms(res.WithoutSkips))
 	fmt.Fprintf(w, "speedup\t%.2fx\n", res.Speedup)
 	w.Flush()
+	c.record("ABL-6", "with-skips", "ns_per_query", float64(res.WithSkips))
+	c.record("ABL-6", "linear", "ns_per_query", float64(res.WithoutSkips))
+	c.record("ABL-6", "with-skips", "speedup", res.Speedup)
 	return res
 }

@@ -1,0 +1,198 @@
+package index
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"websearchbench/internal/corpus"
+)
+
+// TestBlockMaxStructure checks the block metadata layout: one block per
+// skip interval (plus the unbounded tail) for long lists, a single
+// term-level block for short ones, and none at all for raw segments.
+func TestBlockMaxStructure(t *testing.T) {
+	s := buildLongList(t, 1000)
+	if !s.HasBlockMax() {
+		t.Fatal("varint segment has no block-max metadata")
+	}
+	ti, _ := s.Term("common")
+	if got, want := len(s.blockMaxes[ti.ID]), numBlocksFor(ti.DocFreq); got != want {
+		t.Fatalf("long list has %d blocks, want %d", got, want)
+	}
+	// At 300 docs, "sparse" (every third doc) stays under the skip
+	// threshold and gets a single term-level block.
+	short := buildLongList(t, 300)
+	sp, _ := short.Term("sparse")
+	if got := len(short.blockMaxes[sp.ID]); got != 1 {
+		t.Fatalf("short list has %d blocks, want 1", got)
+	}
+	if short.blockMaxes[sp.ID][0] != short.maxScores[sp.ID] {
+		t.Fatal("short list's single block bound is not the term MaxScore")
+	}
+
+	raw := buildLongList(t, 1000, WithCompression(CompressionRaw))
+	if raw.HasBlockMax() {
+		t.Fatal("raw segment claims block-max metadata")
+	}
+}
+
+// TestBlockMaxBoundsPostings is the safety invariant Block-Max pruning
+// rests on: every posting's BM25 contribution is bounded by its block's
+// stored maximum.
+func TestBlockMaxBoundsPostings(t *testing.T) {
+	s, err := BuildFromCorpus(smallCorpusCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(s.NumDocs())
+	avg := s.AvgDocLen()
+	for _, term := range s.Terms() {
+		ti, _ := s.Term(term)
+		idf := IDF(n, int64(ti.DocFreq))
+		it := s.PostingsByID(ti.ID)
+		pos := 0
+		for it.Next() {
+			sc := s.bm25.Score(idf, it.Freq(), s.DocLen(it.Doc()), avg)
+			blocks := s.blockMaxes[ti.ID]
+			bi := 0
+			if len(blocks) > 1 {
+				bi = pos / skipInterval
+			}
+			if sc > float64(blocks[bi]) {
+				t.Fatalf("term %q posting %d: score %g exceeds block %d bound %g",
+					term, pos, sc, bi, blocks[bi])
+			}
+			pos++
+		}
+	}
+}
+
+// TestShallowCursor drives NextShallow/BlockMax over a long list and
+// checks the cursor lands on the block that SkipTo would decode into.
+func TestShallowCursor(t *testing.T) {
+	s := buildLongList(t, 1000)
+	ti, _ := s.Term("common")
+	for _, target := range []int32{0, 1, 63, 64, 500, 999} {
+		it := s.PostingsByID(ti.ID)
+		if !it.NextShallow(target) {
+			t.Fatalf("NextShallow(%d) = false on a block-max list", target)
+		}
+		bound := it.BlockMax()
+		if !it.SkipTo(target) {
+			t.Fatalf("SkipTo(%d) failed", target)
+		}
+		idf := IDF(int64(s.NumDocs()), int64(ti.DocFreq))
+		sc := s.bm25.Score(idf, it.Freq(), s.DocLen(it.Doc()), s.AvgDocLen())
+		if sc > bound {
+			t.Fatalf("target %d: decoded score %g exceeds shallow bound %g", target, sc, bound)
+		}
+	}
+	// Without metadata the shallow cursor reports unusable.
+	it, _ := s.PostingsWithoutSkips("common")
+	if it.NextShallow(10) {
+		t.Fatal("NextShallow = true on an iterator without block metadata")
+	}
+}
+
+func smallCorpusCfg() corpus.Config {
+	cfg := corpus.DefaultConfig()
+	cfg.NumDocs = 600
+	cfg.VocabSize = 1500
+	return cfg
+}
+
+// TestBlockMaxRoundTrip checks v03 serialization carries the block
+// metadata bit-exactly.
+func TestBlockMaxRoundTrip(t *testing.T) {
+	s, err := BuildFromCorpus(smallCorpusCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := roundTrip(t, s)
+	segmentsEquivalent(t, s, got)
+	if !got.HasBlockMax() {
+		t.Fatal("round-tripped segment lost block-max metadata")
+	}
+	if !reflect.DeepEqual(s.blockMaxes, got.blockMaxes) {
+		t.Fatal("block maxima differ after round trip")
+	}
+}
+
+// TestLegacySerializationCompat checks that a segment written in the
+// pre-block-max (v02) on-disk format still loads and searches — it just
+// carries no block metadata, which is the MaxScore fallback condition.
+func TestLegacySerializationCompat(t *testing.T) {
+	s, err := BuildFromCorpus(smallCorpusCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteToLegacy(&buf); err != nil {
+		t.Fatalf("WriteToLegacy: %v", err)
+	}
+	got, err := ReadSegment(&buf)
+	if err != nil {
+		t.Fatalf("ReadSegment(legacy): %v", err)
+	}
+	segmentsEquivalent(t, s, got)
+	if got.HasBlockMax() {
+		t.Fatal("legacy segment claims block-max metadata")
+	}
+	// Iterators degrade gracefully: no shallow cursor, skips still work.
+	ti, _ := got.Term(got.Terms()[0])
+	it := got.PostingsByID(ti.ID)
+	if it.NextShallow(0) {
+		t.Fatal("legacy iterator has a shallow cursor")
+	}
+}
+
+// TestMergeMixedBlockMax merges a legacy-loaded segment (no block
+// metadata) with a freshly built one and checks the output's block
+// maxima are exactly those of a single-shot build over the same
+// documents — merge recomputes them, it does not stitch.
+func TestMergeMixedBlockMax(t *testing.T) {
+	cfg := smallCorpusCfg()
+	gen, err := corpus.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var docs []corpus.Document
+	gen.GenerateFunc(func(d corpus.Document) { docs = append(docs, d) })
+	half := len(docs) / 2
+
+	build := func(ds []corpus.Document) *Segment {
+		b := NewBuilder()
+		for _, d := range ds {
+			b.AddCorpusDoc(d)
+		}
+		return b.Finalize()
+	}
+	first, second := build(docs[:half]), build(docs[half:])
+
+	// Strip the first segment's metadata by a legacy round trip.
+	var buf bytes.Buffer
+	if _, err := first.WriteToLegacy(&buf); err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := ReadSegment(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.HasBlockMax() {
+		t.Fatal("legacy round trip kept block metadata")
+	}
+
+	merged, err := MergeSegments([]*Segment{legacy, second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := build(docs)
+	segmentsEquivalent(t, single, merged)
+	if !merged.HasBlockMax() {
+		t.Fatal("merged segment has no block-max metadata")
+	}
+	if !reflect.DeepEqual(single.blockMaxes, merged.blockMaxes) {
+		t.Fatal("merged block maxima differ from a single-shot build")
+	}
+}

@@ -177,6 +177,7 @@ func (b *Builder) Finalize() *Segment {
 	}
 	s.computeMaxScores()
 	s.buildSkips()
+	s.computeBlockMaxes()
 	b.terms = nil
 	b.docLens = nil
 	b.docs = nil
@@ -184,7 +185,8 @@ func (b *Builder) Finalize() *Segment {
 }
 
 // computeMaxScores walks every posting list once and records the exact
-// maximum BM25 contribution of each term, the bound MaxScore pruning uses.
+// maximum BM25 contribution of each term, the bound MaxScore pruning
+// uses (quantized upward so the float32 never dips below the true max).
 func (s *Segment) computeMaxScores() {
 	n := int64(len(s.docLens))
 	avg := s.AvgDocLen()
@@ -198,7 +200,7 @@ func (s *Segment) computeMaxScores() {
 				max = sc
 			}
 		}
-		s.maxScores[id] = float32(max)
+		s.maxScores[id] = quantizeUp(max)
 	}
 }
 

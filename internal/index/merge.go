@@ -99,5 +99,11 @@ func MergeSegments(segs []*Segment) (*Segment, error) {
 	}
 	out.computeMaxScores()
 	out.buildSkips()
+	// Block maxima are recomputed from the merged postings rather than
+	// stitched from the inputs: merged blocks straddle input-segment
+	// boundaries, and inputs loaded from the legacy on-disk format carry
+	// no metadata at all — recomputation gives every merge output exact
+	// bounds either way.
+	out.computeBlockMaxes()
 	return out, nil
 }

@@ -65,6 +65,8 @@ type PostingsIterator struct {
 	count      int32 // postings remaining
 	initCount  int32 // total list length, for skip arithmetic
 	skips      []skipEntry
+	blockMaxes []float32 // per-block score bounds, aligned with skips
+	shallow    int       // current block of the shallow (non-decoding) cursor
 }
 
 // newPostingsIterator returns an iterator over an encoded posting list

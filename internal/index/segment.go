@@ -34,6 +34,12 @@ type Segment struct {
 	totalLen  int64
 	docs      []StoredDoc
 	skips     [][]skipEntry // per-term skip tables (derived, not serialized)
+	// blockMaxes[id][j] is the maximum BM25 contribution within block j
+	// of term id's posting list (blocks of skipInterval postings, aligned
+	// with the skip table). Serialized with the segment (format v03);
+	// nil on raw segments and legacy-format loads, which makes Block-Max
+	// pruning fall back to plain MaxScore.
+	blockMaxes [][]float32
 }
 
 // NumDocs returns the number of documents in the segment.
@@ -117,6 +123,7 @@ func (s *Segment) PostingsByID(id int32) PostingsIterator {
 	it := newPostingsIterator(s.comp, s.postings[id], s.docFreqs[id])
 	it.positional = s.positions
 	s.applySkips(id, &it)
+	s.applyBlockMax(id, &it)
 	return it
 }
 

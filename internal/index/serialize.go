@@ -9,8 +9,14 @@ import (
 	"math"
 )
 
-// segmentMagic identifies the segment file format, with a version suffix.
-var segmentMagic = [8]byte{'W', 'S', 'B', 'I', 'D', 'X', '0', '2'}
+// segmentMagic identifies the segment file format, with a version
+// suffix. v03 added per-term block-max metadata after each posting list;
+// v02 files (no block maxima) are still readable — they load with nil
+// block metadata and search via the plain MaxScore fallback.
+var (
+	segmentMagic    = [8]byte{'W', 'S', 'B', 'I', 'D', 'X', '0', '3'}
+	segmentMagicV02 = [8]byte{'W', 'S', 'B', 'I', 'D', 'X', '0', '2'}
+)
 
 // ErrBadFormat is returned when deserializing data that is not a segment
 // of the expected version.
@@ -52,10 +58,26 @@ func (cw *countingWriter) str(s string) {
 	cw.write([]byte(s))
 }
 
-// WriteTo serializes the segment. It implements io.WriterTo.
+// WriteTo serializes the segment in the current (v03) format, block-max
+// metadata included. It implements io.WriterTo.
 func (s *Segment) WriteTo(w io.Writer) (int64, error) {
+	return s.writeTo(w, false)
+}
+
+// WriteToLegacy serializes the segment in the previous (v02) on-disk
+// format, which carries no block-max metadata. It exists for downgrade
+// paths and for testing that legacy segments still load and search.
+func (s *Segment) WriteToLegacy(w io.Writer) (int64, error) {
+	return s.writeTo(w, true)
+}
+
+func (s *Segment) writeTo(w io.Writer, legacy bool) (int64, error) {
 	cw := &countingWriter{w: bufio.NewWriter(w)}
-	cw.write(segmentMagic[:])
+	if legacy {
+		cw.write(segmentMagicV02[:])
+	} else {
+		cw.write(segmentMagic[:])
+	}
 	cw.u8(uint8(s.comp))
 	flags := uint8(0)
 	if s.positions {
@@ -83,6 +105,18 @@ func (s *Segment) WriteTo(w io.Writer) (int64, error) {
 		cw.f32(s.maxScores[id])
 		cw.uvarint(uint64(len(s.postings[id])))
 		cw.write(s.postings[id])
+		if !legacy {
+			// Block-max metadata: block count then per-block bounds.
+			// Raw segments store none (count 0 for every term).
+			var blocks []float32
+			if s.blockMaxes != nil {
+				blocks = s.blockMaxes[id]
+			}
+			cw.uvarint(uint64(len(blocks)))
+			for _, m := range blocks {
+				cw.f32(m)
+			}
+		}
 	}
 	if cw.err == nil {
 		cw.err = cw.w.Flush()
@@ -150,7 +184,9 @@ func (rd *reader) str() string {
 	return string(b)
 }
 
-// ReadSegment deserializes a segment written by WriteTo.
+// ReadSegment deserializes a segment written by WriteTo. It accepts both
+// the current v03 format and legacy v02 files; the latter load without
+// block-max metadata, so queries over them take the MaxScore fallback.
 func ReadSegment(r io.Reader) (*Segment, error) {
 	rd := &reader{r: bufio.NewReader(r)}
 	var magic [8]byte
@@ -158,7 +194,8 @@ func ReadSegment(r io.Reader) (*Segment, error) {
 	if rd.err != nil {
 		return nil, rd.err
 	}
-	if magic != segmentMagic {
+	hasBlockMax := magic == segmentMagic
+	if !hasBlockMax && magic != segmentMagicV02 {
 		return nil, ErrBadFormat
 	}
 	s := &Segment{}
@@ -200,6 +237,9 @@ func ReadSegment(r io.Reader) (*Segment, error) {
 	s.docFreqs = make([]int32, numTerms)
 	s.collFreqs = make([]int64, numTerms)
 	s.maxScores = make([]float32, numTerms)
+	if hasBlockMax && s.comp == CompressionVarint {
+		s.blockMaxes = make([][]float32, numTerms)
+	}
 	for id := uint32(0); id < numTerms; id++ {
 		t := rd.str()
 		s.termList[id] = t
@@ -217,6 +257,28 @@ func ReadSegment(r io.Reader) (*Segment, error) {
 		buf := make([]byte, plen)
 		rd.read(buf)
 		s.postings[id] = buf
+		if hasBlockMax {
+			nBlocks := rd.uvarint()
+			if rd.err != nil {
+				return nil, rd.err
+			}
+			// Block structure is a pure function of the list length, so a
+			// mismatched count means corruption, not a format variant.
+			want := 0
+			if s.comp == CompressionVarint {
+				want = numBlocksFor(s.docFreqs[id])
+			}
+			if int(nBlocks) != want {
+				return nil, fmt.Errorf("index: term %q has %d block maxima, want %d", t, nBlocks, want)
+			}
+			if want > 0 {
+				blocks := make([]float32, want)
+				for j := range blocks {
+					blocks[j] = rd.f32()
+				}
+				s.blockMaxes[id] = blocks
+			}
+		}
 	}
 	if rd.err != nil {
 		return nil, rd.err

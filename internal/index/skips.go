@@ -1,5 +1,7 @@
 package index
 
+import "math"
+
 // Skip lists: long posting lists carry a sparse table of (docID, byte
 // offset, postings consumed) checkpoints so SkipTo can jump over runs of
 // postings instead of decoding them one by one — the structure that makes
@@ -7,9 +9,19 @@ package index
 // index the benchmark serves with. Tables are built in memory when a
 // segment is finalized or loaded; they are derived data and never
 // serialized.
+//
+// Block-max metadata rides on the same block structure: each run of
+// skipInterval postings between checkpoints is a "block", and the segment
+// records the block's maximum BM25 contribution (quantized, rounded up so
+// it stays a true upper bound). Block-Max pruning consults these bounds
+// via NextShallow/BlockMax to rule out whole blocks without decoding a
+// single posting. Unlike the skip tables, block maxima ARE serialized
+// (format v03) — they are exactly the per-block impact scores Lucene
+// stores next to its skip data.
 
 const (
-	// skipInterval is the number of postings between checkpoints.
+	// skipInterval is the number of postings between checkpoints. It is
+	// also the block length for block-max metadata.
 	skipInterval = 64
 	// skipMinDocFreq is the list length below which a table is not worth
 	// building.
@@ -89,3 +101,108 @@ func (it *PostingsIterator) seekSkip(target int32) bool {
 // totalCount reconstructs the list length from remaining count plus
 // consumed postings; iterators remember it via the initial count.
 func (it *PostingsIterator) totalCount() int32 { return it.initCount }
+
+// numBlocksFor returns the number of block-max blocks a varint posting
+// list of the given length carries. Lists long enough for a skip table
+// get one block per checkpoint plus a final (possibly partial) block;
+// shorter lists are a single block bounded by the term-level MaxScore.
+func numBlocksFor(df int32) int {
+	if df < skipMinDocFreq {
+		return 1
+	}
+	return int(df/skipInterval) + 1
+}
+
+// quantizeUp converts an exact bound to float32 without ever rounding
+// below it: a bound that rounds down stops being a bound.
+func quantizeUp(x float64) float32 {
+	f := float32(x)
+	if float64(f) < x {
+		f = math.Nextafter32(f, math.MaxFloat32)
+	}
+	return f
+}
+
+// computeBlockMaxes records, for every varint posting list, the maximum
+// BM25 contribution within each skipInterval-long block. Raw-compression
+// segments carry no block metadata (Block-Max evaluation falls back to
+// plain MaxScore there). Must run after computeMaxScores and buildSkips.
+func (s *Segment) computeBlockMaxes() {
+	if s.comp != CompressionVarint {
+		s.blockMaxes = nil
+		return
+	}
+	n := int64(len(s.docLens))
+	avg := s.AvgDocLen()
+	s.blockMaxes = make([][]float32, len(s.postings))
+	for id := range s.postings {
+		df := s.docFreqs[id]
+		if df < skipMinDocFreq {
+			// One block covering the whole list: the exact term-level
+			// bound already stored in the dictionary.
+			s.blockMaxes[id] = []float32{s.maxScores[id]}
+			continue
+		}
+		idf := IDF(n, int64(df))
+		blocks := make([]float32, numBlocksFor(df))
+		it := s.PostingsByID(int32(id))
+		var blockMax float64
+		for i := int32(1); it.Next(); i++ {
+			sc := s.bm25.Score(idf, it.Freq(), s.docLens[it.Doc()], avg)
+			if sc > blockMax {
+				blockMax = sc
+			}
+			if i%skipInterval == 0 {
+				blocks[i/skipInterval-1] = quantizeUp(blockMax)
+				blockMax = 0
+			}
+		}
+		blocks[len(blocks)-1] = quantizeUp(blockMax)
+		s.blockMaxes[id] = blocks
+	}
+}
+
+// applyBlockMax attaches a term's block maxima to an iterator.
+func (s *Segment) applyBlockMax(id int32, it *PostingsIterator) {
+	if s.blockMaxes != nil {
+		it.blockMaxes = s.blockMaxes[id]
+	}
+}
+
+// HasBlockMax reports whether the segment carries block-max metadata
+// (varint segments built or merged by this version; absent on raw
+// segments and segments loaded from the legacy on-disk format).
+func (s *Segment) HasBlockMax() bool { return s.blockMaxes != nil }
+
+// HasBlockMax reports whether per-block score bounds are available on
+// this iterator.
+func (it *PostingsIterator) HasBlockMax() bool { return len(it.blockMaxes) > 0 }
+
+// NextShallow advances the shallow block cursor — without decoding any
+// posting — to the first block that can contain a docID >= target. It
+// returns false when the iterator carries no block metadata. Targets
+// must be non-decreasing across calls (the cursor only moves forward),
+// which document-at-a-time evaluation guarantees; successive calls are
+// therefore amortized O(1).
+func (it *PostingsIterator) NextShallow(target int32) bool {
+	if len(it.blockMaxes) == 0 {
+		return false
+	}
+	// Block j ends at skips[j].doc; the final block runs to the end of
+	// the list (its boundary is unbounded, so the cursor stops there).
+	for it.shallow < len(it.skips) && it.skips[it.shallow].doc < target {
+		it.shallow++
+	}
+	return true
+}
+
+// BlockMax returns an upper bound on the term's BM25 contribution over
+// the current shallow block (the block NextShallow last positioned on).
+// With no block metadata it returns +Inf so a caller that skipped the
+// HasBlockMax check can never prune incorrectly.
+func (it *PostingsIterator) BlockMax() float64 {
+	if it.shallow < len(it.blockMaxes) {
+		return float64(it.blockMaxes[it.shallow])
+	}
+	return math.Inf(1)
+}

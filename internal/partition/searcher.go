@@ -61,16 +61,42 @@ func (s *Searcher) ParseAndSearch(raw string, mode search.Mode) Result {
 	return s.Search(q)
 }
 
+// partScratch is the per-search working set: one Result per partition
+// (whose Hits arrays SearchInto refills in place) and the merge input
+// list-of-lists. Pooled so steady-state partitioned search allocates
+// only what escapes to the caller.
+type partScratch struct {
+	partRes []search.Result
+	lists   [][]search.Hit
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(partScratch) }}
+
+// grow resizes the scratch for parts partitions, preserving the pooled
+// per-partition Results (and their Hits capacity).
+func (sc *partScratch) grow(parts int) {
+	for len(sc.partRes) < parts {
+		sc.partRes = append(sc.partRes, search.Result{})
+	}
+	sc.partRes = sc.partRes[:parts]
+	for len(sc.lists) < parts {
+		sc.lists = append(sc.lists, nil)
+	}
+	sc.lists = sc.lists[:parts]
+}
+
 // Search evaluates an analyzed query across all partitions and merges the
 // per-partition top-k lists into a global top-k.
 func (s *Searcher) Search(q search.Query) Result {
 	parts := len(s.searchers)
-	partRes := make([]search.Result, parts)
+	sc := scratchPool.Get().(*partScratch)
+	sc.grow(parts)
+	// PartTimes escapes into the returned Result, so it cannot be pooled.
 	times := make([]time.Duration, parts)
 
 	runPart := func(p int) {
 		start := time.Now()
-		partRes[p] = s.searchers[p].Search(q)
+		s.searchers[p].SearchInto(q, &sc.partRes[p])
 		times[p] = time.Since(start)
 	}
 	if s.parallel && parts > 1 {
@@ -90,20 +116,19 @@ func (s *Searcher) Search(q search.Query) Result {
 	}
 
 	mergeStart := time.Now()
-	lists := make([][]search.Hit, parts)
 	var res Result
 	for p := 0; p < parts; p++ {
-		// Rewrite local docIDs to global before merging.
-		hits := partRes[p].Hits
-		global := make([]search.Hit, len(hits))
-		for i, h := range hits {
-			global[i] = search.Hit{Doc: s.idx.GlobalID(p, h.Doc), Score: h.Score}
+		// Rewrite local docIDs to global in place before merging; the
+		// per-partition hits are scratch, not handed to the caller.
+		hits := sc.partRes[p].Hits
+		for i := range hits {
+			hits[i].Doc = s.idx.GlobalID(p, hits[i].Doc)
 		}
-		lists[p] = global
-		res.Matches += partRes[p].Matches
-		res.PostingsScanned += partRes[p].PostingsScanned
+		sc.lists[p] = hits
+		res.Matches += sc.partRes[p].Matches
+		res.PostingsScanned += sc.partRes[p].PostingsScanned
 	}
-	res.Hits = search.MergeTopK(lists, s.opts.TopK)
+	res.Hits = search.MergeTopK(sc.lists, s.opts.TopK)
 	res.MergeTime = time.Since(mergeStart)
 	res.PartTimes = times
 	for _, d := range times {
@@ -112,5 +137,9 @@ func (s *Searcher) Search(q search.Query) Result {
 			res.CriticalPath = d
 		}
 	}
+	for p := range sc.lists {
+		sc.lists[p] = nil // drop hit references; partRes keeps its capacity
+	}
+	scratchPool.Put(sc)
 	return res
 }

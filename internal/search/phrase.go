@@ -64,17 +64,17 @@ func containsPosition(ps []int32, v int32) bool {
 	return lo < len(ps) && ps[lo] == v
 }
 
-// searchPhrases evaluates a query containing phrases: all phrases are
-// required; loose terms add optional score to matching documents.
-func (s *Searcher) searchPhrases(q Query) Result {
-	var res Result
+// searchPhrases evaluates a query containing phrases into res: all
+// phrases are required; loose terms add optional score to matching
+// documents.
+func (s *Searcher) searchPhrases(q Query, res *Result) {
 	lookupStart := time.Now()
 	if !s.seg.HasPositions() {
 		// The segment was built without positions; phrase queries
 		// cannot be evaluated, so they match nothing (mirrors engines
 		// that reject phrase syntax on non-positional fields).
 		res.Phases.Lookup = time.Since(lookupStart)
-		return res
+		return
 	}
 	phrases := make([]phraseScorer, 0, len(q.Phrases))
 	for _, terms := range q.Phrases {
@@ -83,7 +83,7 @@ func (s *Searcher) searchPhrases(q Query) Result {
 			it, ok := s.seg.PositionsOf(term)
 			if !ok {
 				res.Phases.Lookup = time.Since(lookupStart)
-				return res // a missing member empties the conjunction
+				return // a missing member empties the conjunction
 			}
 			p.its = append(p.its, it)
 			p.idf += s.termIDF(term)
@@ -105,7 +105,7 @@ func (s *Searcher) searchPhrases(q Query) Result {
 	res.Phases.Lookup = time.Since(lookupStart)
 
 	scoreStart := time.Now()
-	heap := newTopK(s.opts.TopK)
+	heap := getTopK(s.opts.TopK)
 	avg := s.avgDocLen()
 	bm := s.seg.BM25()
 
@@ -175,9 +175,9 @@ func (s *Searcher) searchPhrases(q Query) Result {
 	res.Phases.Score = time.Since(scoreStart)
 
 	mergeStart := time.Now()
-	res.Hits = heap.sorted()
+	res.Hits = heap.appendSorted(res.Hits[:0])
+	putTopK(heap)
 	res.Phases.Merge = time.Since(mergeStart)
-	return res
 }
 
 // termIDF returns the scoring IDF for a term, honoring global stats.

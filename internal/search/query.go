@@ -126,3 +126,12 @@ type Result struct {
 	PostingsScanned int64
 	Phases          PhaseTimings
 }
+
+// Reset clears the result for reuse, keeping the Hits backing array so
+// SearchInto can refill it without allocating.
+func (r *Result) Reset() {
+	r.Hits = r.Hits[:0]
+	r.Matches = 0
+	r.PostingsScanned = 0
+	r.Phases = PhaseTimings{}
+}

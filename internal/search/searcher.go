@@ -1,7 +1,7 @@
 package search
 
 import (
-	"sort"
+	"sync"
 	"time"
 
 	"websearchbench/internal/index"
@@ -27,6 +27,13 @@ type Options struct {
 	// DisableSkips makes iterators ignore their skip tables, falling
 	// back to linear SkipTo — kept for the skip-list ablation.
 	DisableSkips bool
+	// DisableBlockMax forces plain MaxScore pruning even when the
+	// segment carries block-max metadata — kept for the Block-Max
+	// ablation. Block-Max is also skipped automatically when the
+	// metadata is absent (legacy on-disk segments, raw compression) or
+	// inapplicable (global statistics replace the local bounds the block
+	// maxima were computed under; see Stats).
+	DisableBlockMax bool
 	// Stats, when non-nil, replaces the segment's local collection
 	// statistics (document count, document frequencies, average length)
 	// with global ones — the distributed-IDF refinement that makes
@@ -90,24 +97,51 @@ type termScorer struct {
 	it  index.PostingsIterator
 	idf float64
 	ub  float64 // upper bound on this term's contribution
+	// prefixUB is the sum of the upper bounds of this scorer and every
+	// scorer ordered before it — the MaxScore prefix bound, stored inline
+	// so pruning needs no per-query side array.
+	prefixUB float64
 }
+
+// scorersPool recycles the per-query scorer slice; together with the
+// top-k heap pool it makes the steady-state query path allocation-free.
+var scorersPool = sync.Pool{New: func() any { return new([]termScorer) }}
 
 // Search evaluates an analyzed query and returns the ranked top-k.
 func (s *Searcher) Search(q Query) Result {
-	if len(q.Phrases) > 0 {
-		return s.searchPhrases(q)
-	}
 	var res Result
+	s.SearchInto(q, &res)
+	return res
+}
+
+// SearchInto evaluates q into res, reusing res's backing storage
+// (notably the Hits array) so steady-state callers can search without
+// allocating. res is Reset first; any Hits slice previously taken from
+// it is overwritten, so callers that reuse a Result must be done with
+// the old hits before searching again.
+func (s *Searcher) SearchInto(q Query, res *Result) {
+	res.Reset()
+	if len(q.Phrases) > 0 {
+		s.searchPhrases(q, res)
+		return
+	}
 
 	lookupStart := time.Now()
-	scorers := make([]termScorer, 0, len(q.Terms))
+	sp := scorersPool.Get().(*[]termScorer)
+	scorers := (*sp)[:0]
+	release := func() {
+		clear(scorers) // drop iterator references so pooled memory pins nothing
+		*sp = scorers[:0]
+		scorersPool.Put(sp)
+	}
 	for _, term := range q.Terms {
 		ti, ok := s.seg.Term(term)
 		if !ok {
 			if q.Mode == ModeAnd {
 				// A missing term empties a conjunction.
 				res.Phases.Lookup = time.Since(lookupStart)
-				return res
+				release()
+				return
 			}
 			continue
 		}
@@ -125,25 +159,43 @@ func (s *Searcher) Search(q Query) Result {
 	}
 	res.Phases.Lookup = time.Since(lookupStart)
 	if len(scorers) == 0 {
-		return res
+		release()
+		return
 	}
 
 	scoreStart := time.Now()
-	heap := newTopK(s.opts.TopK)
+	heap := getTopK(s.opts.TopK)
 	switch {
 	case q.Mode == ModeAnd:
-		s.searchAnd(scorers, heap, &res)
+		s.searchAnd(scorers, heap, res)
 	case s.opts.UseMaxScore && s.opts.QualityBoost == 0 && len(scorers) > 1:
-		s.searchMaxScore(scorers, heap, &res)
+		if s.useBlockMax() {
+			s.searchBlockMax(scorers, heap, res)
+		} else {
+			s.searchMaxScore(scorers, heap, res)
+		}
 	default:
-		s.searchOr(scorers, heap, &res)
+		s.searchOr(scorers, heap, res)
 	}
 	res.Phases.Score = time.Since(scoreStart)
 
 	mergeStart := time.Now()
-	res.Hits = heap.sorted()
+	res.Hits = heap.appendSorted(res.Hits[:0])
+	putTopK(heap)
 	res.Phases.Merge = time.Since(mergeStart)
-	return res
+	release()
+}
+
+// useBlockMax reports whether Block-Max pruning is applicable: the
+// segment must carry block metadata (varint compression, current
+// format), iterators must have their skip tables (the shallow cursor
+// shares their block structure), and scoring must use the local
+// statistics the bounds were computed under.
+func (s *Searcher) useBlockMax() bool {
+	return !s.opts.DisableBlockMax &&
+		s.opts.Stats == nil &&
+		!s.opts.DisableSkips &&
+		s.seg.HasBlockMax()
 }
 
 // postings returns the term's iterator, honoring the skip-list ablation
@@ -219,10 +271,13 @@ func (s *Searcher) searchAnd(scorers []termScorer, heap *topK, res *Result) {
 	avg := s.avgDocLen()
 	bm := s.seg.BM25()
 	// Rarest term (highest IDF, hence shortest posting list) drives the
-	// loop; the others are probed with SkipTo.
-	sort.Slice(scorers, func(i, j int) bool {
-		return scorers[i].idf > scorers[j].idf
-	})
+	// loop; the others are probed with SkipTo. Insertion-sorted for the
+	// same allocation-free reason as sortAndPrime.
+	for i := 1; i < len(scorers); i++ {
+		for j := i; j > 0 && scorers[j].idf > scorers[j-1].idf; j-- {
+			scorers[j], scorers[j-1] = scorers[j-1], scorers[j]
+		}
+	}
 	lead := &scorers[0].it
 	for lead.Next() {
 		res.PostingsScanned++
@@ -269,24 +324,13 @@ func (s *Searcher) searchAnd(scorers []termScorer, heap *topK, res *Result) {
 func (s *Searcher) searchMaxScore(scorers []termScorer, heap *topK, res *Result) {
 	avg := s.avgDocLen()
 	bm := s.seg.BM25()
-	sort.Slice(scorers, func(i, j int) bool { return scorers[i].ub < scorers[j].ub })
-	prefix := make([]float64, len(scorers)) // prefix[i] = sum of ub[0..i]
-	sum := 0.0
-	for i := range scorers {
-		sum += scorers[i].ub
-		prefix[i] = sum
-	}
-	for i := range scorers {
-		if scorers[i].it.Next() {
-			res.PostingsScanned++
-		}
-	}
+	sortAndPrime(scorers, res)
 	// firstEssential is the index of the first list that can, together
 	// with the lists before it, still beat the threshold.
 	firstEssential := 0
 	updateEssential := func() {
 		theta := heap.threshold()
-		for firstEssential < len(scorers) && prefix[firstEssential] <= theta {
+		for firstEssential < len(scorers) && scorers[firstEssential].prefixUB <= theta {
 			firstEssential++
 		}
 	}
@@ -319,7 +363,7 @@ func (s *Searcher) searchMaxScore(scorers []termScorer, heap *topK, res *Result)
 		// out as soon as the remaining bounds cannot reach the threshold.
 		theta := heap.threshold()
 		for i := firstEssential - 1; i >= 0; i-- {
-			if score+prefix[i] <= theta {
+			if score+scorers[i].prefixUB <= theta {
 				score = -1 // provably not a top-k hit
 				break
 			}
@@ -328,6 +372,113 @@ func (s *Searcher) searchMaxScore(scorers []termScorer, heap *topK, res *Result)
 				continue
 			}
 			if it.Doc() < min {
+				if !it.SkipTo(min) {
+					continue
+				}
+				res.PostingsScanned++
+			}
+			if it.Doc() == min {
+				score += bm.Score(scorers[i].idf, it.Freq(), dl, avg)
+			}
+		}
+		if score >= 0 {
+			res.Matches++
+			if heap.offer(Hit{Doc: min, Score: score}) {
+				updateEssential()
+			}
+		}
+	}
+}
+
+// sortAndPrime orders scorers by ascending upper bound, fills in the
+// prefix bounds and primes every iterator — the shared setup of the
+// MaxScore-family strategies. Insertion sort: query term counts are
+// tiny and sort.Slice's closure would put an allocation back on the
+// hot path.
+func sortAndPrime(scorers []termScorer, res *Result) {
+	for i := 1; i < len(scorers); i++ {
+		for j := i; j > 0 && scorers[j].ub < scorers[j-1].ub; j-- {
+			scorers[j], scorers[j-1] = scorers[j-1], scorers[j]
+		}
+	}
+	sum := 0.0
+	for i := range scorers {
+		sum += scorers[i].ub
+		scorers[i].prefixUB = sum
+	}
+	for i := range scorers {
+		if scorers[i].it.Next() {
+			res.PostingsScanned++
+		}
+	}
+}
+
+// searchBlockMax refines MaxScore with per-block score bounds
+// (Block-Max MaxScore): before a non-essential list is decoded to probe
+// the current candidate, a shallow cursor positions on the block that
+// would contain it; if the candidate's accumulated score plus that
+// block's bound plus the prefix bound of the cheaper lists cannot reach
+// the threshold, the candidate is abandoned without decoding the block.
+// The bound is an upper bound on the candidate's final score, so the
+// top-k is identical to the exhaustive strategies — only decode work is
+// saved.
+func (s *Searcher) searchBlockMax(scorers []termScorer, heap *topK, res *Result) {
+	avg := s.avgDocLen()
+	bm := s.seg.BM25()
+	sortAndPrime(scorers, res)
+	firstEssential := 0
+	updateEssential := func() {
+		theta := heap.threshold()
+		for firstEssential < len(scorers) && scorers[firstEssential].prefixUB <= theta {
+			firstEssential++
+		}
+	}
+	updateEssential()
+
+	for firstEssential < len(scorers) {
+		min := exhaustedSentinel
+		for i := firstEssential; i < len(scorers); i++ {
+			if d := scorers[i].it.Doc(); d < min && !scorers[i].it.Exhausted() {
+				min = d
+			}
+		}
+		if min == exhaustedSentinel {
+			return
+		}
+		dl := s.seg.DocLen(min)
+		score := 0.0
+		for i := firstEssential; i < len(scorers); i++ {
+			it := &scorers[i].it
+			if it.Doc() != min || it.Exhausted() {
+				continue
+			}
+			score += bm.Score(scorers[i].idf, it.Freq(), dl, avg)
+			if it.Next() {
+				res.PostingsScanned++
+			}
+		}
+		theta := heap.threshold()
+		for i := firstEssential - 1; i >= 0; i-- {
+			if score+scorers[i].prefixUB <= theta {
+				score = -1 // provably not a top-k hit
+				break
+			}
+			it := &scorers[i].it
+			if it.Exhausted() {
+				continue
+			}
+			if it.Doc() < min {
+				// Shallow-advance to the candidate's block and test the
+				// block-level bound before paying for the decode. Candidates
+				// are non-decreasing, so the cursor only moves forward.
+				below := 0.0
+				if i > 0 {
+					below = scorers[i-1].prefixUB
+				}
+				if it.NextShallow(min) && score+below+it.BlockMax() <= theta {
+					score = -1 // even this block's best cannot rescue it
+					break
+				}
 				if !it.SkipTo(min) {
 					continue
 				}

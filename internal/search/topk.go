@@ -1,6 +1,9 @@
 package search
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // topK is a bounded min-heap of hits: the root is the weakest hit kept.
 // Ties are broken so the hit with the larger docID is weaker, giving
@@ -10,8 +13,23 @@ type topK struct {
 	items []Hit
 }
 
-func newTopK(k int) *topK {
-	return &topK{k: k, items: make([]Hit, 0, k)}
+// topkPool recycles heaps (struct plus item backing array) across
+// queries: the top-k heap is part of the allocation-free hot path.
+var topkPool = sync.Pool{New: func() any { return new(topK) }}
+
+// getTopK returns a pooled heap reset for k results. Release it with
+// putTopK after extracting results.
+func getTopK(k int) *topK {
+	h := topkPool.Get().(*topK)
+	h.k = k
+	h.items = h.items[:0]
+	return h
+}
+
+// putTopK returns a heap to the pool.
+func putTopK(h *topK) {
+	h.items = h.items[:0]
+	topkPool.Put(h)
 }
 
 // weaker reports whether a ranks strictly below b.
@@ -77,19 +95,25 @@ func (h *topK) down(i int) {
 	}
 }
 
-// sorted drains the heap into a descending-score slice.
-func (h *topK) sorted() []Hit {
-	out := h.items
-	h.items = nil
-	sort.Slice(out, func(i, j int) bool { return weaker(out[j], out[i]) })
-	return out
+// appendSorted appends the heap's hits to dst in descending rank order
+// and returns dst. It sorts the backing array in place, so the heap must
+// be released (or reset) afterwards, not offered more hits.
+func (h *topK) appendSorted(dst []Hit) []Hit {
+	sort.Slice(h.items, func(i, j int) bool { return weaker(h.items[j], h.items[i]) })
+	return append(dst, h.items...)
 }
 
 // MergeTopK merges several descending-sorted hit lists into a single
 // descending top-k list, the final step of partitioned and distributed
 // search. Input lists must individually be sorted as produced by Search.
 func MergeTopK(lists [][]Hit, k int) []Hit {
-	h := newTopK(k)
+	return MergeTopKInto(nil, lists, k)
+}
+
+// MergeTopKInto is MergeTopK writing into dst's backing array (grown as
+// needed), so steady-state callers can merge without allocating.
+func MergeTopKInto(dst []Hit, lists [][]Hit, k int) []Hit {
+	h := getTopK(k)
 	for _, list := range lists {
 		for _, hit := range list {
 			// Lists are descending, so once a hit fails the threshold
@@ -99,5 +123,7 @@ func MergeTopK(lists [][]Hit, k int) []Hit {
 			}
 		}
 	}
-	return h.sorted()
+	dst = h.appendSorted(dst[:0])
+	putTopK(h)
+	return dst
 }

@@ -8,11 +8,11 @@ import (
 )
 
 func TestTopKBasics(t *testing.T) {
-	h := newTopK(3)
+	h := getTopK(3)
 	for _, hit := range []Hit{{1, 0.5}, {2, 0.9}, {3, 0.1}, {4, 0.7}, {5, 0.3}} {
 		h.offer(hit)
 	}
-	got := h.sorted()
+	got := h.appendSorted(nil)
 	want := []Hit{{2, 0.9}, {4, 0.7}, {1, 0.5}}
 	if len(got) != len(want) {
 		t.Fatalf("got %v", got)
@@ -25,21 +25,21 @@ func TestTopKBasics(t *testing.T) {
 }
 
 func TestTopKFewerThanK(t *testing.T) {
-	h := newTopK(10)
+	h := getTopK(10)
 	h.offer(Hit{7, 1.0})
 	h.offer(Hit{3, 2.0})
-	got := h.sorted()
+	got := h.appendSorted(nil)
 	if len(got) != 2 || got[0].Doc != 3 || got[1].Doc != 7 {
 		t.Errorf("got %v", got)
 	}
 }
 
 func TestTopKTieBreakByDoc(t *testing.T) {
-	h := newTopK(2)
+	h := getTopK(2)
 	h.offer(Hit{5, 1.0})
 	h.offer(Hit{2, 1.0})
 	h.offer(Hit{9, 1.0})
-	got := h.sorted()
+	got := h.appendSorted(nil)
 	// Equal scores: lower docID ranks higher; doc 9 is evicted.
 	if got[0].Doc != 2 || got[1].Doc != 5 {
 		t.Errorf("got %v, want docs [2 5]", got)
@@ -47,7 +47,7 @@ func TestTopKTieBreakByDoc(t *testing.T) {
 }
 
 func TestTopKThreshold(t *testing.T) {
-	h := newTopK(2)
+	h := getTopK(2)
 	if h.threshold() != -1 {
 		t.Errorf("threshold of non-full heap = %v, want -1", h.threshold())
 	}
@@ -79,11 +79,11 @@ func TestTopKPropertyMatchesSort(t *testing.T) {
 			// Coarse scores to force plenty of ties.
 			hits[i] = Hit{Doc: int32(i), Score: float64(rng.Intn(10)) / 10}
 		}
-		h := newTopK(k)
+		h := getTopK(k)
 		for _, hit := range hits {
 			h.offer(hit)
 		}
-		got := h.sorted()
+		got := h.appendSorted(nil)
 		ref := append([]Hit(nil), hits...)
 		sort.Slice(ref, func(i, j int) bool { return weaker(ref[j], ref[i]) })
 		if len(ref) > k {

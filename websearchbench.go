@@ -69,6 +69,9 @@ type Engine struct {
 	searcher *partition.Searcher
 	mode     search.Mode
 	cache    *qcache.Cache[[]Result]
+	// analyzer is stateless and shared across queries, so the facade
+	// does not rebuild the stopword set per search.
+	analyzer *textproc.Analyzer
 }
 
 // New builds an Engine: it generates the synthetic corpus and indexes it
@@ -119,6 +122,7 @@ func New(cfg Config) (*Engine, error) {
 		idx:      idx,
 		searcher: partition.NewSearcher(idx, opts, cfg.Parallel),
 		mode:     mode,
+		analyzer: textproc.NewAnalyzer(),
 	}
 	if cfg.CacheSize > 0 {
 		e.cache = qcache.New[[]Result](cfg.CacheSize)
@@ -133,18 +137,21 @@ func (e *Engine) Search(query string) []Result {
 			return cached
 		}
 	}
-	analyzer := textproc.NewAnalyzer()
-	q := search.ParseQuery(analyzer, query, e.mode)
+	q := search.ParseQuery(e.analyzer, query, e.mode)
 	res := e.searcher.Search(q)
-	// Highlighting matches loose terms and phrase members alike.
-	highlightTerms := append([]string(nil), q.Terms...)
-	for _, p := range q.Phrases {
-		highlightTerms = append(highlightTerms, p...)
+	// Highlighting matches loose terms and phrase members alike; without
+	// phrases the parsed terms are used as-is.
+	highlightTerms := q.Terms
+	if len(q.Phrases) > 0 {
+		highlightTerms = append([]string(nil), q.Terms...)
+		for _, p := range q.Phrases {
+			highlightTerms = append(highlightTerms, p...)
+		}
 	}
 	out := make([]Result, 0, len(res.Hits))
 	for _, h := range res.Hits {
 		doc := e.idx.Doc(h.Doc)
-		snip := search.MakeSnippet(analyzer, doc.Snippet, highlightTerms, 0)
+		snip := search.MakeSnippet(e.analyzer, doc.Snippet, highlightTerms, 0)
 		out = append(out, Result{
 			URL:         doc.URL,
 			Title:       doc.Title,
