@@ -202,6 +202,13 @@ func BenchmarkAblationBlockMax(b *testing.B) {
 	benchExperiment(b, func(c *experiments.Context) { c.AblationBlockMax() })
 }
 
+// BenchmarkAblationPackedCompression regenerates the packed-compression
+// ablation (raw vs varint vs packed: postings bytes, decode ns/posting,
+// service time, allocations per query).
+func BenchmarkAblationPackedCompression(b *testing.B) {
+	benchExperiment(b, func(c *experiments.Context) { c.AblationPackedCompression() })
+}
+
 // BenchmarkEngineSearch measures the end-to-end facade query path.
 func BenchmarkEngineSearch(b *testing.B) {
 	e, err := New(Config{Docs: 2000, VocabSize: 5000, Partitions: 4})

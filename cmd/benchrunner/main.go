@@ -27,7 +27,7 @@ func main() {
 
 	var (
 		scale = flag.Float64("scale", 1.0, "scale factor for corpus/queries/sim durations")
-		only  = flag.String("only", "", "run a single experiment (E1..E19, ABL-1..ABL-7)")
+		only  = flag.String("only", "", "run a single experiment (E1..E19, ABL-1..ABL-8)")
 		jsonO = flag.String("json", "", "write the run's measurements to this file as a JSON array of records (see experiments.Record for the schema)")
 	)
 	flag.Parse()
@@ -72,6 +72,7 @@ func main() {
 		"ABL-5": func() { c.AblationScheduling() },
 		"ABL-6": func() { c.AblationSkipLists() },
 		"ABL-7": func() { c.AblationBlockMax() },
+		"ABL-8": func() { c.AblationPackedCompression() },
 	}
 	run, ok := steps[*only]
 	if !ok {

@@ -26,7 +26,8 @@ func main() {
 		vocab   = flag.Int("vocab", 30000, "vocabulary size")
 		meanLen = flag.Int("meanlen", 250, "mean document length in terms")
 		seed    = flag.Int64("seed", 1, "corpus seed")
-		raw     = flag.Bool("raw", false, "use raw (uncompressed) postings")
+		encoding = flag.String("encoding", "packed", "posting-list encoding: packed, varint or raw")
+		raw      = flag.Bool("raw", false, "use raw (uncompressed) postings (shorthand for -encoding raw)")
 		out     = flag.String("out", "index.seg", "output segment file")
 		trace   = flag.String("trace", "", "also write a query trace to this file")
 		timed   = flag.String("timed", "", "also write a timed (replayable) trace to this file")
@@ -41,9 +42,18 @@ func main() {
 	cfg.MeanBodyTerms = *meanLen
 	cfg.Seed = *seed
 
-	var opts []index.BuilderOption
 	if *raw {
+		*encoding = "raw"
+	}
+	var opts []index.BuilderOption
+	switch *encoding {
+	case "packed": // the builder default
+	case "varint":
+		opts = append(opts, index.WithCompression(index.CompressionVarint))
+	case "raw":
 		opts = append(opts, index.WithCompression(index.CompressionRaw))
+	default:
+		log.Fatalf("unknown -encoding %q (want packed, varint or raw)", *encoding)
 	}
 	seg, err := index.BuildFromCorpus(cfg, opts...)
 	if err != nil {
@@ -61,8 +71,8 @@ func main() {
 		log.Fatal(err)
 	}
 	st := seg.ComputeStats(5)
-	fmt.Printf("wrote %s: %d docs, %d terms, %d postings, %d bytes (compression %.2fx)\n",
-		*out, st.NumDocs, st.NumTerms, st.TotalPostings, n, st.CompressionRatio)
+	fmt.Printf("wrote %s: %d docs, %d terms, %d postings, %d bytes (%s, compression %.2fx)\n",
+		*out, st.NumDocs, st.NumTerms, st.TotalPostings, n, st.Encoding, st.CompressionRatio)
 
 	if *trace != "" || *timed != "" {
 		gen, err := workload.NewGenerator(workload.DefaultConfig(), corpus.NewVocabulary(*vocab))

@@ -73,7 +73,13 @@ func (c *Context) AblationCompression() AblationCompressionResult {
 	if err != nil {
 		panic(fmt.Sprintf("experiments: raw index build failed: %v", err))
 	}
-	varSeg := c.Segment()
+	// The shared segment is packed (the default encoding); this ablation
+	// contrasts varint against raw specifically, so build varint here.
+	// ABL-8 covers the full raw/varint/packed comparison.
+	varSeg, err := index.BuildFromCorpus(c.CorpusCfg, index.WithCompression(index.CompressionVarint))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: varint index build failed: %v", err))
+	}
 	qs := c.Analyzed()
 	run := func(seg *index.Segment) time.Duration {
 		s := search.NewSearcher(seg, search.Options{TopK: 10, UseMaxScore: false})

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"websearchbench/internal/index"
+	"websearchbench/internal/search"
+)
+
+// ABL8Row is one encoding's measurements in the packed-compression
+// ablation.
+type ABL8Row struct {
+	Name          string
+	PostingsBytes int64
+	// DecodeNs is the cost of a full decode of every posting list,
+	// per posting — the microcost that multiplies into E3/E4's
+	// postings-bound service time.
+	DecodeNs float64
+	// Mean is the end-to-end mean query service time over the workload.
+	Mean time.Duration
+	// AllocsPerOp is steady-state heap allocations per query on the
+	// pooled SearchInto path.
+	AllocsPerOp float64
+}
+
+// ABL8Result contrasts the three posting-list encodings end to end.
+type ABL8Result struct {
+	// Rows are ordered: raw, varint, packed.
+	Rows []ABL8Row
+	// TopKIdentical confirms every workload query returned the same
+	// ranked top-k under all three encodings — the correctness guard on
+	// the comparison.
+	TopKIdentical bool
+}
+
+// AblationPackedCompression (ABL-8) measures what block bit-packing buys
+// over one-at-a-time varint decode and over uncompressed postings: index
+// bytes, raw decode ns/posting, end-to-end service time, and allocs per
+// query. The paper's characterization puts ~96% of service time in
+// postings traversal + scoring, so decode cost per posting directly sets
+// the throughput ceiling.
+func (c *Context) AblationPackedCompression() ABL8Result {
+	segs := make([]*index.Segment, 0, 3)
+	for _, comp := range []index.Compression{
+		index.CompressionRaw, index.CompressionVarint, index.CompressionPacked,
+	} {
+		seg, err := index.BuildFromCorpus(c.CorpusCfg, index.WithCompression(comp))
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v index build failed: %v", comp, err))
+		}
+		segs = append(segs, seg)
+	}
+	qs := c.Analyzed()
+
+	// decodeNs: best-of-3 full traversal of every posting list.
+	decodeNs := func(seg *index.Segment) float64 {
+		best := 0.0
+		for pass := 0; pass < 3; pass++ {
+			var n, sink int64
+			start := time.Now()
+			for _, term := range seg.Terms() {
+				ti, _ := seg.Term(term)
+				it := seg.PostingsByID(ti.ID)
+				for it.Next() {
+					sink += int64(it.Freq())
+					n++
+				}
+			}
+			el := float64(time.Since(start).Nanoseconds()) / float64(max(1, int(n)))
+			if sink == 0 {
+				panic("experiments: decode traversal saw no postings")
+			}
+			if best == 0 || el < best {
+				best = el
+			}
+		}
+		return best
+	}
+
+	res := ABL8Result{TopKIdentical: true}
+	var baseline [][]search.Hit
+	for ci, seg := range segs {
+		row := ABL8Row{
+			Name:          seg.Compression().String(),
+			PostingsBytes: seg.PostingsBytes(),
+			DecodeNs:      decodeNs(seg),
+		}
+		s := search.NewSearcher(seg, search.Options{TopK: 10, UseMaxScore: true})
+		var total time.Duration
+		var r search.Result
+		for qi, q := range qs {
+			start := time.Now()
+			s.SearchInto(q, &r)
+			total += time.Since(start)
+			if ci == 0 {
+				baseline = append(baseline, append([]search.Hit(nil), r.Hits...))
+			} else if !sameTopK(baseline[qi], r.Hits) {
+				res.TopKIdentical = false
+			}
+		}
+		row.Mean = total / time.Duration(max(1, len(qs)))
+		n := min(len(qs), 50)
+		i := 0
+		row.AllocsPerOp = testing.AllocsPerRun(n, func() {
+			s.SearchInto(qs[i%n], &r)
+			i++
+		})
+		res.Rows = append(res.Rows, row)
+	}
+
+	c.section("ABL-8", "packed compression ablation (raw vs varint vs packed)")
+	w := c.table()
+	fmt.Fprintf(w, "encoding\tpostings bytes\tdecode ns/posting\tmean service time\tallocs/op\n")
+	for _, row := range res.Rows {
+		fmt.Fprintf(w, "%s\t%d\t%.2f\t%s\t%.1f\n",
+			row.Name, row.PostingsBytes, row.DecodeNs, ms(row.Mean), row.AllocsPerOp)
+		c.record("ABL-8", row.Name, "postings_bytes", float64(row.PostingsBytes))
+		c.record("ABL-8", row.Name, "decode_ns_per_posting", row.DecodeNs)
+		c.record("ABL-8", row.Name, "ns_per_query", float64(row.Mean))
+		c.record("ABL-8", row.Name, "allocs_per_op", row.AllocsPerOp)
+	}
+	fmt.Fprintf(w, "top-k identical\t%v\n", res.TopKIdentical)
+	w.Flush()
+	return res
+}

@@ -36,6 +36,7 @@ func (c *Context) RunAll() []string {
 		{"ABL-5", func() { c.AblationScheduling() }},
 		{"ABL-6", func() { c.AblationSkipLists() }},
 		{"ABL-7", func() { c.AblationBlockMax() }},
+		{"ABL-8", func() { c.AblationPackedCompression() }},
 	}
 	names := make([]string, 0, len(steps))
 	for _, s := range steps {

@@ -2,6 +2,7 @@ package index
 
 import (
 	"bytes"
+	"io"
 	"reflect"
 	"testing"
 
@@ -123,7 +124,7 @@ func TestBlockMaxRoundTrip(t *testing.T) {
 // pre-block-max (v02) on-disk format still loads and searches — it just
 // carries no block metadata, which is the MaxScore fallback condition.
 func TestLegacySerializationCompat(t *testing.T) {
-	s, err := BuildFromCorpus(smallCorpusCfg())
+	s, err := BuildFromCorpus(smallCorpusCfg(), WithCompression(CompressionVarint))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,6 +148,50 @@ func TestLegacySerializationCompat(t *testing.T) {
 	}
 }
 
+// TestV03SerializationCompat checks the intermediate (v03) on-disk
+// format still loads with its block-max metadata intact, and that the
+// two things v04 changed are enforced: packed segments refuse to
+// downgrade, and a v03 file claiming packed compression is rejected.
+func TestV03SerializationCompat(t *testing.T) {
+	s, err := BuildFromCorpus(smallCorpusCfg(), WithCompression(CompressionVarint))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteToV03(&buf); err != nil {
+		t.Fatalf("WriteToV03: %v", err)
+	}
+	data := append([]byte(nil), buf.Bytes()...)
+	got, err := ReadSegment(&buf)
+	if err != nil {
+		t.Fatalf("ReadSegment(v03): %v", err)
+	}
+	segmentsEquivalent(t, s, got)
+	if !got.HasBlockMax() {
+		t.Fatal("v03 segment lost block-max metadata")
+	}
+	if !reflect.DeepEqual(s.blockMaxes, got.blockMaxes) {
+		t.Fatal("v03 block maxima differ after round trip")
+	}
+
+	packed, err := BuildFromCorpus(smallCorpusCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := packed.WriteToV03(io.Discard); err == nil {
+		t.Fatal("packed segment serialized as v03")
+	}
+	if _, err := packed.WriteToLegacy(io.Discard); err == nil {
+		t.Fatal("packed segment serialized as v02")
+	}
+	// A v03 file with the packed compression byte is corrupt by
+	// definition: the code did not exist when v03 was current.
+	data[8] = byte(CompressionPacked)
+	if _, err := ReadSegment(bytes.NewReader(data)); err == nil {
+		t.Fatal("v03 segment with packed compression accepted")
+	}
+}
+
 // TestMergeMixedBlockMax merges a legacy-loaded segment (no block
 // metadata) with a freshly built one and checks the output's block
 // maxima are exactly those of a single-shot build over the same
@@ -161,8 +206,11 @@ func TestMergeMixedBlockMax(t *testing.T) {
 	gen.GenerateFunc(func(d corpus.Document) { docs = append(docs, d) })
 	half := len(docs) / 2
 
+	// Varint throughout: the legacy (v02) write below cannot carry packed
+	// lists, and segmentsEquivalent requires matching encodings. The
+	// packed counterpart of this property lives in TestMergePackedMixedFormats.
 	build := func(ds []corpus.Document) *Segment {
-		b := NewBuilder()
+		b := NewBuilder(WithCompression(CompressionVarint))
 		for _, d := range ds {
 			b.AddCorpusDoc(d)
 		}

@@ -32,7 +32,7 @@ type termAcc struct {
 // BuilderOption customizes a Builder.
 type BuilderOption func(*Builder)
 
-// WithCompression selects the posting-list encoding (default varint).
+// WithCompression selects the posting-list encoding (default packed).
 func WithCompression(c Compression) BuilderOption {
 	return func(b *Builder) { b.comp = c }
 }
@@ -58,10 +58,10 @@ func WithPositions() BuilderOption {
 }
 
 // NewBuilder returns an empty Builder with the default analyzer,
-// varint compression and standard BM25 parameters.
+// packed compression and standard BM25 parameters.
 func NewBuilder(opts ...BuilderOption) *Builder {
 	b := &Builder{
-		comp:       CompressionVarint,
+		comp:       CompressionPacked,
 		analyzer:   textproc.NewAnalyzer(),
 		bm25:       DefaultBM25(),
 		terms:      make(map[string]*termAcc),
@@ -170,6 +170,7 @@ func (b *Builder) Finalize() *Segment {
 	}
 	for id, t := range termList {
 		acc := b.terms[t]
+		acc.enc.finish()
 		s.terms[t] = int32(id)
 		s.postings[id] = acc.enc.buf
 		s.docFreqs[id] = acc.enc.count

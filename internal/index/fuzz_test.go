@@ -1,0 +1,99 @@
+package index
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// postingsFromFuzz derives a valid posting list from raw fuzz bytes:
+// alternating uvarints become (gap, freq) pairs. The first gap may be 0
+// (docID 0 is legal); later gaps get +1 so docIDs stay strictly
+// increasing. Gaps are taken mod 1<<30 so long inputs can still exercise
+// near-maximal deltas without overflowing int32 docIDs.
+func postingsFromFuzz(data []byte) []posting {
+	var ps []posting
+	doc := int32(0)
+	first := true
+	for len(data) > 0 && len(ps) < 4096 {
+		gap, n := binary.Uvarint(data)
+		if n <= 0 {
+			break
+		}
+		data = data[n:]
+		f, n := binary.Uvarint(data)
+		if n <= 0 {
+			break
+		}
+		data = data[n:]
+		g := int32(gap % (1 << 30))
+		if first {
+			doc = g
+			first = false
+		} else {
+			if doc > exhaustedDoc-g-1 {
+				break // next docID would overflow
+			}
+			doc += g + 1
+		}
+		ps = append(ps, posting{doc: doc, freq: int32(f%(1<<20)) + 1})
+	}
+	return ps
+}
+
+// fuzzRoundTrip encodes the derived list under comp and checks decode
+// reproduces it exactly, including SkipTo landing on every sampled doc.
+func fuzzRoundTrip(t *testing.T, comp Compression, data []byte) {
+	ps := postingsFromFuzz(data)
+	it := encodeAll(comp, ps)
+	for i, p := range ps {
+		if !it.Next() {
+			t.Fatalf("list truncated at posting %d/%d", i, len(ps))
+		}
+		if it.Doc() != p.doc || it.Freq() != p.freq {
+			t.Fatalf("posting %d = (%d,%d), want (%d,%d)", i, it.Doc(), it.Freq(), p.doc, p.freq)
+		}
+	}
+	if it.Next() {
+		t.Fatal("decoded more postings than encoded")
+	}
+	// SkipTo from a fresh iterator must land exactly on sampled postings.
+	for i := 0; i < len(ps); i += 1 + len(ps)/16 {
+		sk := encodeAll(comp, ps)
+		if !sk.SkipTo(ps[i].doc) || sk.Doc() != ps[i].doc || sk.Freq() != ps[i].freq {
+			t.Fatalf("SkipTo(%d) landed on (%d,%d)", ps[i].doc, sk.Doc(), sk.Freq())
+		}
+	}
+}
+
+// fuzzSeeds are shared corpus entries: empty input, a single posting at
+// doc 0, a dense full block, block+1, and maximal-gap postings.
+func fuzzSeeds(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1})
+	dense := make([]byte, 0, 130)
+	for i := 0; i < 65; i++ {
+		dense = append(dense, 0, 1)
+	}
+	f.Add(dense)
+	f.Add(binary.AppendUvarint(binary.AppendUvarint(nil, 1<<30-1), 3))
+	var mixed []byte
+	for i := 0; i < 100; i++ {
+		mixed = binary.AppendUvarint(mixed, uint64(i*i%4096))
+		mixed = binary.AppendUvarint(mixed, uint64(i%9))
+	}
+	f.Add(mixed)
+}
+
+func FuzzVarintPostings(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzRoundTrip(t, CompressionVarint, data)
+	})
+}
+
+func FuzzPackedPostings(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzRoundTrip(t, CompressionPacked, data)
+	})
+}

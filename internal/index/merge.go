@@ -8,8 +8,11 @@ import (
 // MergeSegments combines segments into one, concatenating their document
 // spaces in order (segment 0's docs keep their IDs, segment 1's are
 // offset by segment 0's count, and so on) and merging posting lists per
-// term. All segments must share compression, positional setting and BM25
-// parameters. Merging is how a multi-segment index is compacted after
+// term. All segments must share positional setting and BM25 parameters;
+// mixed compressions are allowed — inputs are decoded through iterators
+// and re-encoded in the first segment's encoding, which is how segments
+// loaded from older on-disk formats (v02/v03 varint) are upgraded into a
+// packed index. Merging is how a multi-segment index is compacted after
 // incremental building, exactly as in the Lucene stack the benchmark
 // serves with.
 func MergeSegments(segs []*Segment) (*Segment, error) {
@@ -21,9 +24,6 @@ func MergeSegments(segs []*Segment) (*Segment, error) {
 	}
 	first := segs[0]
 	for _, s := range segs[1:] {
-		if s.comp != first.comp {
-			return nil, fmt.Errorf("index: cannot merge mixed compressions %v and %v", first.comp, s.comp)
-		}
 		if s.positions != first.positions {
 			return nil, fmt.Errorf("index: cannot merge positional with non-positional segments")
 		}
@@ -93,6 +93,7 @@ func MergeSegments(segs []*Segment) (*Segment, error) {
 				}
 			}
 		}
+		enc.finish()
 		out.postings[id] = enc.buf
 		out.docFreqs[id] = enc.count
 		out.collFreqs[id] = coll

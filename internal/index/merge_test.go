@@ -134,12 +134,16 @@ func TestMergeErrors(t *testing.T) {
 	if _, err := MergeSegments(nil); err == nil {
 		t.Error("empty merge accepted")
 	}
-	varint := NewBuilder()
+	// Mixed compressions are legal since v04 (merge re-encodes through
+	// iterators); the output takes the first segment's encoding.
+	varint := NewBuilder(WithCompression(CompressionVarint))
 	varint.AddDocument("t", "x", "u", 1)
 	raw := NewBuilder(WithCompression(CompressionRaw))
 	raw.AddDocument("t", "x", "u", 1)
-	if _, err := MergeSegments([]*Segment{varint.Finalize(), raw.Finalize()}); err == nil {
-		t.Error("mixed compression merge accepted")
+	if m, err := MergeSegments([]*Segment{varint.Finalize(), raw.Finalize()}); err != nil {
+		t.Errorf("mixed compression merge rejected: %v", err)
+	} else if m.Compression() != CompressionVarint {
+		t.Errorf("mixed merge produced %v, want first segment's varint", m.Compression())
 	}
 	pos := NewBuilder(WithPositions())
 	pos.AddDocument("t", "x", "u", 1)

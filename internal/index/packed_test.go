@@ -1,0 +1,230 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestPackedBlockBoundaries round-trips lists whose lengths straddle the
+// packed block size: all-tail, exactly one block, block+1, and multiple
+// blocks with and without a tail.
+func TestPackedBlockBoundaries(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 129, 640, 1000} {
+		ps := make([]posting, n)
+		for i := range ps {
+			ps[i] = posting{doc: int32(i * 3), freq: int32(i%7 + 1)}
+		}
+		got := decodeAll(encodeAll(CompressionPacked, ps))
+		if len(got) != n {
+			t.Fatalf("n=%d: decoded %d postings", n, len(got))
+		}
+		for i := range ps {
+			if got[i] != ps[i] {
+				t.Fatalf("n=%d: posting %d = %+v, want %+v", n, i, got[i], ps[i])
+			}
+		}
+	}
+}
+
+// TestPackedDenseWidthZero checks the frame-of-reference degenerate
+// case: consecutive docIDs with uniform frequencies pack at width 0, so
+// a full block costs only its header (2 width bytes + 2 uvarints).
+func TestPackedDenseWidthZero(t *testing.T) {
+	enc := postingsEncoder{comp: CompressionPacked}
+	for d := int32(0); d < 64; d++ {
+		enc.add(d, 5)
+	}
+	enc.finish()
+	// Header: docBits=0, freqBits=0, firstGap=0 (1 byte), freqRef=5 (1 byte).
+	if len(enc.buf) != 4 {
+		t.Errorf("dense uniform block = %d bytes, want 4", len(enc.buf))
+	}
+	it := newPostingsIterator(CompressionPacked, enc.buf, enc.count)
+	for d := int32(0); d < 64; d++ {
+		if !it.Next() || it.Doc() != d || it.Freq() != 5 {
+			t.Fatalf("posting %d decoded as (%d,%d)", d, it.Doc(), it.Freq())
+		}
+	}
+	if it.Next() {
+		t.Fatal("extra posting")
+	}
+}
+
+// TestPackedSmallerThanVarint is the size claim behind ABL-8 as an
+// invariant: on dense lists (the high-docFreq lists that dominate index
+// bytes and query time) packed beats varint.
+func TestPackedSmallerThanVarint(t *testing.T) {
+	v := postingsEncoder{comp: CompressionVarint}
+	p := postingsEncoder{comp: CompressionPacked}
+	for d := int32(0); d < 10000; d += 2 {
+		v.add(d, d%13+1)
+		p.add(d, d%13+1)
+	}
+	v.finish()
+	p.finish()
+	if len(p.buf) >= len(v.buf) {
+		t.Errorf("packed (%d bytes) not smaller than varint (%d bytes)", len(p.buf), len(v.buf))
+	}
+}
+
+// TestTruncatedPackedPostings mirrors the varint truncation test: an
+// iterator that claims more postings than the buffer holds must exhaust
+// cleanly instead of spinning or panicking, for both a truncated full
+// block and a truncated varint tail.
+func TestTruncatedPackedPostings(t *testing.T) {
+	enc := postingsEncoder{comp: CompressionPacked}
+	for d := int32(0); d < 100; d++ {
+		enc.add(d*2, 1)
+	}
+	enc.finish()
+	for _, cut := range []int{0, 1, 3, len(enc.buf) / 2, len(enc.buf) - 1} {
+		it := newPostingsIterator(CompressionPacked, enc.buf[:cut], enc.count)
+		n := 0
+		for it.Next() {
+			if n++; n > 100 {
+				t.Fatalf("cut=%d: iterator spinning", cut)
+			}
+		}
+		if !it.Exhausted() {
+			t.Fatalf("cut=%d: truncated iterator not exhausted", cut)
+		}
+	}
+	// Intact buffer, inflated count: the missing tail reads as truncation.
+	it := newPostingsIterator(CompressionPacked, enc.buf, enc.count+40)
+	n := 0
+	for it.Next() {
+		n++
+	}
+	if n > 140 {
+		t.Fatalf("decoded %d postings from an inflated count", n)
+	}
+}
+
+// TestPackedCorruptWidths rejects blocks whose stored bit-widths exceed
+// any width a valid encoder can produce.
+func TestPackedCorruptWidths(t *testing.T) {
+	enc := postingsEncoder{comp: CompressionPacked}
+	for d := int32(0); d < 64; d++ {
+		enc.add(d*5, 2)
+	}
+	enc.finish()
+	buf := append([]byte(nil), enc.buf...)
+	buf[0] = 200 // docBits
+	it := newPostingsIterator(CompressionPacked, buf, enc.count)
+	if it.Next() {
+		t.Fatal("decoded a block with a 200-bit doc width")
+	}
+}
+
+// TestMergePackedRepacksExactly: merging packed segments re-packs blocks
+// exactly — the merged segment is byte-identical (serialized) to a
+// single-shot build over the same documents, block boundaries included.
+func TestMergePackedRepacksExactly(t *testing.T) {
+	mk := func(lo, hi int) *Segment {
+		b := NewBuilder()
+		for d := lo; d < hi; d++ {
+			body := "common"
+			if d%3 == 0 {
+				body += " sparse"
+			}
+			b.AddDocument(fmt.Sprintf("doc%d", d), body, fmt.Sprintf("u%d", d), 1)
+		}
+		return b.Finalize()
+	}
+	single := mk(0, 900)
+	if single.Compression() != CompressionPacked {
+		t.Fatalf("default build is %v, want packed", single.Compression())
+	}
+	parts := []*Segment{mk(0, 300), mk(300, 600), mk(600, 900)}
+	merged, err := MergeSegments(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantBuf, gotBuf bytes.Buffer
+	if _, err := single.WriteTo(&wantBuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := merged.WriteTo(&gotBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantBuf.Bytes(), gotBuf.Bytes()) {
+		t.Fatal("merged packed segment is not byte-identical to a single-shot build")
+	}
+}
+
+// TestMergePackedMixedFormats merges a v04 packed segment with v02- and
+// v03-loaded varint segments — the format-upgrade path — and checks the
+// output is packed with postings and block maxima identical to a
+// single-shot packed build.
+func TestMergePackedMixedFormats(t *testing.T) {
+	mk := func(lo, hi int, opts ...BuilderOption) *Segment {
+		b := NewBuilder(opts...)
+		for d := lo; d < hi; d++ {
+			body := "common"
+			if d%3 == 0 {
+				body += " sparse"
+			}
+			b.AddDocument(fmt.Sprintf("doc%d", d), body, fmt.Sprintf("u%d", d), 1)
+		}
+		return b.Finalize()
+	}
+	packed := mk(0, 300)
+	reload := func(s *Segment, write func(*Segment, *bytes.Buffer) error) *Segment {
+		var buf bytes.Buffer
+		if err := write(s, &buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadSegment(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	v02 := reload(mk(300, 600, WithCompression(CompressionVarint)),
+		func(s *Segment, b *bytes.Buffer) error { _, err := s.WriteToLegacy(b); return err })
+	v03 := reload(mk(600, 900, WithCompression(CompressionVarint)),
+		func(s *Segment, b *bytes.Buffer) error { _, err := s.WriteToV03(b); return err })
+
+	merged, err := MergeSegments([]*Segment{packed, v02, v03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Compression() != CompressionPacked {
+		t.Fatalf("mixed-format merge produced %v, want packed", merged.Compression())
+	}
+	single := mk(0, 900)
+	segmentsEquivalent(t, single, merged)
+	if !reflect.DeepEqual(single.blockMaxes, merged.blockMaxes) {
+		t.Fatal("merged block maxima differ from a single-shot packed build")
+	}
+}
+
+// BenchmarkBlockDecode measures raw decode throughput per posting: a
+// full traversal of a long list under each encoding. The batch-decoded
+// packed path is the one Next() the searcher hot loops sit on.
+func BenchmarkBlockDecode(b *testing.B) {
+	const n = 100000
+	for _, comp := range allCompressions {
+		enc := postingsEncoder{comp: comp}
+		for i := 0; i < n; i++ {
+			enc.add(int32(i*3), int32(i%15+1))
+		}
+		enc.finish()
+		b.Run(comp.String(), func(b *testing.B) {
+			b.SetBytes(int64(len(enc.buf)))
+			var sink int64
+			for i := 0; i < b.N; i++ {
+				it := newPostingsIterator(comp, enc.buf, enc.count)
+				for it.Next() {
+					sink += int64(it.Freq())
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/posting")
+			if sink == 0 {
+				b.Fatal("no postings decoded")
+			}
+		})
+	}
+}

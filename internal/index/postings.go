@@ -15,6 +15,11 @@ const (
 	// CompressionRaw stores fixed 4-byte little-endian docIDs and freqs,
 	// kept for the compression ablation study.
 	CompressionRaw
+	// CompressionPacked stores postings in skipInterval-long blocks,
+	// frame-of-reference bit-packed at each block's minimal bit-width,
+	// with a varint tail for the final partial block (see packed.go).
+	// The production encoding since format v04.
+	CompressionPacked
 )
 
 func (c Compression) String() string {
@@ -23,6 +28,8 @@ func (c Compression) String() string {
 		return "varint"
 	case CompressionRaw:
 		return "raw"
+	case CompressionPacked:
+		return "packed"
 	default:
 		return fmt.Sprintf("Compression(%d)", uint8(c))
 	}
@@ -34,20 +41,34 @@ type postingsEncoder struct {
 	buf     []byte
 	lastDoc int32
 	count   int32
+	// Packed encoding buffers a block of postings before flushing it
+	// bit-packed; finish() writes the final partial block as a varint
+	// tail.
+	pend      int32
+	pendDocs  [packedBlockLen]int32
+	pendFreqs [packedBlockLen]int32
 }
 
 // add appends a posting. Documents must be added in strictly increasing
-// docID order.
+// docID order. Packed encoders buffer postings until a block fills (or
+// finish is called); the other encodings stream.
 func (e *postingsEncoder) add(docID int32, freq int32) {
 	switch e.comp {
 	case CompressionVarint:
 		e.buf = appendUvarint(e.buf, uint64(docID-e.lastDoc))
 		e.buf = appendUvarint(e.buf, uint64(freq))
+		e.lastDoc = docID
 	case CompressionRaw:
 		e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(docID))
 		e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(freq))
+	case CompressionPacked:
+		e.pendDocs[e.pend] = docID
+		e.pendFreqs[e.pend] = freq
+		e.pend++
+		if e.pend == packedBlockLen {
+			e.flushPackedBlock()
+		}
 	}
-	e.lastDoc = docID
 	e.count++
 }
 
@@ -67,6 +88,14 @@ type PostingsIterator struct {
 	skips      []skipEntry
 	blockMaxes []float32 // per-block score bounds, aligned with skips
 	shallow    int       // current block of the shallow (non-decoding) cursor
+
+	// Packed-encoding batch state: the current block decoded into inline
+	// scratch arrays. Inline (not pointers) so iterators stay
+	// allocation-free; bIdx/bLen delimit the undelivered postings.
+	bIdx   int32
+	bLen   int32
+	bDocs  [packedBlockLen]int32
+	bFreqs [packedBlockLen]int32
 }
 
 // newPostingsIterator returns an iterator over an encoded posting list
@@ -81,6 +110,20 @@ func (it *PostingsIterator) Next() bool {
 	if it.count <= 0 {
 		it.doc = exhaustedDoc
 		return false
+	}
+	if it.comp == CompressionPacked {
+		// Batch path: refill the scratch block when drained, then serve
+		// postings as plain array reads.
+		if it.bIdx >= it.bLen && !it.decodePackedBlock() {
+			it.count = 0
+			it.doc = exhaustedDoc
+			return false
+		}
+		it.doc = it.bDocs[it.bIdx]
+		it.freq = it.bFreqs[it.bIdx]
+		it.bIdx++
+		it.count--
+		return true
 	}
 	it.count--
 	switch it.comp {
@@ -128,15 +171,15 @@ const exhaustedDoc = int32(1<<31 - 1)
 // SkipTo advances the iterator to the first posting with docID >= target.
 // It returns false if no such posting exists. The iterator must have been
 // advanced at least once by Next before calling SkipTo, or target must be
-// >= 0 (both are satisfied by normal conjunction loops). Long varint
-// lists jump via their skip table; raw lists binary-search their
-// fixed-width records.
+// >= 0 (both are satisfied by normal conjunction loops). Long varint and
+// packed lists jump via their skip table (packed lists then decode the
+// landing block once); raw lists binary-search their fixed-width records.
 func (it *PostingsIterator) SkipTo(target int32) bool {
 	if it.doc >= target {
 		return true
 	}
 	switch it.comp {
-	case CompressionVarint:
+	case CompressionVarint, CompressionPacked:
 		it.seekSkip(target)
 	case CompressionRaw:
 		it.seekRaw(target)

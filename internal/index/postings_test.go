@@ -17,8 +17,12 @@ func encodeAll(comp Compression, ps []posting) PostingsIterator {
 	for _, p := range ps {
 		enc.add(p.doc, p.freq)
 	}
+	enc.finish()
 	return newPostingsIterator(comp, enc.buf, enc.count)
 }
+
+// allCompressions enumerates every posting-list encoding for table tests.
+var allCompressions = []Compression{CompressionVarint, CompressionRaw, CompressionPacked}
 
 func decodeAll(it PostingsIterator) []posting {
 	var out []posting
@@ -30,7 +34,7 @@ func decodeAll(it PostingsIterator) []posting {
 
 func TestPostingsRoundTrip(t *testing.T) {
 	ps := []posting{{0, 1}, {1, 3}, {5, 2}, {1000, 1}, {1001, 7}, {1 << 20, 255}}
-	for _, comp := range []Compression{CompressionVarint, CompressionRaw} {
+	for _, comp := range allCompressions {
 		t.Run(comp.String(), func(t *testing.T) {
 			got := decodeAll(encodeAll(comp, ps))
 			if len(got) != len(ps) {
@@ -144,7 +148,7 @@ func TestPostingsRoundTripProperty(t *testing.T) {
 			last = int32(d)
 			ps = append(ps, posting{int32(d), int32(rng.Intn(1000) + 1)})
 		}
-		for _, comp := range []Compression{CompressionVarint, CompressionRaw} {
+		for _, comp := range allCompressions {
 			got := decodeAll(encodeAll(comp, ps))
 			if len(got) != len(ps) {
 				return false
@@ -183,7 +187,8 @@ func TestVarintSmallerThanRawForDenseLists(t *testing.T) {
 }
 
 func TestCompressionString(t *testing.T) {
-	if CompressionVarint.String() != "varint" || CompressionRaw.String() != "raw" {
+	if CompressionVarint.String() != "varint" || CompressionRaw.String() != "raw" ||
+		CompressionPacked.String() != "packed" {
 		t.Error("Compression.String mismatch")
 	}
 	if Compression(9).String() != "Compression(9)" {

@@ -10,11 +10,15 @@ import (
 )
 
 // segmentMagic identifies the segment file format, with a version
-// suffix. v03 added per-term block-max metadata after each posting list;
-// v02 files (no block maxima) are still readable — they load with nil
-// block metadata and search via the plain MaxScore fallback.
+// suffix. v04 added the packed posting-list encoding; v03 added per-term
+// block-max metadata after each posting list; v02 files (no block
+// maxima) are still readable — they load with nil block metadata and
+// search via the plain MaxScore fallback. The byte layout is identical
+// across v03 and v04; the version only gates which compression codes are
+// legal, so older readers fail fast on files they cannot decode.
 var (
-	segmentMagic    = [8]byte{'W', 'S', 'B', 'I', 'D', 'X', '0', '3'}
+	segmentMagic    = [8]byte{'W', 'S', 'B', 'I', 'D', 'X', '0', '4'}
+	segmentMagicV03 = [8]byte{'W', 'S', 'B', 'I', 'D', 'X', '0', '3'}
 	segmentMagicV02 = [8]byte{'W', 'S', 'B', 'I', 'D', 'X', '0', '2'}
 )
 
@@ -58,24 +62,39 @@ func (cw *countingWriter) str(s string) {
 	cw.write([]byte(s))
 }
 
-// WriteTo serializes the segment in the current (v03) format, block-max
+// WriteTo serializes the segment in the current (v04) format, block-max
 // metadata included. It implements io.WriterTo.
 func (s *Segment) WriteTo(w io.Writer) (int64, error) {
-	return s.writeTo(w, false)
+	return s.writeTo(w, 4)
 }
 
-// WriteToLegacy serializes the segment in the previous (v02) on-disk
-// format, which carries no block-max metadata. It exists for downgrade
-// paths and for testing that legacy segments still load and search.
+// WriteToV03 serializes the segment in the previous (v03) on-disk format
+// — block-max metadata but no packed encoding. It exists for downgrade
+// paths and for testing that v03 files still load and search; packed
+// segments cannot be written this way.
+func (s *Segment) WriteToV03(w io.Writer) (int64, error) {
+	return s.writeTo(w, 3)
+}
+
+// WriteToLegacy serializes the segment in the oldest supported (v02)
+// on-disk format, which carries no block-max metadata and no packed
+// encoding. It exists for downgrade paths and for testing that legacy
+// segments still load and search.
 func (s *Segment) WriteToLegacy(w io.Writer) (int64, error) {
-	return s.writeTo(w, true)
+	return s.writeTo(w, 2)
 }
 
-func (s *Segment) writeTo(w io.Writer, legacy bool) (int64, error) {
+func (s *Segment) writeTo(w io.Writer, version int) (int64, error) {
+	if s.comp == CompressionPacked && version < 4 {
+		return 0, fmt.Errorf("index: packed segments require format v04, cannot write v%02d", version)
+	}
 	cw := &countingWriter{w: bufio.NewWriter(w)}
-	if legacy {
+	switch version {
+	case 2:
 		cw.write(segmentMagicV02[:])
-	} else {
+	case 3:
+		cw.write(segmentMagicV03[:])
+	default:
 		cw.write(segmentMagic[:])
 	}
 	cw.u8(uint8(s.comp))
@@ -105,7 +124,7 @@ func (s *Segment) writeTo(w io.Writer, legacy bool) (int64, error) {
 		cw.f32(s.maxScores[id])
 		cw.uvarint(uint64(len(s.postings[id])))
 		cw.write(s.postings[id])
-		if !legacy {
+		if version >= 3 {
 			// Block-max metadata: block count then per-block bounds.
 			// Raw segments store none (count 0 for every term).
 			var blocks []float32
@@ -184,9 +203,10 @@ func (rd *reader) str() string {
 	return string(b)
 }
 
-// ReadSegment deserializes a segment written by WriteTo. It accepts both
-// the current v03 format and legacy v02 files; the latter load without
-// block-max metadata, so queries over them take the MaxScore fallback.
+// ReadSegment deserializes a segment written by WriteTo. It accepts the
+// current v04 format as well as v03 and legacy v02 files; v02 segments
+// load without block-max metadata, so queries over them take the
+// MaxScore fallback, and only v04 files may use the packed encoding.
 func ReadSegment(r io.Reader) (*Segment, error) {
 	rd := &reader{r: bufio.NewReader(r)}
 	var magic [8]byte
@@ -194,13 +214,27 @@ func ReadSegment(r io.Reader) (*Segment, error) {
 	if rd.err != nil {
 		return nil, rd.err
 	}
-	hasBlockMax := magic == segmentMagic
-	if !hasBlockMax && magic != segmentMagicV02 {
+	var version int
+	switch magic {
+	case segmentMagic:
+		version = 4
+	case segmentMagicV03:
+		version = 3
+	case segmentMagicV02:
+		version = 2
+	default:
 		return nil, ErrBadFormat
 	}
+	hasBlockMax := version >= 3
 	s := &Segment{}
 	s.comp = Compression(rd.u8())
-	if s.comp != CompressionVarint && s.comp != CompressionRaw {
+	switch s.comp {
+	case CompressionVarint, CompressionRaw:
+	case CompressionPacked:
+		if version < 4 {
+			return nil, fmt.Errorf("index: packed compression is invalid in a v%02d segment", version)
+		}
+	default:
 		return nil, fmt.Errorf("index: unknown compression %d", s.comp)
 	}
 	flags := rd.u8()
@@ -208,6 +242,11 @@ func ReadSegment(r io.Reader) (*Segment, error) {
 		return nil, fmt.Errorf("index: unknown flags %#x", flags)
 	}
 	s.positions = flags&1 != 0
+	if s.positions && s.comp != CompressionVarint {
+		// Positional postings interleave varint position deltas; no valid
+		// writer produces them under another encoding.
+		return nil, fmt.Errorf("index: positional segment with %v compression", s.comp)
+	}
 	s.bm25.K1 = rd.f64()
 	s.bm25.B = rd.f64()
 	numDocs := rd.u32()
@@ -237,7 +276,7 @@ func ReadSegment(r io.Reader) (*Segment, error) {
 	s.docFreqs = make([]int32, numTerms)
 	s.collFreqs = make([]int64, numTerms)
 	s.maxScores = make([]float32, numTerms)
-	if hasBlockMax && s.comp == CompressionVarint {
+	if hasBlockMax && s.comp != CompressionRaw {
 		s.blockMaxes = make([][]float32, numTerms)
 	}
 	for id := uint32(0); id < numTerms; id++ {
@@ -265,7 +304,7 @@ func ReadSegment(r io.Reader) (*Segment, error) {
 			// Block structure is a pure function of the list length, so a
 			// mismatched count means corruption, not a format variant.
 			want := 0
-			if s.comp == CompressionVarint {
+			if s.comp != CompressionRaw {
 				want = numBlocksFor(s.docFreqs[id])
 			}
 			if int(nBlocks) != want {

@@ -16,8 +16,12 @@ import "math"
 // it stays a true upper bound). Block-Max pruning consults these bounds
 // via NextShallow/BlockMax to rule out whole blocks without decoding a
 // single posting. Unlike the skip tables, block maxima ARE serialized
-// (format v03) — they are exactly the per-block impact scores Lucene
+// (formats v03+) — they are exactly the per-block impact scores Lucene
 // stores next to its skip data.
+//
+// Packed posting lists (format v04) reuse this block structure directly:
+// packedBlockLen == skipInterval, so every bit-packed block is one skip
+// block and one block-max block.
 
 const (
 	// skipInterval is the number of postings between checkpoints. It is
@@ -37,9 +41,12 @@ type skipEntry struct {
 
 // buildSkips constructs skip tables for all qualifying posting lists.
 // Raw-compression segments need none: their fixed-width records support
-// direct binary search.
+// direct binary search. Packed lists share the varint path — skipInterval
+// equals packedBlockLen, so every checkpoint lands exactly on a packed
+// block boundary (the iterator's byte position just after posting
+// k·skipInterval is the start of block k+1).
 func (s *Segment) buildSkips() {
-	if s.comp != CompressionVarint {
+	if s.comp == CompressionRaw {
 		return
 	}
 	s.skips = make([][]skipEntry, len(s.postings))
@@ -95,6 +102,9 @@ func (it *PostingsIterator) seekSkip(target int32) bool {
 	it.doc = e.doc
 	it.pos = int(e.pos)
 	it.count = total - e.used
+	// Checkpoints land on packed block boundaries; drop any partially
+	// consumed scratch block so the next Next decodes at the new offset.
+	it.bIdx, it.bLen = 0, 0
 	return true
 }
 
@@ -102,8 +112,8 @@ func (it *PostingsIterator) seekSkip(target int32) bool {
 // consumed postings; iterators remember it via the initial count.
 func (it *PostingsIterator) totalCount() int32 { return it.initCount }
 
-// numBlocksFor returns the number of block-max blocks a varint posting
-// list of the given length carries. Lists long enough for a skip table
+// numBlocksFor returns the number of block-max blocks a varint or packed
+// posting list of the given length carries. Lists long enough for a skip table
 // get one block per checkpoint plus a final (possibly partial) block;
 // shorter lists are a single block bounded by the term-level MaxScore.
 func numBlocksFor(df int32) int {
@@ -123,12 +133,13 @@ func quantizeUp(x float64) float32 {
 	return f
 }
 
-// computeBlockMaxes records, for every varint posting list, the maximum
-// BM25 contribution within each skipInterval-long block. Raw-compression
-// segments carry no block metadata (Block-Max evaluation falls back to
-// plain MaxScore there). Must run after computeMaxScores and buildSkips.
+// computeBlockMaxes records, for every varint or packed posting list,
+// the maximum BM25 contribution within each skipInterval-long block.
+// Raw-compression segments carry no block metadata (Block-Max evaluation
+// falls back to plain MaxScore there). Must run after computeMaxScores
+// and buildSkips.
 func (s *Segment) computeBlockMaxes() {
-	if s.comp != CompressionVarint {
+	if s.comp == CompressionRaw {
 		s.blockMaxes = nil
 		return
 	}
@@ -170,8 +181,8 @@ func (s *Segment) applyBlockMax(id int32, it *PostingsIterator) {
 }
 
 // HasBlockMax reports whether the segment carries block-max metadata
-// (varint segments built or merged by this version; absent on raw
-// segments and segments loaded from the legacy on-disk format).
+// (varint and packed segments built or merged by this version; absent on
+// raw segments and segments loaded from the legacy v02 on-disk format).
 func (s *Segment) HasBlockMax() bool { return s.blockMaxes != nil }
 
 // HasBlockMax reports whether per-block score bounds are available on

@@ -75,12 +75,13 @@ func TestSkipToWithTableMatchesLinear(t *testing.T) {
 // positional lists.
 func TestSkipEquivalenceProperty(t *testing.T) {
 	segs := map[string]*Segment{
-		"varint":     buildLongList(t, 900),
+		"packed":     buildLongList(t, 900),
+		"varint":     buildLongList(t, 900, WithCompression(CompressionVarint)),
 		"raw":        buildLongList(t, 900, WithCompression(CompressionRaw)),
 		"positional": buildLongList(t, 900, WithPositions()),
 	}
 	f := func(seed int64, name uint8) bool {
-		keys := []string{"varint", "raw", "positional"}
+		keys := []string{"packed", "varint", "raw", "positional"}
 		s := segs[keys[int(name)%len(keys)]]
 		rng := rand.New(rand.NewSource(seed))
 		fast, _ := s.Postings("common")

@@ -3,16 +3,39 @@
 // the same queries recur constantly — which is exactly the property that
 // makes a small front-end result cache absorb a large share of traffic.
 // Experiment E14 quantifies that on this benchmark's workload.
+//
+// Internally the cache is striped into up to maxShards independent
+// mutex-guarded LRU shards keyed by a hash of the query string, so
+// concurrent front-end lookups do not serialize on one global lock.
+// Small caches stay single-shard and therefore exactly LRU; sharded
+// caches are LRU per shard, which preserves the capacity bound and the
+// Zipf hit-rate behavior while removing the contention point.
 package qcache
 
 import (
 	"sync"
 )
 
+const (
+	// maxShards caps the stripe count; it is a power of two so the shard
+	// index is a mask of the key hash.
+	maxShards = 16
+	// minShardCapacity is the smallest per-shard capacity worth striping
+	// for: below it, eviction behavior degrades measurably versus global
+	// LRU, and caches that small are not contention-bound anyway.
+	minShardCapacity = 32
+)
+
 // Cache is a fixed-capacity LRU map from string keys to values of type V.
 // The zero value is unusable; construct with New. All methods are safe
 // for concurrent use.
 type Cache[V any] struct {
+	shards []*shard[V]
+	mask   uint32
+}
+
+// shard is one independently locked LRU stripe.
+type shard[V any] struct {
 	mu       sync.Mutex
 	capacity int
 	items    map[string]*entry[V]
@@ -34,92 +57,145 @@ func New[V any](capacity int) *Cache[V] {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	return &Cache[V]{
-		capacity: capacity,
-		items:    make(map[string]*entry[V], capacity),
-	}
+	return newSharded[V](capacity, shardsFor(capacity))
 }
 
-// unlink removes e from the LRU list.
-func (c *Cache[V]) unlink(e *entry[V]) {
+// shardsFor picks the stripe count for a capacity: the largest power of
+// two ≤ maxShards that keeps every shard at minShardCapacity or more.
+func shardsFor(capacity int) int {
+	n := 1
+	for n < maxShards && capacity/(n*2) >= minShardCapacity {
+		n *= 2
+	}
+	return n
+}
+
+// newSharded builds a cache with an explicit stripe count (a power of
+// two). Total capacity is distributed exactly: the first capacity%shards
+// shards get one extra slot, so Len never exceeds capacity.
+func newSharded[V any](capacity, shards int) *Cache[V] {
+	c := &Cache[V]{
+		shards: make([]*shard[V], shards),
+		mask:   uint32(shards - 1),
+	}
+	base, extra := capacity/shards, capacity%shards
+	for i := range c.shards {
+		sz := base
+		if i < extra {
+			sz++
+		}
+		c.shards[i] = &shard[V]{
+			capacity: sz,
+			items:    make(map[string]*entry[V], sz),
+		}
+	}
+	return c
+}
+
+// shardFor hashes key (FNV-1a) and returns its stripe.
+func (c *Cache[V]) shardFor(key string) *shard[V] {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return c.shards[h&c.mask]
+}
+
+// unlink removes e from the shard's LRU list.
+func (s *shard[V]) unlink(e *entry[V]) {
 	if e.prev != nil {
 		e.prev.next = e.next
 	} else {
-		c.head = e.next
+		s.head = e.next
 	}
 	if e.next != nil {
 		e.next.prev = e.prev
 	} else {
-		c.tail = e.prev
+		s.tail = e.prev
 	}
 	e.prev, e.next = nil, nil
 }
 
-// pushFront makes e the most recently used entry.
-func (c *Cache[V]) pushFront(e *entry[V]) {
-	e.next = c.head
-	if c.head != nil {
-		c.head.prev = e
+// pushFront makes e the shard's most recently used entry.
+func (s *shard[V]) pushFront(e *entry[V]) {
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
 	}
-	c.head = e
-	if c.tail == nil {
-		c.tail = e
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
 	}
 }
 
 // Get returns the cached value for key, marking it most recently used.
 func (c *Cache[V]) Get(key string) (V, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.items[key]
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.items[key]
 	if !ok {
-		c.misses++
+		s.misses++
 		var zero V
 		return zero, false
 	}
-	c.hits++
-	if c.head != e {
-		c.unlink(e)
-		c.pushFront(e)
+	s.hits++
+	if s.head != e {
+		s.unlink(e)
+		s.pushFront(e)
 	}
 	return e.value, true
 }
 
-// Put inserts or updates key, evicting the least recently used entry when
-// full.
+// Put inserts or updates key, evicting the shard's least recently used
+// entry when the shard is full.
 func (c *Cache[V]) Put(key string, value V) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if e, ok := c.items[key]; ok {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.items[key]; ok {
 		e.value = value
-		if c.head != e {
-			c.unlink(e)
-			c.pushFront(e)
+		if s.head != e {
+			s.unlink(e)
+			s.pushFront(e)
 		}
 		return
 	}
-	if len(c.items) >= c.capacity {
-		lru := c.tail
-		c.unlink(lru)
-		delete(c.items, lru.key)
+	if len(s.items) >= s.capacity {
+		lru := s.tail
+		s.unlink(lru)
+		delete(s.items, lru.key)
 	}
 	e := &entry[V]{key: key, value: value}
-	c.items[key] = e
-	c.pushFront(e)
+	s.items[key] = e
+	s.pushFront(e)
 }
 
 // Len returns the current number of entries.
 func (c *Cache[V]) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.items)
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// Stats returns lifetime hit and miss counts.
+// Stats returns lifetime hit and miss counts, summed across shards.
 func (c *Cache[V]) Stats() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	for _, s := range c.shards {
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		s.mu.Unlock()
+	}
+	return hits, misses
 }
 
 // HitRate returns hits/(hits+misses), or 0 before any lookups.

@@ -14,7 +14,7 @@ import (
 
 // blockMaxCorpus builds one reusable segment + vocabulary pair sized so
 // frequent terms carry skip tables and block metadata.
-func blockMaxCorpus(t testing.TB, numDocs int) (*index.Segment, *corpus.Vocabulary) {
+func blockMaxCorpus(t testing.TB, numDocs int, opts ...index.BuilderOption) (*index.Segment, *corpus.Vocabulary) {
 	t.Helper()
 	cfg := corpus.DefaultConfig()
 	cfg.NumDocs = numDocs
@@ -24,7 +24,7 @@ func blockMaxCorpus(t testing.TB, numDocs int) (*index.Segment, *corpus.Vocabula
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := index.NewBuilder()
+	b := index.NewBuilder(opts...)
 	gen.GenerateFunc(func(d corpus.Document) { b.AddCorpusDoc(d) })
 	return b.Finalize(), gen.Vocabulary()
 }
@@ -69,9 +69,12 @@ func TestBlockMaxEquivalenceQuick(t *testing.T) {
 		t.Fatal("corpus segment has no block-max metadata")
 	}
 	// A legacy round trip strips the metadata: the same property must
-	// hold through the MaxScore fallback path.
+	// hold through the MaxScore fallback path. Legacy files predate the
+	// packed encoding, so the downgraded segment is built as varint —
+	// which also puts both encodings under the same property.
+	varSeg, _ := blockMaxCorpus(t, 900, index.WithCompression(index.CompressionVarint))
 	var buf bytes.Buffer
-	if _, err := seg.WriteToLegacy(&buf); err != nil {
+	if _, err := varSeg.WriteToLegacy(&buf); err != nil {
 		t.Fatal(err)
 	}
 	legacy, err := index.ReadSegment(&buf)

@@ -1,0 +1,111 @@
+package search
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"websearchbench/internal/corpus"
+	"websearchbench/internal/index"
+)
+
+// TestPackedEquivalenceQuick is the packed-encoding acceptance property:
+// packed segments return the identical top-k (documents, order, scores)
+// to varint segments under AND and OR modes, with local or global
+// statistics, pruned or exhaustive — including a packed segment
+// assembled by merging mixed-format inputs (v04 packed + v02 and v03
+// varint reloads) and one reloaded through v04 serialization.
+func TestPackedEquivalenceQuick(t *testing.T) {
+	cfg := corpus.DefaultConfig()
+	cfg.NumDocs = 900
+	cfg.VocabSize = 2000
+	cfg.MeanBodyTerms = 60
+	gen, err := corpus.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var docs []corpus.Document
+	gen.GenerateFunc(func(d corpus.Document) { docs = append(docs, d) })
+	vocab := gen.Vocabulary()
+
+	build := func(ds []corpus.Document, opts ...index.BuilderOption) *index.Segment {
+		b := index.NewBuilder(opts...)
+		for _, d := range ds {
+			b.AddCorpusDoc(d)
+		}
+		return b.Finalize()
+	}
+	varint := build(docs, index.WithCompression(index.CompressionVarint))
+	packed := build(docs)
+	if packed.Compression() != index.CompressionPacked {
+		t.Fatalf("default build is %v, want packed", packed.Compression())
+	}
+
+	// The same documents as one packed segment merged from the three
+	// on-disk format generations.
+	third := len(docs) / 3
+	reload := func(s *index.Segment, write func(*index.Segment, *bytes.Buffer) error) *index.Segment {
+		var buf bytes.Buffer
+		if err := write(s, &buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := index.ReadSegment(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	v02 := reload(build(docs[third:2*third], index.WithCompression(index.CompressionVarint)),
+		func(s *index.Segment, b *bytes.Buffer) error { _, err := s.WriteToLegacy(b); return err })
+	v03 := reload(build(docs[2*third:], index.WithCompression(index.CompressionVarint)),
+		func(s *index.Segment, b *bytes.Buffer) error { _, err := s.WriteToV03(b); return err })
+	merged, err := index.MergeSegments([]*index.Segment{build(docs[:third]), v02, v03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Compression() != index.CompressionPacked {
+		t.Fatalf("mixed-format merge produced %v, want packed", merged.Compression())
+	}
+	// And a v04 round trip of the packed segment: the serialized form
+	// must search identically to the in-memory build.
+	v04 := reload(packed, func(s *index.Segment, b *bytes.Buffer) error { _, err := s.WriteTo(b); return err })
+
+	packedSegs := []*index.Segment{packed, merged, v04}
+	stats := globalStatsFor(varint)
+
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ps := packedSegs[rng.Intn(len(packedSegs))]
+		nTerms := 1 + rng.Intn(4)
+		terms := make([]string, nTerms)
+		for i := range terms {
+			if rng.Intn(2) == 0 {
+				terms[i] = vocab.Word(rng.Intn(50))
+			} else {
+				terms[i] = vocab.Word(rng.Intn(vocab.Size()))
+			}
+		}
+		mode := ModeOr
+		if rng.Intn(2) == 0 {
+			mode = ModeAnd
+		}
+		var st *CollectionStats
+		if rng.Intn(2) == 0 {
+			st = stats
+		}
+		k := 1 + rng.Intn(15)
+		prune := rng.Intn(2) == 0
+		// The reference is always exhaustive varint; the packed side
+		// flips pruning so the property covers the batch-decode path
+		// under term-at-a-time, MaxScore, and Block-Max evaluation.
+		ref := NewSearcher(varint, Options{TopK: k, UseMaxScore: false, Stats: st})
+		got := NewSearcher(ps, Options{TopK: k, UseMaxScore: prune, Stats: st})
+		q := ParseQuery(ref.Options().Analyzer, strings.Join(terms, " "), mode)
+		return hitsEquivalent(ref.Search(q).Hits, got.Search(q).Hits)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

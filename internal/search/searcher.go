@@ -187,8 +187,8 @@ func (s *Searcher) SearchInto(q Query, res *Result) {
 }
 
 // useBlockMax reports whether Block-Max pruning is applicable: the
-// segment must carry block metadata (varint compression, current
-// format), iterators must have their skip tables (the shallow cursor
+// segment must carry block metadata (packed or varint compression,
+// format v03+), iterators must have their skip tables (the shallow cursor
 // shares their block structure), and scoring must use the local
 // statistics the bounds were computed under.
 func (s *Searcher) useBlockMax() bool {
