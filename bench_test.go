@@ -162,6 +162,12 @@ func BenchmarkE19LiveFaults(b *testing.B) {
 	benchExperiment(b, func(c *experiments.Context) { c.E19LiveFaults() })
 }
 
+// BenchmarkLiveIngest regenerates the live-ingest interference experiment
+// (query p50/p99 and throughput against a mutating near-real-time index).
+func BenchmarkLiveIngest(b *testing.B) {
+	benchExperiment(b, func(c *experiments.Context) { c.E20LiveIngest() })
+}
+
 // BenchmarkAblationMaxScore regenerates the MaxScore pruning ablation.
 func BenchmarkAblationMaxScore(b *testing.B) {
 	benchExperiment(b, func(c *experiments.Context) { c.AblationMaxScore() })

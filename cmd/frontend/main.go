@@ -1,6 +1,7 @@
 // Command frontend serves the scatter/gather tier in front of searchd
 // nodes, with the resilience layer (deadlines, hedging, retries, circuit
-// breakers) exposed as flags.
+// breakers) exposed as flags. GET /metrics reports the end-to-end
+// search-latency histogram as JSON (count, mean, p50/p95/p99).
 //
 // Usage:
 //

@@ -4,6 +4,13 @@
 // Usage:
 //
 //	indexer -docs 20000 -vocab 30000 -out index.seg -trace queries.txt
+//
+// With -live the corpus is streamed through the near-real-time ingest
+// path (memtable, flushes, tiered merges) and compacted to a single
+// segment before serialization — exercising exactly the machinery a
+// live searchd node runs, and proving the two paths produce equivalent
+// on-disk indexes. Live segments use packed compression and carry no
+// positions.
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 
 	"websearchbench/internal/corpus"
 	"websearchbench/internal/index"
+	"websearchbench/internal/live"
 	"websearchbench/internal/workload"
 )
 
@@ -22,17 +30,18 @@ func main() {
 	log.SetPrefix("indexer: ")
 
 	var (
-		docs    = flag.Int("docs", 20000, "number of documents to generate")
-		vocab   = flag.Int("vocab", 30000, "vocabulary size")
-		meanLen = flag.Int("meanlen", 250, "mean document length in terms")
-		seed    = flag.Int64("seed", 1, "corpus seed")
+		docs     = flag.Int("docs", 20000, "number of documents to generate")
+		vocab    = flag.Int("vocab", 30000, "vocabulary size")
+		meanLen  = flag.Int("meanlen", 250, "mean document length in terms")
+		seed     = flag.Int64("seed", 1, "corpus seed")
 		encoding = flag.String("encoding", "packed", "posting-list encoding: packed, varint or raw")
 		raw      = flag.Bool("raw", false, "use raw (uncompressed) postings (shorthand for -encoding raw)")
-		out     = flag.String("out", "index.seg", "output segment file")
-		trace   = flag.String("trace", "", "also write a query trace to this file")
-		timed   = flag.String("timed", "", "also write a timed (replayable) trace to this file")
-		rate    = flag.Float64("rate", 100, "arrival rate for the timed trace (qps)")
-		queries = flag.Int("queries", 10000, "queries to write to the trace")
+		liveMode = flag.Bool("live", false, "build through the live-ingest path, then compact")
+		out      = flag.String("out", "index.seg", "output segment file")
+		trace    = flag.String("trace", "", "also write a query trace to this file")
+		timed    = flag.String("timed", "", "also write a timed (replayable) trace to this file")
+		rate     = flag.Float64("rate", 100, "arrival rate for the timed trace (qps)")
+		queries  = flag.Int("queries", 10000, "queries to write to the trace")
 	)
 	flag.Parse()
 
@@ -55,9 +64,31 @@ func main() {
 	default:
 		log.Fatalf("unknown -encoding %q (want packed, varint or raw)", *encoding)
 	}
-	seg, err := index.BuildFromCorpus(cfg, opts...)
-	if err != nil {
-		log.Fatal(err)
+	var seg *index.Segment
+	if *liveMode {
+		if *encoding != "packed" {
+			log.Fatalf("-live only supports the packed encoding (got %q)", *encoding)
+		}
+		gen, err := corpus.NewGenerator(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		li := live.NewIndex(live.Config{RefreshEvery: 1 << 30})
+		gen.GenerateFunc(func(d corpus.Document) {
+			li.Add(d.URL, d.Title, d.Body, d.Quality)
+		})
+		li.Compact()
+		seg = li.Segment()
+		li.Close()
+		if seg == nil {
+			log.Fatal("live compaction did not converge to a single segment")
+		}
+	} else {
+		var err error
+		seg, err = index.BuildFromCorpus(cfg, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	f, err := os.Create(*out)
 	if err != nil {

@@ -28,18 +28,18 @@ func main() {
 	log.SetPrefix("loadgen: ")
 
 	var (
-		target  = flag.String("target", "http://127.0.0.1:8080", "service base URL")
-		vocab   = flag.Int("vocab", 30000, "vocabulary size (must match the index)")
-		clients = flag.Int("clients", 8, "closed-loop client population")
-		think   = flag.Duration("think", 100*time.Millisecond, "mean think time")
-		open    = flag.Bool("open", false, "open-loop (Poisson) instead of closed-loop")
-		rate    = flag.Float64("rate", 100, "open-loop arrival rate (qps)")
-		rampUp  = flag.Duration("rampup", 2*time.Second, "warm-up window")
-		measure = flag.Duration("measure", 10*time.Second, "measurement window")
-		qosPct  = flag.Float64("qos-pct", 90, "QoS percentile")
-		qosTgt  = flag.Duration("qos-target", 500*time.Millisecond, "QoS response-time target")
-		seed    = flag.Int64("seed", 7, "workload seed")
-		nq      = flag.Int("queries", 5000, "query stream length")
+		target   = flag.String("target", "http://127.0.0.1:8080", "service base URL")
+		vocab    = flag.Int("vocab", 30000, "vocabulary size (must match the index)")
+		clients  = flag.Int("clients", 8, "closed-loop client population")
+		think    = flag.Duration("think", 100*time.Millisecond, "mean think time")
+		open     = flag.Bool("open", false, "open-loop (Poisson) instead of closed-loop")
+		rate     = flag.Float64("rate", 100, "open-loop arrival rate (qps)")
+		rampUp   = flag.Duration("rampup", 2*time.Second, "warm-up window")
+		measure  = flag.Duration("measure", 10*time.Second, "measurement window")
+		qosPct   = flag.Float64("qos-pct", 90, "QoS percentile")
+		qosTgt   = flag.Duration("qos-target", 500*time.Millisecond, "QoS response-time target")
+		seed     = flag.Int64("seed", 7, "workload seed")
+		nq       = flag.Int("queries", 5000, "query stream length")
 		replay   = flag.String("replay", "", "timed trace file to replay (overrides open/closed modes)")
 		speedup  = flag.Float64("speedup", 1, "replay time scaling")
 		deadline = flag.Duration("deadline", 0, "per-query client deadline (0 = transport default)")

@@ -15,6 +15,14 @@
 // failures without external tooling:
 //
 //	searchd -addr :8082 -shard 1 -shards 2 -fault-latency 50ms -fault-latency-prob 0.05
+//
+// With -live the node serves a near-real-time mutable index instead of
+// an immutable one: POST /docs and POST /delete mutate it while queries
+// run, GET /metrics reports the latency histogram and live-index shape,
+// and -live-ingest starts a background self-ingest loop (docs/sec) for
+// observing query latency under write pressure:
+//
+//	searchd -addr :8081 -live -live-ingest 500
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"websearchbench/internal/cluster"
 	"websearchbench/internal/cluster/resilience"
 	"websearchbench/internal/corpus"
+	"websearchbench/internal/live"
 	"websearchbench/internal/partition"
 	"websearchbench/internal/search"
 )
@@ -50,6 +59,13 @@ func main() {
 		shards   = flag.Int("shards", 1, "total index-serving nodes")
 		topK     = flag.Int("topk", 10, "results per query")
 		drain    = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
+
+		// Live (near-real-time) serving.
+		liveMode    = flag.Bool("live", false, "serve a mutable live index (enables POST /docs and /delete)")
+		liveIngest  = flag.Float64("live-ingest", 0, "with -live: background self-ingest rate in docs/sec")
+		liveMemDocs = flag.Int("live-memtable", 1024, "with -live: memtable flush threshold in docs")
+		liveSegs    = flag.Int("live-max-segments", 8, "with -live: segment-count budget before merging")
+		liveRefresh = flag.Int("live-refresh", 1, "with -live: publish a snapshot every N mutations")
 
 		// Fault injection, for resilience experiments against a live
 		// node: searchd can make itself a straggler, an error source,
@@ -73,20 +89,47 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	b, err := partition.NewBuilder(*parts, partition.RoundRobin, 0)
-	if err != nil {
-		log.Fatal(err)
-	}
-	i := 0
-	gen.GenerateFunc(func(d corpus.Document) {
-		if i%*shards == *shard {
-			b.AddCorpusDoc(d)
-		}
-		i++
-	})
-	idx := b.Finalize()
 
-	node := cluster.NewNode(*name, idx, search.Options{TopK: *topK}, *parallel)
+	var node *cluster.Node
+	var serving string
+	if *liveMode {
+		li := live.NewIndex(live.Config{
+			MemtableMaxDocs: *liveMemDocs,
+			MaxSegments:     *liveSegs,
+			RefreshEvery:    1 << 30, // bulk seeding: publish once below
+		})
+		defer li.Close()
+		i := 0
+		gen.GenerateFunc(func(d corpus.Document) {
+			if i%*shards == *shard {
+				li.Add(d.URL, d.Title, d.Body, d.Quality)
+			}
+			i++
+		})
+		li.SetRefreshEvery(*liveRefresh)
+		li.Refresh()
+		if *liveIngest > 0 {
+			go selfIngest(li, cfg, *liveIngest)
+		}
+		node = cluster.NewLiveNode(*name, li, *topK)
+		serving = fmt.Sprintf("%d live docs (memtable %d, max %d segments)",
+			li.Stats().LiveDocs, *liveMemDocs, *liveSegs)
+	} else {
+		b, err := partition.NewBuilder(*parts, partition.RoundRobin, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		i := 0
+		gen.GenerateFunc(func(d corpus.Document) {
+			if i%*shards == *shard {
+				b.AddCorpusDoc(d)
+			}
+			i++
+		})
+		idx := b.Finalize()
+		node = cluster.NewNode(*name, idx, search.Options{TopK: *topK}, *parallel)
+		serving = fmt.Sprintf("%d docs in %d partitions", idx.NumDocs(), idx.NumPartitions())
+	}
 	node.SetDrainTimeout(*drain)
 	var wrap func(http.Handler) http.Handler
 	injecting := *faultLatProb > 0 || *faultErrProb > 0 || *faultBlackProb > 0
@@ -104,8 +147,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%s serving %d docs in %d partitions on http://%s (shard %d/%d)\n",
-		*name, idx.NumDocs(), idx.NumPartitions(), bound, *shard, *shards)
+	fmt.Printf("%s serving %s on http://%s (shard %d/%d)\n",
+		*name, serving, bound, *shard, *shards)
+	if *liveMode && *liveIngest > 0 {
+		fmt.Printf("%s self-ingesting %.0f docs/sec\n", *name, *liveIngest)
+	}
 	if injecting {
 		fmt.Printf("%s injecting faults: latency %v@%.0f%%, errors %.0f%%, blackholes %.0f%%\n",
 			*name, *faultLatency, *faultLatProb*100, *faultErrProb*100, *faultBlackProb*100)
@@ -116,5 +162,32 @@ func main() {
 	<-sig
 	if err := node.Close(); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// selfIngest re-ingests corpus documents into li at the given rate,
+// cycling keys so every pass after the first is a stream of updates
+// (tombstoning the prior versions and exercising merges). It runs until
+// the process exits.
+func selfIngest(li *live.Index, cfg corpus.Config, rate float64) {
+	gen, err := corpus.NewGenerator(cfg)
+	if err != nil {
+		return
+	}
+	var docs []corpus.Document
+	gen.GenerateFunc(func(d corpus.Document) { docs = append(docs, d) })
+	if len(docs) == 0 {
+		return
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for i := 0; ; i++ {
+		<-tick.C
+		d := docs[i%len(docs)]
+		li.Add(d.URL, d.Title, d.Body, d.Quality)
 	}
 }

@@ -73,6 +73,32 @@ func ExampleEngine_Search_phrases() {
 	// phrase matched: true
 }
 
+// ExampleEngine_Add shows the live (near-real-time) mode: documents
+// added, updated or deleted through the facade become searchable
+// immediately, with no rebuild.
+func ExampleEngine_Add() {
+	engine, err := websearchbench.New(websearchbench.Config{
+		Docs:      300,
+		VocabSize: 1000,
+		Live:      true,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer engine.Close()
+
+	engine.Add("doc:breaking", "solar eclipse timing", "the eclipse crosses the region at noon", 0.9)
+	results := engine.Search("eclipse")
+	fmt.Println("found after add:", len(results) == 1 && results[0].URL == "doc:breaking")
+
+	engine.Delete("doc:breaking")
+	fmt.Println("found after delete:", len(engine.Search("eclipse")) > 0)
+	// Output:
+	// found after add: true
+	// found after delete: false
+}
+
 // ExampleEngine_CacheHitRate shows the result cache absorbing a repeat.
 func ExampleEngine_CacheHitRate() {
 	engine, err := websearchbench.New(websearchbench.Config{

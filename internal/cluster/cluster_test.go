@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"websearchbench/internal/corpus"
+	"websearchbench/internal/live"
 	"websearchbench/internal/loadgen"
 	"websearchbench/internal/partition"
 	"websearchbench/internal/search"
@@ -431,5 +432,131 @@ func TestFrontendBadRequests(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad mode status = %d", resp.StatusCode)
+	}
+}
+
+// TestLiveNodeHTTP exercises the mutable node end to end over HTTP:
+// ingest via POST /docs, search the fresh document, delete it via
+// POST /delete, and read the live stats back from GET /metrics.
+func TestLiveNodeHTTP(t *testing.T) {
+	li := live.NewIndex(live.Config{})
+	defer li.Close()
+	node := NewLiveNode("live-a", li, 10)
+	ts := httptest.NewServer(node.Handler())
+	defer ts.Close()
+
+	post := func(path string, body any) *http.Response {
+		t.Helper()
+		b, _ := json.Marshal(body)
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	resp := post("/docs", AddDocRequest{Key: "k1", Title: "ephemeral news", Body: "an ephemeral body of text", Quality: 0.5})
+	var mut MutateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mut); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if mut.Generation == 0 {
+		t.Fatal("add did not advance the generation")
+	}
+
+	resp = post("/search", SearchRequest{Query: "ephemeral"})
+	var sr SearchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(sr.Hits) != 1 || sr.Hits[0].URL != "k1" {
+		t.Fatalf("live search returned %+v", sr.Hits)
+	}
+
+	resp = post("/delete", DeleteDocRequest{Key: "k1"})
+	mut = MutateResponse{}
+	if err := json.NewDecoder(resp.Body).Decode(&mut); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !mut.Found {
+		t.Fatal("delete of an existing key reported Found=false")
+	}
+
+	resp = post("/search", SearchRequest{Query: "ephemeral"})
+	sr = SearchResponse{}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(sr.Hits) != 0 {
+		t.Fatalf("deleted doc still served: %+v", sr.Hits)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mr MetricsResponse
+	if err := json.NewDecoder(mresp.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if mr.Search.Count != 2 {
+		t.Errorf("metrics counted %d searches, want 2", mr.Search.Count)
+	}
+	if mr.Live == nil || mr.Live.Generation == 0 {
+		t.Fatalf("live stats missing from /metrics: %+v", mr.Live)
+	}
+	if mr.Live.LiveDocs != 0 {
+		t.Errorf("live stats report %d docs after delete, want 0", mr.Live.LiveDocs)
+	}
+}
+
+// TestMetricsEndpoints checks the static node's and the front-end's
+// /metrics histograms count served queries.
+func TestMetricsEndpoints(t *testing.T) {
+	fe, urls, vocab := buildCluster(t, 2, 1)
+	for i := 0; i < 3; i++ {
+		if _, err := fe.Search(SearchRequest{Query: vocab.Word(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Node metrics: every scatter touched each node at least once.
+	resp, err := http.Get(urls[0] + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mr MetricsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if mr.Search.Count < 3 || mr.Live != nil {
+		t.Errorf("node metrics = %+v", mr)
+	}
+
+	// Frontend metrics only count HTTP-served queries.
+	ts := httptest.NewServer(fe.Handler())
+	defer ts.Close()
+	body, _ := json.Marshal(SearchRequest{Query: vocab.Word(0)})
+	hresp, err := http.Post(ts.URL+"/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	fresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr = MetricsResponse{}
+	if err := json.NewDecoder(fresp.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	fresp.Body.Close()
+	if mr.Search.Count != 1 || mr.Node != "frontend" {
+		t.Errorf("frontend metrics = %+v", mr)
 	}
 }

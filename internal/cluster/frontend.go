@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"websearchbench/internal/cluster/resilience"
+	"websearchbench/internal/metrics"
 	"websearchbench/internal/qcache"
 )
 
@@ -42,6 +43,7 @@ type Frontend struct {
 	topK   int
 	mux    *http.ServeMux
 	cache  *qcache.Cache[SearchResponse]
+	hist   metrics.ConcurrentHistogram
 
 	policy  resilience.Policy
 	health  []*resilience.NodeHealth
@@ -84,6 +86,7 @@ func NewFrontend(nodeURLs []string, topK int) (*Frontend, error) {
 	}
 	f.SetPolicy(resilience.DefaultPolicy())
 	f.mux.HandleFunc("POST /search", f.handleSearch)
+	f.mux.HandleFunc("GET /metrics", f.handleMetrics)
 	return f, nil
 }
 
@@ -436,6 +439,7 @@ func (f *Frontend) handleSearch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	start := time.Now()
 	resp, err := f.SearchContext(r.Context(), req)
 	if err != nil {
 		if r.Context().Err() != nil {
@@ -445,7 +449,14 @@ func (f *Frontend) handleSearch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
+	f.hist.Record(time.Since(start))
 	writeJSON(w, resp)
+}
+
+// handleMetrics reports the front-end's end-to-end search-latency
+// histogram (scatter, gather, merge and cache hits included).
+func (f *Frontend) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, MetricsResponse{Node: "frontend", Search: f.hist.Snapshot().JSON()})
 }
 
 // Start listens on addr and serves in the background, returning the bound

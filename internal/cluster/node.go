@@ -8,17 +8,24 @@ import (
 	"net/http"
 	"time"
 
+	"websearchbench/internal/live"
+	"websearchbench/internal/metrics"
 	"websearchbench/internal/partition"
 	"websearchbench/internal/search"
 )
 
 // Node is one index-serving server: it owns a slice of the document
-// collection as a partitioned index and answers /search requests.
+// collection — either an immutable partitioned index or a mutable live
+// index — and answers /search requests. Every node exposes its
+// search-latency histogram on GET /metrics; live nodes additionally
+// accept POST /docs and POST /delete mutations.
 type Node struct {
 	name     string
 	searcher *partition.Searcher
+	live     *live.Index
 	topK     int
 	mux      *http.ServeMux
+	hist     metrics.ConcurrentHistogram
 
 	drain time.Duration
 	srv   *http.Server
@@ -39,9 +46,35 @@ func NewNode(name string, idx *partition.Index, opts search.Options, parallel bo
 		mux:      http.NewServeMux(),
 		drain:    defaultDrainTimeout,
 	}
+	n.registerCommon()
+	return n
+}
+
+// NewLiveNode creates a serving node over a live (mutable) index:
+// /search answers from the current snapshot, POST /docs and POST /delete
+// mutate, and /metrics reports the live index's shape alongside the
+// latency histogram.
+func NewLiveNode(name string, li *live.Index, topK int) *Node {
+	if topK <= 0 {
+		topK = 10
+	}
+	n := &Node{
+		name:  name,
+		live:  li,
+		topK:  topK,
+		mux:   http.NewServeMux(),
+		drain: defaultDrainTimeout,
+	}
+	n.registerCommon()
+	n.mux.HandleFunc("POST /docs", n.handleAddDoc)
+	n.mux.HandleFunc("POST /delete", n.handleDeleteDoc)
+	return n
+}
+
+func (n *Node) registerCommon() {
 	n.mux.HandleFunc("POST /search", n.handleSearch)
 	n.mux.HandleFunc("GET /stats", n.handleStats)
-	return n
+	n.mux.HandleFunc("GET /metrics", n.handleMetrics)
 }
 
 // Handler returns the node's HTTP handler, for in-process serving or
@@ -74,14 +107,36 @@ func (n *Node) handleSearch(w http.ResponseWriter, r *http.Request) {
 	done := make(chan SearchResponse, 1)
 	go func() {
 		start := time.Now()
+		var resp SearchResponse
+		if n.live != nil {
+			k := req.TopK
+			if k <= 0 {
+				k = n.topK
+			}
+			hits := n.live.Search(req.Query, mode, k)
+			took := time.Since(start)
+			n.hist.Record(took)
+			resp = SearchResponse{
+				Hits:       make([]WireHit, 0, len(hits)),
+				Matches:    len(hits),
+				TookMicros: took.Microseconds(),
+				Node:       n.name,
+			}
+			for _, h := range hits {
+				resp.Hits = append(resp.Hits, WireHit{URL: h.Key, Title: h.Doc.Title, Score: h.Score})
+			}
+			done <- resp
+			return
+		}
 		res := n.searcher.ParseAndSearch(req.Query, mode)
 		took := time.Since(start)
+		n.hist.Record(took)
 
 		k := req.TopK
 		if k <= 0 || k > len(res.Hits) {
 			k = len(res.Hits)
 		}
-		resp := SearchResponse{
+		resp = SearchResponse{
 			Hits:       make([]WireHit, 0, k),
 			Matches:    res.Matches,
 			TookMicros: took.Microseconds(),
@@ -104,8 +159,54 @@ func (n *Node) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleAddDoc ingests one document into a live node.
+func (n *Node) handleAddDoc(w http.ResponseWriter, r *http.Request) {
+	var req AddDocRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if req.Key == "" {
+		http.Error(w, "bad request: empty key", http.StatusBadRequest)
+		return
+	}
+	n.live.Add(req.Key, req.Title, req.Body, req.Quality)
+	writeJSON(w, MutateResponse{Generation: n.live.Stats().Generation, Found: true})
+}
+
+// handleDeleteDoc removes one document from a live node.
+func (n *Node) handleDeleteDoc(w http.ResponseWriter, r *http.Request) {
+	var req DeleteDocRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	found := n.live.Delete(req.Key)
+	writeJSON(w, MutateResponse{Generation: n.live.Stats().Generation, Found: found})
+}
+
+// handleMetrics reports the node's latency histogram and, on live nodes,
+// the live index's shape.
+func (n *Node) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	resp := MetricsResponse{Node: n.name, Search: n.hist.Snapshot().JSON()}
+	if n.live != nil {
+		st := n.live.Stats()
+		resp.Live = &st
+	}
+	writeJSON(w, resp)
+}
+
 // handleStats reports the node's index shape.
 func (n *Node) handleStats(w http.ResponseWriter, r *http.Request) {
+	if n.live != nil {
+		st := n.live.Stats()
+		writeJSON(w, StatsResponse{
+			Node:       n.name,
+			Docs:       int(st.LiveDocs),
+			Partitions: st.Segments,
+		})
+		return
+	}
 	idx := n.searcher.Index()
 	var avg float64
 	if parts := idx.NumPartitions(); parts > 0 {

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"time"
 
+	"websearchbench/internal/live"
+	"websearchbench/internal/metrics"
 	"websearchbench/internal/search"
 )
 
@@ -69,4 +71,34 @@ type StatsResponse struct {
 	Docs       int     `json:"docs"`
 	Partitions int     `json:"partitions"`
 	AvgDocLen  float64 `json:"avgDocLen"`
+}
+
+// AddDocRequest ingests (or replaces) one document on a live node.
+type AddDocRequest struct {
+	Key     string  `json:"key"`
+	Title   string  `json:"title"`
+	Body    string  `json:"body"`
+	Quality float64 `json:"quality,omitempty"`
+}
+
+// DeleteDocRequest removes one document from a live node.
+type DeleteDocRequest struct {
+	Key string `json:"key"`
+}
+
+// MutateResponse acknowledges a live mutation. Generation is the index
+// generation after the mutation published; Found reports whether a
+// delete's key existed.
+type MutateResponse struct {
+	Generation uint64 `json:"generation"`
+	Found      bool   `json:"found,omitempty"`
+}
+
+// MetricsResponse is the wire form of a server's /metrics endpoint: the
+// search-latency histogram summary plus, on live nodes, the live index's
+// shape.
+type MetricsResponse struct {
+	Node   string               `json:"node,omitempty"`
+	Search metrics.JSONSnapshot `json:"search"`
+	Live   *live.Stats          `json:"live,omitempty"`
 }

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"websearchbench/internal/corpus"
+	"websearchbench/internal/live"
+	"websearchbench/internal/metrics"
+	"websearchbench/internal/search"
+	"websearchbench/internal/textproc"
+)
+
+// E20Row is one live-ingest configuration: a target write rate plus the
+// live-index tuning knobs, with the query latency measured while writes
+// were landing.
+type E20Row struct {
+	Name string
+	// TargetIngest is the offered write rate in docs/sec (0 = read-only
+	// baseline).
+	TargetIngest float64
+	// AchievedIngest is the rate the writer actually sustained.
+	AchievedIngest float64
+	P50            time.Duration
+	P99            time.Duration
+	// QPS is queries completed per second across all searcher goroutines.
+	QPS float64
+	// Segments and MemtableDocs describe the index shape at the end of
+	// the measurement window.
+	Segments     int
+	MemtableDocs int
+	Flushes      int64
+	Merges       int64
+}
+
+// E20Result is the live-ingest interference experiment.
+type E20Result struct {
+	SeedDocs  int
+	Searchers int
+	Window    time.Duration
+	Rows      []E20Row
+}
+
+// E20LiveIngest measures how concurrent ingest perturbs query latency on
+// the near-real-time index: searcher goroutines replay the workload
+// against a live index while a writer streams document updates at a fixed
+// rate. The first three rows sweep the ingest rate at the default tuning
+// (the paper-style read-only index is the baseline); the last two hold
+// the highest rate and vary the refresh interval and the segment budget,
+// the two knobs that trade write amortization against read fan-out.
+func (c *Context) E20LiveIngest() E20Result {
+	gen, err := corpus.NewGenerator(c.CorpusCfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: corpus generator failed: %v", err))
+	}
+	var docs []corpus.Document
+	gen.GenerateFunc(func(d corpus.Document) { docs = append(docs, d) })
+	seedDocs := len(docs) * 6 / 10
+
+	analyzer := textproc.NewAnalyzer()
+	qs := make([]search.Query, 0, len(c.Stream()))
+	for _, q := range c.Stream() {
+		qs = append(qs, search.ParseQuery(analyzer, q.Text, q.Mode))
+	}
+
+	const searchers = 2
+	window := time.Duration(clamp(2*c.Scale, 0.15, 2) * float64(time.Second))
+
+	runs := []struct {
+		name string
+		rate float64
+		cfg  live.Config
+	}{
+		{"readonly", 0, live.Config{}},
+		{"ingest2k", 2000, live.Config{}},
+		{"ingest8k", 8000, live.Config{}},
+		{"ingest8k_refresh64", 8000, live.Config{RefreshEvery: 64}},
+		{"ingest8k_maxseg2", 8000, live.Config{MaxSegments: 2}},
+	}
+
+	res := E20Result{SeedDocs: seedDocs, Searchers: searchers, Window: window}
+	for _, run := range runs {
+		row := c.runLiveIngest(run.cfg, run.rate, docs, seedDocs, qs, searchers, window, analyzer)
+		row.Name = run.name
+		row.TargetIngest = run.rate
+		res.Rows = append(res.Rows, row)
+		c.record("E20", row.Name, "ingest_docs_per_sec", row.AchievedIngest)
+		c.record("E20", row.Name, "p50_ns", float64(row.P50))
+		c.record("E20", row.Name, "p99_ns", float64(row.P99))
+		c.record("E20", row.Name, "qps", row.QPS)
+		c.record("E20", row.Name, "segments", float64(row.Segments))
+		c.record("E20", row.Name, "merges", float64(row.Merges))
+	}
+
+	c.section("E20", "query latency under concurrent live ingest")
+	fmt.Fprintf(c.Out, "%d seeded docs, %d searcher goroutines, %v window per row\n",
+		seedDocs, searchers, window)
+	w := c.table()
+	fmt.Fprintf(w, "config\tingest/s\tp50\tp99\tqps\tsegs\tmemdocs\tflushes\tmerges\n")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%s\t%.0f\t%s\t%s\t%.0f\t%d\t%d\t%d\t%d\n",
+			r.Name, r.AchievedIngest, ms(r.P50), ms(r.P99), r.QPS,
+			r.Segments, r.MemtableDocs, r.Flushes, r.Merges)
+	}
+	w.Flush()
+	return res
+}
+
+// runLiveIngest measures one row: seed the index, run the searcher pool
+// against it for the window while a writer paces updates at rate, and
+// summarize.
+func (c *Context) runLiveIngest(cfg live.Config, rate float64, docs []corpus.Document,
+	seedDocs int, qs []search.Query, searchers int, window time.Duration,
+	analyzer *textproc.Analyzer) E20Row {
+
+	cfg.Analyzer = analyzer
+	refresh := cfg.RefreshEvery
+	cfg.RefreshEvery = 1 << 30 // bulk seeding: publish once below
+	li := live.NewIndex(cfg)
+	defer li.Close()
+	for _, d := range docs[:seedDocs] {
+		li.Add(d.URL, d.Title, d.Body, d.Quality)
+	}
+	li.SetRefreshEvery(refresh)
+	li.Refresh()
+
+	stop := make(chan struct{})
+	var added int64
+	var writers sync.WaitGroup
+	start := time.Now()
+	if rate > 0 {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			// Pace by wall clock: top up to rate*elapsed each tick so
+			// brief stalls are caught up rather than silently dropped.
+			// The cursor starts past the seeded prefix, so the stream is
+			// fresh adds first, then (cycling) updates that tombstone
+			// prior versions and feed the merge scheduler.
+			next := seedDocs
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				target := int64(rate * time.Since(start).Seconds())
+				for added < target {
+					d := docs[next%len(docs)]
+					li.Add(d.URL, d.Title, d.Body, d.Quality)
+					next++
+					added++
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+
+	// Searchers own disjoint histograms and counters; merged after the
+	// pool drains.
+	hists := make([]metrics.Histogram, searchers)
+	counts := make([]int64, searchers)
+	var pool sync.WaitGroup
+	deadline := start.Add(window)
+	for g := 0; g < searchers; g++ {
+		pool.Add(1)
+		go func(g int) {
+			defer pool.Done()
+			for i := g; time.Now().Before(deadline); i++ {
+				q := qs[i%len(qs)]
+				t0 := time.Now()
+				li.SearchQuery(q, 10)
+				hists[g].Record(time.Since(t0))
+				counts[g]++
+			}
+		}(g)
+	}
+	pool.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	writers.Wait()
+
+	var lat metrics.Histogram
+	var queries int64
+	for g := range hists {
+		lat.Merge(&hists[g])
+		queries += counts[g]
+	}
+	snap := lat.Snapshot()
+	st := li.Stats()
+	row := E20Row{
+		P50:          snap.P50,
+		P99:          snap.P99,
+		QPS:          float64(queries) / elapsed.Seconds(),
+		Segments:     st.Segments,
+		MemtableDocs: st.MemtableDocs,
+		Flushes:      st.Flushes,
+		Merges:       st.Merges,
+	}
+	if rate > 0 {
+		row.AchievedIngest = float64(added) / elapsed.Seconds()
+	}
+	return row
+}

@@ -142,6 +142,38 @@ func (b *Builder) AddCorpusDoc(d corpus.Document) int32 {
 	return b.AddDocument(d.Title, d.Body, d.URL, d.Quality)
 }
 
+// AddPreanalyzed indexes a document from already-analyzed term statistics:
+// terms must be sorted lexicographically with freqs aligned, and the
+// document length is the sum of the frequencies (every analyzed token
+// counts, exactly as AddDocument tallies it). This is the flush path of
+// the live index's memtable, which analyzed the document once at ingest
+// and replays the frequencies here instead of re-tokenizing the text.
+// Positional builders cannot accept pre-analyzed documents (the positions
+// were not retained), so the call panics on one — a programmer error, not
+// an input error.
+func (b *Builder) AddPreanalyzed(stored StoredDoc, terms []string, freqs []int32) int32 {
+	if b.positions {
+		panic("index: AddPreanalyzed on a positional builder")
+	}
+	docID := int32(len(b.docLens))
+	var docLen int32
+	for i, t := range terms {
+		f := freqs[i]
+		acc, ok := b.terms[t]
+		if !ok {
+			acc = &termAcc{enc: postingsEncoder{comp: b.comp}}
+			b.terms[t] = acc
+		}
+		acc.enc.add(docID, f)
+		acc.collFreq += int64(f)
+		docLen += f
+	}
+	b.docLens = append(b.docLens, docLen)
+	b.totalLen += int64(docLen)
+	b.docs = append(b.docs, stored)
+	return docID
+}
+
 // NumDocs returns the number of documents added so far.
 func (b *Builder) NumDocs() int { return len(b.docLens) }
 

@@ -174,6 +174,133 @@ func TestMergeSingleSegmentIdentity(t *testing.T) {
 	}
 }
 
+// Filtered merging must be equivalent to never having indexed the
+// dropped documents: same dictionary, postings, stats and scores as a
+// from-scratch build over the survivors.
+func TestMergeFilteredEqualsRebuild(t *testing.T) {
+	docs := corpusDocs(t, 120)
+	// Drop a third of the docs, spread across both input segments.
+	drop := func(global int) bool { return global%3 == 1 }
+
+	a, b := NewBuilder(), NewBuilder()
+	for i, d := range docs {
+		if i < 70 {
+			a.AddCorpusDoc(d)
+		} else {
+			b.AddCorpusDoc(d)
+		}
+	}
+	segA, segB := a.Finalize(), b.Finalize()
+	dropFns := []func(int32) bool{
+		func(d int32) bool { return drop(int(d)) },
+		func(d int32) bool { return drop(int(d) + 70) },
+	}
+	merged, remap, err := MergeSegmentsFiltered([]*Segment{segA, segB}, dropFns)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := NewBuilder()
+	for i, d := range docs {
+		if !drop(i) {
+			want.AddCorpusDoc(d)
+		}
+	}
+	segmentsEqual(t, merged, want.Finalize())
+
+	// Remap: dropped docs map to -1, survivors renumber densely in order.
+	next := int32(0)
+	for si, m := range remap {
+		base := 0
+		if si == 1 {
+			base = 70
+		}
+		for d, nd := range m {
+			if drop(base + d) {
+				if nd != -1 {
+					t.Fatalf("seg %d doc %d: dropped doc remapped to %d", si, d, nd)
+				}
+				continue
+			}
+			if nd != next {
+				t.Fatalf("seg %d doc %d: remap %d, want %d", si, d, nd, next)
+			}
+			next++
+		}
+	}
+}
+
+// A single segment with a filter is rewritten (dead-doc reclamation),
+// and terms whose postings all died vanish from the dictionary.
+func TestMergeFilteredSingleSegmentReclaim(t *testing.T) {
+	an := &textproc.Analyzer{DisableStemming: true}
+	b := NewBuilder(WithAnalyzer(an))
+	b.AddDocument("t0", "alpha shared", "u0", 1)
+	b.AddDocument("t1", "unique shared", "u1", 1)
+	b.AddDocument("t2", "alpha shared", "u2", 1)
+	seg := b.Finalize()
+
+	merged, remap, err := MergeSegmentsFiltered([]*Segment{seg},
+		[]func(int32) bool{func(d int32) bool { return d == 1 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.NumDocs() != 2 {
+		t.Fatalf("NumDocs = %d, want 2", merged.NumDocs())
+	}
+	if got := remap[0]; got[0] != 0 || got[1] != -1 || got[2] != 1 {
+		t.Fatalf("remap = %v, want [0 -1 1]", got)
+	}
+	if _, ok := merged.Term("unique"); ok {
+		t.Error("term held only by the dropped doc survived reclamation")
+	}
+	ti, ok := merged.Term("shared")
+	if !ok || ti.DocFreq != 2 {
+		t.Fatalf("shared: ok=%v df=%d, want df=2", ok, ti.DocFreq)
+	}
+	if merged.Doc(1).Title != "t2" {
+		t.Errorf("survivor doc 1 = %q, want t2", merged.Doc(1).Title)
+	}
+}
+
+// Filtering a positional merge drops the dead docs' positions with them.
+func TestMergeFilteredPositional(t *testing.T) {
+	an := &textproc.Analyzer{DisableStemming: true}
+	a := NewBuilder(WithPositions(), WithAnalyzer(an))
+	a.AddDocument("t", "alpha beta", "u0", 1)
+	a.AddDocument("t", "alpha gone", "u1", 1)
+	segA := a.Finalize()
+	bld := NewBuilder(WithPositions(), WithAnalyzer(an))
+	bld.AddDocument("t", "beta alpha", "u2", 1)
+	segB := bld.Finalize()
+
+	merged, _, err := MergeSegmentsFiltered([]*Segment{segA, segB},
+		[]func(int32) bool{func(d int32) bool { return d == 1 }, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.NumDocs() != 2 {
+		t.Fatalf("NumDocs = %d, want 2", merged.NumDocs())
+	}
+	if _, ok := merged.Term("gone"); ok {
+		t.Error("dropped doc's term survived")
+	}
+	it, ok := merged.PositionsOf("alpha")
+	if !ok {
+		t.Fatal("alpha missing")
+	}
+	// Doc 0: title "t" at 0, alpha at 1. Doc 1 (was segB doc 0): alpha at 2.
+	if !it.Next() || it.Doc() != 0 || it.Positions()[0] != 1 {
+		t.Fatalf("doc0 alpha at %v", it.Positions())
+	}
+	if !it.Next() || it.Doc() != 1 || it.Positions()[0] != 2 {
+		t.Fatalf("doc1 alpha at %v", it.Positions())
+	}
+	if it.Next() {
+		t.Error("extra alpha posting")
+	}
+}
+
 func TestWriterLifecycle(t *testing.T) {
 	w := NewWriter(10)
 	if w.NumSegments() != 0 || w.NumDocs() != 0 {

@@ -61,10 +61,11 @@ func (w *Writer) NumSegments() int { return len(w.segs) }
 
 // Segments flushes buffered documents and returns all segments. Segment
 // docIDs are local; segment i's global ID base is the sum of earlier
-// segments' document counts.
+// segments' document counts. The returned slice is a copy: callers may
+// append to or reorder it without corrupting the writer's own list.
 func (w *Writer) Segments() []*Segment {
 	w.Flush()
-	return w.segs
+	return append([]*Segment(nil), w.segs...)
 }
 
 // Compact flushes and merges everything into a single segment.

@@ -1,0 +1,87 @@
+package index
+
+import "testing"
+
+// Regression: Segments must return a copy, not the writer's internal
+// slice — a caller appending to the returned slice used to overwrite the
+// segment the writer's next Flush appended in the shared backing array.
+func TestWriterSegmentsReturnsCopy(t *testing.T) {
+	w := NewWriter(1)
+	w.AddDocument("t0", "alpha body", "u0", 1)
+	got := w.Segments()
+	if len(got) != 1 {
+		t.Fatalf("Segments = %d, want 1", len(got))
+	}
+	// Caller appends into (and mutates) its slice.
+	rogue := NewBuilder()
+	rogue.AddDocument("rogue", "rogue body", "ur", 1)
+	got = append(got, rogue.Finalize())
+	got[0] = nil
+
+	// The writer flushes another segment; its own list must be intact.
+	w.AddDocument("t1", "beta body", "u1", 1)
+	segs := w.Segments()
+	if len(segs) != 2 {
+		t.Fatalf("writer segments = %d, want 2", len(segs))
+	}
+	for i, s := range segs {
+		if s == nil {
+			t.Fatalf("writer segment %d corrupted by caller mutation", i)
+		}
+	}
+	if segs[0].Doc(0).Title != "t0" || segs[1].Doc(0).Title != "t1" {
+		t.Errorf("writer segment contents corrupted: %q, %q",
+			segs[0].Doc(0).Title, segs[1].Doc(0).Title)
+	}
+	merged, err := w.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.NumDocs() != 2 {
+		t.Errorf("compacted docs = %d, want 2", merged.NumDocs())
+	}
+}
+
+// AddPreanalyzed must produce the same segment as AddDocument for a
+// document whose analyzed term frequencies are replayed.
+func TestAddPreanalyzedEqualsAddDocument(t *testing.T) {
+	docs := corpusDocs(t, 60)
+	direct := NewBuilder()
+	replayed := NewBuilder()
+	for _, d := range docs {
+		direct.AddCorpusDoc(d)
+	}
+	want := direct.Finalize()
+	// Replay each document's term stats out of the finished segment's
+	// postings: per-doc (term, freq) pairs in sorted term order.
+	type tf struct {
+		term string
+		freq int32
+	}
+	perDoc := make([][]tf, want.NumDocs())
+	for _, term := range want.Terms() {
+		it, _ := want.Postings(term)
+		for it.Next() {
+			perDoc[it.Doc()] = append(perDoc[it.Doc()], tf{term, it.Freq()})
+		}
+	}
+	for d := 0; d < want.NumDocs(); d++ {
+		terms := make([]string, len(perDoc[d]))
+		freqs := make([]int32, len(perDoc[d]))
+		for i, p := range perDoc[d] {
+			terms[i] = p.term // Terms() iterates sorted, so pairs arrive sorted
+			freqs[i] = p.freq
+		}
+		replayed.AddPreanalyzed(want.Doc(int32(d)), terms, freqs)
+	}
+	segmentsEqual(t, replayed.Finalize(), want)
+}
+
+func TestAddPreanalyzedPositionalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AddPreanalyzed on a positional builder should panic")
+		}
+	}()
+	NewBuilder(WithPositions()).AddPreanalyzed(StoredDoc{}, []string{"a"}, []int32{1})
+}

@@ -1,0 +1,67 @@
+package live
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTombstones checks the tombstone wire format both ways: any payload
+// Unmarshal accepts must re-marshal byte-for-byte (the encoding is
+// canonical), and any set built from arbitrary docIDs must survive a
+// marshal/unmarshal round trip with its membership intact.
+func FuzzTombstones(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0})
+	seed := NewTombstones()
+	seed.Set(3)
+	seed.Set(64)
+	seed.Set(1000)
+	f.Add(seed.Marshal())
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}) // non-canonical: trailing zero word
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decode direction.
+		if ts, err := UnmarshalTombstones(data); err == nil {
+			out := ts.Marshal()
+			if !bytes.Equal(out, data) {
+				t.Fatalf("accepted payload not canonical: in=%x out=%x", data, out)
+			}
+			rt, err := UnmarshalTombstones(out)
+			if err != nil {
+				t.Fatalf("re-unmarshal of own output failed: %v", err)
+			}
+			if rt.Count() != ts.Count() {
+				t.Fatalf("round trip changed count: %d vs %d", ts.Count(), rt.Count())
+			}
+		}
+
+		// Encode direction: treat the payload as a docID stream.
+		ts := NewTombstones()
+		want := make(map[int32]bool)
+		for i := 0; i+2 < len(data); i += 3 {
+			// Bound docIDs so the bitmap stays small under fuzzing.
+			doc := int32(data[i])<<8 | int32(data[i+1])
+			ts.Set(doc)
+			want[doc] = true
+		}
+		if ts.Count() != len(want) {
+			t.Fatalf("Count = %d, distinct docs = %d", ts.Count(), len(want))
+		}
+		rt, err := UnmarshalTombstones(ts.Marshal())
+		if err != nil {
+			t.Fatalf("round trip rejected own encoding: %v", err)
+		}
+		if rt.Count() != len(want) {
+			t.Fatalf("round trip count = %d, want %d", rt.Count(), len(want))
+		}
+		rt.Range(func(doc int32) {
+			if !want[doc] {
+				t.Fatalf("round trip invented doc %d", doc)
+			}
+			delete(want, doc)
+		})
+		if len(want) != 0 {
+			t.Fatalf("round trip lost %d docs", len(want))
+		}
+	})
+}

@@ -1,0 +1,425 @@
+package live
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"websearchbench/internal/index"
+	"websearchbench/internal/search"
+	"websearchbench/internal/textproc"
+)
+
+// Config tunes the live index. The zero value selects the defaults.
+type Config struct {
+	// MemtableMaxDocs flushes the memtable into an immutable segment once
+	// it buffers this many documents (default 1024).
+	MemtableMaxDocs int
+	// MaxSegments is the segment-count budget: when a flush pushes the
+	// index past it, the background scheduler merges the smallest
+	// segments back under budget (default 8).
+	MaxSegments int
+	// ReclaimFrac triggers a single-segment rewrite when at least this
+	// fraction of a segment's documents are tombstoned (default 0.25).
+	ReclaimFrac float64
+	// RefreshEvery publishes a new snapshot every N mutations (default 1,
+	// i.e. every write is immediately searchable). Larger values batch
+	// publication work at the cost of staleness, the refresh-interval
+	// axis of the live-ingest experiment.
+	RefreshEvery int
+	// Analyzer used for documents and queries; defaults to the standard
+	// pipeline.
+	Analyzer *textproc.Analyzer
+}
+
+func (c Config) withDefaults() Config {
+	if c.MemtableMaxDocs <= 0 {
+		c.MemtableMaxDocs = 1024
+	}
+	if c.MaxSegments <= 0 {
+		c.MaxSegments = 8
+	}
+	if c.ReclaimFrac <= 0 {
+		c.ReclaimFrac = 0.25
+	}
+	if c.RefreshEvery <= 0 {
+		c.RefreshEvery = 1
+	}
+	if c.Analyzer == nil {
+		c.Analyzer = textproc.NewAnalyzer()
+	}
+	return c
+}
+
+// docRef locates a key's current document: segID 0 is the memtable,
+// anything else an immutable segment's ID.
+type docRef struct {
+	segID uint64
+	local int32
+}
+
+// liveSeg is one immutable segment plus its mutable delete state.
+type liveSeg struct {
+	id   uint64
+	seg  *index.Segment
+	keys []string
+	// tomb is the mutable tombstone set, guarded by the Index lock.
+	// published is the immutable copy-on-write clone the current snapshot
+	// reads; dirty records that tomb has advanced past it.
+	tomb      *Tombstones
+	published *Tombstones
+	dirty     bool
+}
+
+// Stats is a point-in-time summary of the live index's shape.
+type Stats struct {
+	Generation   uint64 `json:"generation"`
+	Segments     int    `json:"segments"`
+	MemtableDocs int    `json:"memtable_docs"`
+	LiveDocs     int64  `json:"live_docs"`
+	Tombstones   int    `json:"tombstones"`
+	Flushes      int64  `json:"flushes"`
+	Merges       int64  `json:"merges"`
+}
+
+// Index is a near-real-time mutable index: Add, Update and Delete are
+// immediately (or, with RefreshEvery > 1, promptly) visible to Search,
+// while the heavy lifting — segment construction, merging, dead-document
+// reclamation — happens on a background goroutine against immutable
+// structures. All methods are safe for full concurrency.
+type Index struct {
+	cfg Config
+
+	mu           sync.Mutex // serializes all mutation and publication
+	mem          *memtable
+	memDead      *Tombstones
+	memPublished *Tombstones
+	memDirty     bool
+	segs         []*liveSeg
+	keyRefs      map[string]docRef
+	nextSegID    uint64
+	gen          uint64
+	pending      int
+	merging      bool
+	flushes      int64
+	merges       int64
+	closed       bool
+
+	mergeCond *sync.Cond // signaled when a merge finishes
+
+	cur atomic.Pointer[Snapshot]
+
+	mergeCh chan struct{}
+	closeCh chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewIndex returns an empty live index and starts its background merge
+// scheduler. Close must be called to stop it.
+func NewIndex(cfg Config) *Index {
+	li := &Index{
+		cfg:       cfg.withDefaults(),
+		mem:       newMemtable(),
+		memDead:   NewTombstones(),
+		keyRefs:   make(map[string]docRef),
+		nextSegID: 1,
+		mergeCh:   make(chan struct{}, 1),
+		closeCh:   make(chan struct{}),
+	}
+	li.mergeCond = sync.NewCond(&li.mu)
+	li.publishLocked() // an empty but valid snapshot, so Acquire never nils
+	li.wg.Add(1)
+	go li.mergeLoop()
+	return li
+}
+
+// Close stops the background scheduler. The index remains searchable
+// (snapshots stay valid) but must not be mutated afterwards.
+func (li *Index) Close() {
+	li.mu.Lock()
+	if li.closed {
+		li.mu.Unlock()
+		return
+	}
+	li.closed = true
+	li.mu.Unlock()
+	close(li.closeCh)
+	li.wg.Wait()
+}
+
+// Acquire returns the current published snapshot with a reference taken.
+// The caller must Release it.
+func (li *Index) Acquire() *Snapshot {
+	for {
+		s := li.cur.Load()
+		if s.tryRef() {
+			return s
+		}
+		// The publisher replaced and released s between our load and ref;
+		// reload and retry.
+	}
+}
+
+// Add ingests a document under key, superseding any previous document
+// with the same key (the previous version is tombstoned and reclaimed at
+// the next merge touching its segment). The key doubles as the
+// document's URL in stored fields.
+func (li *Index) Add(key, title, body string, quality float64) {
+	terms := analyze(li.cfg.Analyzer, title, body)
+	snippet := body
+	if len(snippet) > storedSnippetLen {
+		snippet = snippet[:storedSnippetLen]
+	}
+	stored := index.StoredDoc{URL: key, Title: title, Quality: float32(quality), Snippet: snippet}
+
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	if old, ok := li.keyRefs[key]; ok {
+		li.tombstoneLocked(old)
+	}
+	local := li.mem.add(stored, key, terms)
+	li.keyRefs[key] = docRef{segID: 0, local: local}
+	if len(li.mem.docs) >= li.cfg.MemtableMaxDocs {
+		li.flushLocked()
+	}
+	li.afterMutationLocked()
+}
+
+// Update replaces the document stored under key; it is Add's
+// read-your-writes alias, kept for call-site clarity.
+func (li *Index) Update(key, title, body string, quality float64) {
+	li.Add(key, title, body, quality)
+}
+
+// Delete removes the document stored under key, reporting whether it
+// existed. The document stops matching searches at the next refresh; its
+// index data is reclaimed when a merge rewrites its segment.
+func (li *Index) Delete(key string) bool {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	ref, ok := li.keyRefs[key]
+	if !ok {
+		return false
+	}
+	li.tombstoneLocked(ref)
+	delete(li.keyRefs, key)
+	li.afterMutationLocked()
+	return true
+}
+
+// Search parses raw against the index's analyzer and evaluates it on the
+// current snapshot.
+func (li *Index) Search(raw string, mode search.Mode, k int) []Hit {
+	return li.SearchQuery(search.ParseQuery(li.cfg.Analyzer, raw, mode), k)
+}
+
+// SearchQuery evaluates an analyzed query on the current snapshot.
+func (li *Index) SearchQuery(q search.Query, k int) []Hit {
+	s := li.Acquire()
+	defer s.Release()
+	return s.Search(q, k)
+}
+
+// SetRefreshEvery changes the refresh interval (values <= 0 select the
+// default of 1). Bulk loaders raise it while seeding and restore it
+// before serving.
+func (li *Index) SetRefreshEvery(n int) {
+	if n <= 0 {
+		n = 1
+	}
+	li.mu.Lock()
+	li.cfg.RefreshEvery = n
+	li.mu.Unlock()
+}
+
+// Refresh publishes any pending mutations immediately, regardless of
+// RefreshEvery, and returns the new generation.
+func (li *Index) Refresh() uint64 {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	li.publishLocked()
+	return li.gen
+}
+
+// Flush forces the memtable into an immutable segment and publishes.
+func (li *Index) Flush() {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	li.flushLocked()
+	li.publishLocked()
+}
+
+// Stats returns a point-in-time summary.
+func (li *Index) Stats() Stats {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	st := Stats{
+		Generation:   li.gen,
+		Segments:     len(li.segs),
+		MemtableDocs: len(li.mem.docs),
+		Tombstones:   li.memDead.Count(),
+		Flushes:      li.flushes,
+		Merges:       li.merges,
+	}
+	st.LiveDocs = int64(len(li.mem.docs) - li.memDead.Count())
+	for _, ls := range li.segs {
+		st.Tombstones += ls.tomb.Count()
+		st.LiveDocs += int64(ls.seg.NumDocs() - ls.tomb.Count())
+	}
+	return st
+}
+
+// storedSnippetLen mirrors the builder's stored-snippet budget.
+const storedSnippetLen = 160
+
+// analyze tokenizes a document once into sorted (term, freq) pairs — the
+// shape both the memtable and the flush-time builder consume.
+func analyze(a *textproc.Analyzer, title, body string) []memTermFreq {
+	freqs := make(map[string]int32)
+	count := func(t string) { freqs[t]++ }
+	a.AnalyzeFunc(title, count)
+	a.AnalyzeFunc(body, count)
+	out := make([]memTermFreq, 0, len(freqs))
+	for t, f := range freqs {
+		out = append(out, memTermFreq{term: t, freq: f})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].term < out[j].term })
+	return out
+}
+
+// tombstoneLocked marks ref's document deleted in its home structure.
+func (li *Index) tombstoneLocked(ref docRef) {
+	if ref.segID == 0 {
+		if li.memDead.Set(ref.local) {
+			li.memDirty = true
+		}
+		return
+	}
+	for _, ls := range li.segs {
+		if ls.id == ref.segID {
+			if ls.tomb.Set(ref.local) {
+				ls.dirty = true
+			}
+			return
+		}
+	}
+}
+
+// afterMutationLocked counts one mutation toward the refresh interval.
+func (li *Index) afterMutationLocked() {
+	li.pending++
+	if li.pending >= li.cfg.RefreshEvery {
+		li.publishLocked()
+	}
+}
+
+// flushLocked freezes the memtable into an immutable segment, skipping
+// documents already tombstoned (cheap reclamation: they never reach a
+// segment), rewires key references, and starts a fresh memtable. The
+// previous memtable object is left untouched for snapshots that still
+// view it.
+func (li *Index) flushLocked() {
+	m := li.mem
+	n := len(m.docs)
+	if n == 0 {
+		return
+	}
+	if alive := n - li.memDead.Count(); alive > 0 {
+		b := index.NewBuilder(index.WithAnalyzer(li.cfg.Analyzer))
+		keys := make([]string, 0, alive)
+		remap := make([]int32, n)
+		var terms []string
+		var freqs []int32
+		for i := 0; i < n; i++ {
+			if li.memDead.Has(int32(i)) {
+				remap[i] = -1
+				continue
+			}
+			terms, freqs = terms[:0], freqs[:0]
+			for _, tf := range m.docTerms[i] {
+				terms = append(terms, tf.term)
+				freqs = append(freqs, tf.freq)
+			}
+			remap[i] = b.AddPreanalyzed(m.docs[i], terms, freqs)
+			keys = append(keys, m.keys[i])
+		}
+		id := li.nextSegID
+		li.nextSegID++
+		li.segs = append(li.segs, &liveSeg{id: id, seg: b.Finalize(), keys: keys, tomb: NewTombstones()})
+		for i := 0; i < n; i++ {
+			if remap[i] < 0 {
+				continue
+			}
+			if r, ok := li.keyRefs[m.keys[i]]; ok && r.segID == 0 && r.local == int32(i) {
+				li.keyRefs[m.keys[i]] = docRef{segID: id, local: remap[i]}
+			}
+		}
+	}
+	li.mem = newMemtable()
+	li.memDead = NewTombstones()
+	li.memPublished = nil
+	li.memDirty = false
+	li.flushes++
+	li.wakeMerger()
+}
+
+// wakeMerger nudges the background scheduler without blocking.
+func (li *Index) wakeMerger() {
+	select {
+	case li.mergeCh <- struct{}{}:
+	default:
+	}
+}
+
+// publishLocked builds and atomically installs a new snapshot. Segment
+// tombstones that advanced since the last publish are cloned
+// copy-on-write, so the snapshot's view is immutable; everything else in
+// the snapshot is shared immutable or append-only state.
+func (li *Index) publishLocked() {
+	li.gen++
+	segViews := make([]*segView, 0, len(li.segs))
+	var base int32
+	var liveDocs int64
+	for _, ls := range li.segs {
+		if ls.published == nil || ls.dirty {
+			ls.published = ls.tomb.Clone()
+			ls.dirty = false
+		}
+		segViews = append(segViews, &segView{seg: ls.seg, keys: ls.keys, dead: ls.published, base: base})
+		base += int32(ls.seg.NumDocs())
+		liveDocs += int64(ls.seg.NumDocs() - ls.published.Count())
+	}
+	if li.memPublished == nil || li.memDirty {
+		li.memPublished = li.memDead.Clone()
+		li.memDirty = false
+	}
+	m := li.mem
+	upTo := int32(len(m.docs))
+	var total int64
+	if upTo > 0 {
+		total = m.prefixLen[upTo-1]
+	}
+	mv := &memView{
+		mem:      m,
+		upTo:     upTo,
+		totalLen: total,
+		docLens:  m.docLens,
+		docs:     m.docs,
+		keys:     m.keys,
+		dead:     li.memPublished,
+	}
+	liveDocs += int64(int(upTo) - li.memPublished.Count())
+	snap := &Snapshot{
+		gen:      li.gen,
+		segs:     segViews,
+		mem:      mv,
+		memBase:  base,
+		live:     liveDocs,
+		analyzer: li.cfg.Analyzer,
+	}
+	snap.refs.Store(1)
+	if old := li.cur.Swap(snap); old != nil {
+		old.Release()
+	}
+	li.pending = 0
+}

@@ -1,0 +1,163 @@
+package live
+
+import (
+	"sort"
+	"sync"
+
+	"websearchbench/internal/index"
+	"websearchbench/internal/search"
+)
+
+// memTermFreq is one analyzed (term, frequency) pair of a buffered
+// document, kept so the flush path can replay the document into a
+// segment builder without re-tokenizing the text.
+type memTermFreq struct {
+	term string
+	freq int32
+}
+
+// memPostings is one term's in-memory posting list. Documents are
+// appended in docID order, so the slices are sorted and a prefix of them
+// is a consistent point-in-time view.
+type memPostings struct {
+	docs  []int32
+	freqs []int32
+}
+
+// memtable buffers recently ingested documents in searchable form. All
+// mutation happens under the owning Index's lock (writers additionally
+// take mu.Lock so readers see consistent slice headers); searchers take
+// mu.RLock only long enough to capture a posting list's slice headers.
+// Because postings are append-only and published views bound themselves
+// by the document count captured at publish time, a view stays coherent
+// while writers keep appending to the same memtable.
+type memtable struct {
+	mu        sync.RWMutex
+	terms     map[string]*memPostings
+	docLens   []int32
+	prefixLen []int64 // prefixLen[i] = sum of docLens[:i+1]
+	docs      []index.StoredDoc
+	keys      []string
+	docTerms  [][]memTermFreq
+}
+
+func newMemtable() *memtable {
+	return &memtable{terms: make(map[string]*memPostings)}
+}
+
+// add appends one analyzed document and returns its memtable-local docID.
+// terms must be sorted by term. Called with the Index lock held.
+func (m *memtable) add(stored index.StoredDoc, key string, terms []memTermFreq) int32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := int32(len(m.docs))
+	var docLen int32
+	for _, tf := range terms {
+		p := m.terms[tf.term]
+		if p == nil {
+			p = &memPostings{}
+			m.terms[tf.term] = p
+		}
+		p.docs = append(p.docs, id)
+		p.freqs = append(p.freqs, tf.freq)
+		docLen += tf.freq
+	}
+	total := int64(docLen)
+	if id > 0 {
+		total += m.prefixLen[id-1]
+	}
+	m.docLens = append(m.docLens, docLen)
+	m.prefixLen = append(m.prefixLen, total)
+	m.docs = append(m.docs, stored)
+	m.keys = append(m.keys, key)
+	m.docTerms = append(m.docTerms, terms)
+	return id
+}
+
+// postings captures a term's current posting-list headers. The returned
+// slices are append-only; callers must bound reads by their view's
+// visible document count.
+func (m *memtable) postings(term string) (docs []int32, freqs []int32) {
+	m.mu.RLock()
+	if p := m.terms[term]; p != nil {
+		docs, freqs = p.docs, p.freqs
+	}
+	m.mu.RUnlock()
+	return docs, freqs
+}
+
+// memView is a point-in-time view of a memtable published with a
+// snapshot: only documents below upTo are visible, and documents flagged
+// in dead (an immutable tombstone clone) are hidden.
+type memView struct {
+	mem      *memtable
+	upTo     int32
+	totalLen int64
+	docLens  []int32
+	docs     []index.StoredDoc
+	keys     []string
+	dead     *Tombstones
+}
+
+// search evaluates q against the view and returns the local top-k in the
+// segment searchers' order (descending score, ascending docID). The
+// memtable holds no positions, so phrase queries match nothing here —
+// mirroring segment behavior on non-positional indexes.
+func (v *memView) search(q search.Query, k int) []search.Hit {
+	if v.upTo == 0 || len(q.Phrases) > 0 {
+		return nil
+	}
+	bm := index.DefaultBM25()
+	avg := float64(v.totalLen) / float64(v.upTo)
+	type acc struct {
+		score float64
+		terms int
+	}
+	accs := make(map[int32]*acc)
+	nTerms := 0
+	for _, term := range q.Terms {
+		docs, freqs := v.mem.postings(term)
+		n := sort.Search(len(docs), func(i int) bool { return docs[i] >= v.upTo })
+		if n == 0 {
+			if q.Mode == search.ModeAnd {
+				return nil // a missing term empties the conjunction
+			}
+			continue
+		}
+		nTerms++
+		idf := index.IDF(int64(v.upTo), int64(n))
+		for i := 0; i < n; i++ {
+			d := docs[i]
+			if v.dead.Has(d) {
+				continue
+			}
+			a := accs[d]
+			if a == nil {
+				a = &acc{}
+				accs[d] = a
+			}
+			a.score += bm.Score(idf, freqs[i], v.docLens[d], avg)
+			a.terms++
+		}
+	}
+	if nTerms == 0 {
+		return nil
+	}
+	hits := make([]search.Hit, 0, len(accs))
+	for d, a := range accs {
+		if q.Mode == search.ModeAnd && a.terms < nTerms {
+			continue
+		}
+		hits = append(hits, search.Hit{Doc: d, Score: a.score})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Doc < hits[j].Doc
+	})
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}

@@ -1,0 +1,151 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"websearchbench/internal/search"
+)
+
+// TestLiveConcurrentSnapshotConsistency is the snapshot-consistency
+// property test: 4 writers ingest, update and delete concurrently with 4
+// searchers, and every searcher checks that each snapshot it acquires is
+// an exact point-in-time view —
+//
+//   - every key whose Add had completed before the acquire (and that is
+//     never deleted) appears in the results;
+//   - every key whose Delete had completed before the acquire (and that
+//     is never re-added) is absent;
+//   - repeating a search on the same snapshot returns identical ranked
+//     results, no matter how much ingest lands in between.
+//
+// Run under -race this also exercises the memtable's append-only reader
+// protocol, tombstone copy-on-write publication and the refcounted
+// snapshot swap.
+func TestLiveConcurrentSnapshotConsistency(t *testing.T) {
+	const (
+		writers     = 4
+		searchers   = 4
+		opsPerGoro  = 250
+		searchIters = 60
+	)
+	li := NewIndex(Config{MemtableMaxDocs: 64, MaxSegments: 4, ReclaimFrac: 0.2})
+	defer li.Close()
+
+	// confirmedAdded holds immortal keys whose Add returned; with
+	// RefreshEvery=1 the publish is part of the Add, so any snapshot
+	// acquired after reading the key from the map must include it.
+	// confirmedDeleted holds once-only keys whose Delete returned.
+	var confirmedAdded, confirmedDeleted sync.Map
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPerGoro; i++ {
+				switch i % 3 {
+				case 0: // immortal: added once, never touched again
+					key := fmt.Sprintf("imm-%d-%d", w, i)
+					li.Add(key, "common title", fmt.Sprintf("common body writer %d op %d", w, i), 0)
+					confirmedAdded.Store(key, true)
+				case 1: // volatile: added then deleted, never re-added
+					key := fmt.Sprintf("vol-%d-%d", w, i)
+					li.Add(key, "common title", "common volatile body", 0)
+					li.Delete(key)
+					confirmedDeleted.Store(key, true)
+				case 2: // churn: repeatedly updated under a stable key
+					key := fmt.Sprintf("churn-%d-%d", w, i%10)
+					li.Update(key, "common title", fmt.Sprintf("common churn rev %d", i), 0)
+				}
+			}
+		}(w)
+	}
+
+	q := search.Query{Terms: []string{"common"}, Mode: search.ModeOr}
+	errs := make(chan error, searchers)
+	for s := 0; s < searchers; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < searchIters; i++ {
+				// Capture the confirmed sets BEFORE acquiring: anything in
+				// them is already published, so the snapshot must agree.
+				var mustHave, mustLack []string
+				confirmedAdded.Range(func(k, _ any) bool {
+					mustHave = append(mustHave, k.(string))
+					return true
+				})
+				confirmedDeleted.Range(func(k, _ any) bool {
+					mustLack = append(mustLack, k.(string))
+					return true
+				})
+
+				snap := li.Acquire()
+				hits := snap.Search(q, writers*opsPerGoro*2)
+				got := make(map[string]float64, len(hits))
+				for _, h := range hits {
+					got[h.Key] = h.Score
+				}
+				for _, k := range mustHave {
+					if _, ok := got[k]; !ok {
+						errs <- fmt.Errorf("snapshot gen %d missing confirmed-added %s", snap.Generation(), k)
+						snap.Release()
+						return
+					}
+				}
+				for _, k := range mustLack {
+					if _, ok := got[k]; ok {
+						errs <- fmt.Errorf("snapshot gen %d surfaced confirmed-deleted %s", snap.Generation(), k)
+						snap.Release()
+						return
+					}
+				}
+
+				// Point-in-time stability: the same snapshot must keep
+				// answering identically while ingest continues.
+				again := snap.Search(q, writers*opsPerGoro*2)
+				if len(again) != len(hits) {
+					errs <- fmt.Errorf("snapshot gen %d drifted: %d then %d hits", snap.Generation(), len(hits), len(again))
+					snap.Release()
+					return
+				}
+				for j := range again {
+					if again[j].Key != hits[j].Key || again[j].Score != hits[j].Score {
+						errs <- fmt.Errorf("snapshot gen %d rank %d drifted: %s/%g vs %s/%g",
+							snap.Generation(), j, hits[j].Key, hits[j].Score, again[j].Key, again[j].Score)
+						snap.Release()
+						return
+					}
+				}
+				snap.Release()
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		return
+	}
+
+	// Quiesced final state must agree with the model exactly.
+	li.Refresh()
+	got := keySet(li.Search("common", search.ModeOr, writers*opsPerGoro*2))
+	confirmedAdded.Range(func(k, _ any) bool {
+		if !got[k.(string)] {
+			t.Errorf("final state missing %s", k)
+		}
+		return true
+	})
+	confirmedDeleted.Range(func(k, _ any) bool {
+		if got[k.(string)] {
+			t.Errorf("final state still has deleted %s", k)
+		}
+		return true
+	})
+}

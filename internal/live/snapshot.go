@@ -1,0 +1,135 @@
+package live
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"websearchbench/internal/index"
+	"websearchbench/internal/search"
+	"websearchbench/internal/textproc"
+)
+
+// Hit is one ranked result from the live index, resolved to the
+// document's external key and stored fields.
+type Hit struct {
+	Key   string
+	Score float64
+	Doc   index.StoredDoc
+}
+
+// segView is one immutable segment as seen by a snapshot: the segment,
+// the tombstones published for it (an immutable clone — mutations after
+// publication go to a fresh clone), the per-document external keys, and
+// the segment's offset in the snapshot's synthetic global docID space.
+type segView struct {
+	seg  *index.Segment
+	keys []string
+	dead *Tombstones
+	base int32
+}
+
+// Snapshot is a refcounted point-in-time view of the live index.
+// Searches against a snapshot observe exactly the documents that were
+// visible when it was published, no matter how many mutations, flushes
+// or merges land afterwards. Snapshots are safe for concurrent use.
+//
+// A snapshot obtained from Acquire must be Released; the index's
+// currently published snapshot holds one reference of its own, dropped
+// when a newer snapshot replaces it.
+type Snapshot struct {
+	gen      uint64
+	refs     atomic.Int32
+	segs     []*segView
+	mem      *memView
+	memBase  int32
+	live     int64
+	analyzer *textproc.Analyzer
+}
+
+// Generation returns the snapshot's publication generation. Generations
+// increase monotonically with every published mutation batch, which is
+// what the engine's result cache keys on to invalidate stale entries.
+func (s *Snapshot) Generation() uint64 { return s.gen }
+
+// NumDocs returns the number of live (non-tombstoned) documents visible.
+func (s *Snapshot) NumDocs() int64 { return s.live }
+
+// NumSegments returns the number of immutable segments in the view.
+func (s *Snapshot) NumSegments() int { return len(s.segs) }
+
+// tryRef takes a reference if the snapshot is still alive.
+func (s *Snapshot) tryRef() bool {
+	for {
+		r := s.refs.Load()
+		if r <= 0 {
+			return false
+		}
+		if s.refs.CompareAndSwap(r, r+1) {
+			return true
+		}
+	}
+}
+
+// Release drops one reference. The snapshot must not be used afterwards.
+func (s *Snapshot) Release() { s.refs.Add(-1) }
+
+// Search evaluates an analyzed query against the snapshot and returns
+// the global top-k: each segment and the memtable view produce a local
+// top-k under their tombstone filters, and the lists are merged exactly
+// as the partitioned search path merges shard results. k <= 0 defaults
+// to 10. The live segments carry no positions, so phrase queries match
+// nothing.
+func (s *Snapshot) Search(q search.Query, k int) []Hit {
+	if k <= 0 {
+		k = 10
+	}
+	if s.refs.Load() <= 0 {
+		panic("live: Search on a released snapshot")
+	}
+	lists := make([][]search.Hit, 0, len(s.segs)+1)
+	for _, sv := range s.segs {
+		opts := search.Options{TopK: k, UseMaxScore: true, Analyzer: s.analyzer}
+		if sv.dead.Count() > 0 {
+			opts.Deleted = sv.dead.Has
+		}
+		res := search.NewSearcher(sv.seg, opts).Search(q)
+		if len(res.Hits) == 0 {
+			continue
+		}
+		hits := res.Hits
+		for i := range hits {
+			hits[i].Doc += sv.base
+		}
+		lists = append(lists, hits)
+	}
+	if mh := s.mem.search(q, k); len(mh) > 0 {
+		for i := range mh {
+			mh[i].Doc += s.memBase
+		}
+		lists = append(lists, mh)
+	}
+	merged := search.MergeTopK(lists, k)
+	out := make([]Hit, len(merged))
+	for i, h := range merged {
+		out[i] = s.resolve(h)
+	}
+	return out
+}
+
+// SearchText parses raw query text and evaluates it against the snapshot.
+func (s *Snapshot) SearchText(raw string, mode search.Mode, k int) []Hit {
+	return s.Search(search.ParseQuery(s.analyzer, raw, mode), k)
+}
+
+// resolve maps a global-docID hit back to its source's key and stored
+// document.
+func (s *Snapshot) resolve(h search.Hit) Hit {
+	if h.Doc >= s.memBase {
+		local := h.Doc - s.memBase
+		return Hit{Key: s.mem.keys[local], Score: h.Score, Doc: s.mem.docs[local]}
+	}
+	i := sort.Search(len(s.segs), func(i int) bool { return s.segs[i].base > h.Doc }) - 1
+	sv := s.segs[i]
+	local := h.Doc - sv.base
+	return Hit{Key: sv.keys[local], Score: h.Score, Doc: sv.seg.Doc(local)}
+}

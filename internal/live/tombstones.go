@@ -1,0 +1,101 @@
+// Package live layers a near-real-time mutable index on top of the
+// engine's immutable segments. Writes land in a searchable in-memory
+// memtable; deletes and updates tombstone the superseded documents in
+// place; a background scheduler flushes full memtables into immutable
+// segments and merges segments size-tiered, reclaiming tombstoned
+// documents. Readers work against refcounted copy-on-write snapshots, so
+// a search observes one immutable point-in-time view of the index no
+// matter how many mutations land while it runs.
+package live
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// Tombstones is a per-segment set of deleted document IDs, stored as a
+// bitmap. The zero value is empty and usable. It is not safe for
+// concurrent mutation; the live index mutates only the private copy it
+// guards with its lock and publishes immutable clones to snapshots.
+type Tombstones struct {
+	words []uint64
+	count int
+}
+
+// NewTombstones returns an empty set.
+func NewTombstones() *Tombstones { return &Tombstones{} }
+
+// Set marks doc deleted and reports whether it was newly marked.
+func (t *Tombstones) Set(doc int32) bool {
+	w := int(doc >> 6)
+	for len(t.words) <= w {
+		t.words = append(t.words, 0)
+	}
+	mask := uint64(1) << (uint(doc) & 63)
+	if t.words[w]&mask != 0 {
+		return false
+	}
+	t.words[w] |= mask
+	t.count++
+	return true
+}
+
+// Has reports whether doc is deleted.
+func (t *Tombstones) Has(doc int32) bool {
+	w := int(doc >> 6)
+	return w < len(t.words) && t.words[w]&(1<<(uint(doc)&63)) != 0
+}
+
+// Count returns the number of deleted documents.
+func (t *Tombstones) Count() int { return t.count }
+
+// Clone returns an independent copy.
+func (t *Tombstones) Clone() *Tombstones {
+	return &Tombstones{words: append([]uint64(nil), t.words...), count: t.count}
+}
+
+// Range calls fn for every deleted document in ascending order.
+func (t *Tombstones) Range(fn func(doc int32)) {
+	for w, word := range t.words {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			fn(int32(w<<6 + b))
+			word &= word - 1
+		}
+	}
+}
+
+// Marshal serializes the set: the bitmap words in little-endian order
+// with trailing zero words trimmed, so equal sets always produce equal
+// bytes regardless of mutation history.
+func (t *Tombstones) Marshal() []byte {
+	n := len(t.words)
+	for n > 0 && t.words[n-1] == 0 {
+		n--
+	}
+	buf := make([]byte, 8*n)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(buf[8*i:], t.words[i])
+	}
+	return buf
+}
+
+// UnmarshalTombstones parses a set serialized by Marshal. Trailing zero
+// words are rejected so that the encoding stays canonical: for every
+// accepted input, Unmarshal(Marshal(t)) reproduces t byte-for-byte.
+func UnmarshalTombstones(data []byte) (*Tombstones, error) {
+	if len(data)%8 != 0 {
+		return nil, fmt.Errorf("live: tombstone payload length %d not a multiple of 8", len(data))
+	}
+	n := len(data) / 8
+	t := &Tombstones{words: make([]uint64, n)}
+	for i := 0; i < n; i++ {
+		t.words[i] = binary.LittleEndian.Uint64(data[8*i:])
+		t.count += bits.OnesCount64(t.words[i])
+	}
+	if n > 0 && t.words[n-1] == 0 {
+		return nil, fmt.Errorf("live: non-canonical tombstone payload (trailing zero word)")
+	}
+	return t, nil
+}

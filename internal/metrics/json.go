@@ -1,0 +1,30 @@
+package metrics
+
+// JSONSnapshot is the wire form of a histogram summary: latencies in
+// milliseconds as floats, so /metrics endpoints stay unit-stable and
+// human-readable regardless of the histogram's internal resolution.
+type JSONSnapshot struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	MinMs  float64 `json:"min_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// JSON converts the snapshot to its wire form.
+func (s Snapshot) JSON() JSONSnapshot {
+	const ms = 1e6 // nanoseconds per millisecond
+	return JSONSnapshot{
+		Count:  s.Count,
+		MeanMs: float64(s.Mean) / ms,
+		MinMs:  float64(s.Min) / ms,
+		P50Ms:  float64(s.P50) / ms,
+		P90Ms:  float64(s.P90) / ms,
+		P95Ms:  float64(s.P95) / ms,
+		P99Ms:  float64(s.P99) / ms,
+		MaxMs:  float64(s.Max) / ms,
+	}
+}

@@ -1,0 +1,76 @@
+package qcache
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestGenerationalInvalidate(t *testing.T) {
+	g := NewGenerational[int](8)
+	g.Put("q", 1)
+	if v, ok := g.Get("q"); !ok || v != 1 {
+		t.Fatalf("Get = %d,%v", v, ok)
+	}
+	gen := g.Invalidate()
+	if gen != 1 || g.Generation() != 1 {
+		t.Fatalf("generation = %d/%d, want 1", gen, g.Generation())
+	}
+	if _, ok := g.Get("q"); ok {
+		t.Fatal("entry from the old generation served after Invalidate")
+	}
+	g.Put("q", 2)
+	if v, _ := g.Get("q"); v != 2 {
+		t.Fatalf("new-generation value = %d, want 2", v)
+	}
+}
+
+func TestGenerationalExplicitStamps(t *testing.T) {
+	g := NewGenerational[string](8)
+	g.PutAt(3, "q", "old")
+	g.PutAt(4, "q", "new")
+	if v, ok := g.GetAt(3, "q"); !ok || v != "old" {
+		t.Fatalf("GetAt(3) = %q,%v", v, ok)
+	}
+	if v, ok := g.GetAt(4, "q"); !ok || v != "new" {
+		t.Fatalf("GetAt(4) = %q,%v", v, ok)
+	}
+	if _, ok := g.GetAt(5, "q"); ok {
+		t.Fatal("unseen generation hit")
+	}
+}
+
+// Stamped keys must never collide across (gen, key) pairs, including keys
+// that start with digits.
+func TestGenerationalNoStampCollisions(t *testing.T) {
+	g := NewGenerational[int](64)
+	g.PutAt(1, "2x", 12)
+	g.PutAt(12, "x", 120)
+	if v, _ := g.GetAt(1, "2x"); v != 12 {
+		t.Fatalf("GetAt(1,2x) = %d", v)
+	}
+	if v, _ := g.GetAt(12, "x"); v != 120 {
+		t.Fatalf("GetAt(12,x) = %d", v)
+	}
+}
+
+// Dead generations age out of the LRU under new traffic rather than
+// pinning capacity forever.
+func TestGenerationalDeadEntriesEvict(t *testing.T) {
+	g := NewGenerational[int](16)
+	for i := 0; i < 16; i++ {
+		g.Put(fmt.Sprintf("q%d", i), i)
+	}
+	g.Invalidate()
+	for i := 0; i < 16; i++ {
+		g.Put(fmt.Sprintf("q%d", i), i)
+	}
+	if got := g.Len(); got > 16 {
+		t.Fatalf("Len = %d exceeds capacity", got)
+	}
+	// All current-generation entries must have displaced the dead ones.
+	for i := 0; i < 16; i++ {
+		if _, ok := g.Get(fmt.Sprintf("q%d", i)); !ok {
+			t.Fatalf("live entry q%d evicted while dead entries remain", i)
+		}
+	}
+}

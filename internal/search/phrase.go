@@ -146,6 +146,10 @@ func (s *Searcher) searchPhrases(q Query, res *Result) {
 		if !ok {
 			break
 		}
+		if !s.alive(d) {
+			doc = d + 1
+			continue
+		}
 		dl := s.seg.DocLen(d)
 		score := 0.0
 		matched := true

@@ -34,6 +34,14 @@ type Options struct {
 	// inapplicable (global statistics replace the local bounds the block
 	// maxima were computed under; see Stats).
 	DisableBlockMax bool
+	// Deleted, when non-nil, reports whether a document is tombstoned:
+	// matching documents it flags are silently dropped from candidates
+	// before they can enter the top-k, which is how the live index hides
+	// deleted and superseded documents that still sit in immutable
+	// segments awaiting merge-time reclamation. Skipping a candidate
+	// never loosens the MaxScore/Block-Max pruning bounds (thresholds
+	// only ever come from surviving hits), so pruning stays exact.
+	Deleted func(doc int32) bool
 	// Stats, when non-nil, replaces the segment's local collection
 	// statistics (document count, document frequencies, average length)
 	// with global ones — the distributed-IDF refinement that makes
@@ -218,6 +226,11 @@ func (s *Searcher) avgDocLen() float64 {
 	return s.seg.AvgDocLen()
 }
 
+// alive reports whether doc survives the tombstone filter.
+func (s *Searcher) alive(doc int32) bool {
+	return s.opts.Deleted == nil || !s.opts.Deleted(doc)
+}
+
 // docScore computes the final score for a doc given its summed term score.
 func (s *Searcher) docScore(doc int32, termScore float64) float64 {
 	if s.opts.QualityBoost != 0 {
@@ -260,8 +273,10 @@ func (s *Searcher) searchOr(scorers []termScorer, heap *topK, res *Result) {
 				live--
 			}
 		}
-		res.Matches++
-		heap.offer(Hit{Doc: min, Score: s.docScore(min, score)})
+		if s.alive(min) {
+			res.Matches++
+			heap.offer(Hit{Doc: min, Score: s.docScore(min, score)})
+		}
 	}
 }
 
@@ -305,7 +320,7 @@ func (s *Searcher) searchAnd(scorers []termScorer, heap *topK, res *Result) {
 				match = true
 			}
 		}
-		if match {
+		if match && s.alive(doc) {
 			dl := s.seg.DocLen(doc)
 			score := 0.0
 			for i := range scorers {
@@ -358,6 +373,11 @@ func (s *Searcher) searchMaxScore(scorers []termScorer, heap *topK, res *Result)
 			if it.Next() {
 				res.PostingsScanned++
 			}
+		}
+		// A tombstoned candidate is abandoned before the probe phase: the
+		// essential iterators already moved past it.
+		if !s.alive(min) {
+			continue
 		}
 		// Probe non-essential lists from the largest bound down, bailing
 		// out as soon as the remaining bounds cannot reach the threshold.
@@ -456,6 +476,9 @@ func (s *Searcher) searchBlockMax(scorers []termScorer, heap *topK, res *Result)
 			if it.Next() {
 				res.PostingsScanned++
 			}
+		}
+		if !s.alive(min) {
+			continue
 		}
 		theta := heap.threshold()
 		for i := firstEssential - 1; i >= 0; i-- {

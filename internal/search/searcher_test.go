@@ -363,3 +363,92 @@ func TestSearchPropertyInvariants(t *testing.T) {
 		}
 	}
 }
+
+// Property: searching with a Deleted filter is equivalent to searching
+// without one and discarding flagged docs — across exhaustive, MaxScore
+// and Block-Max strategies, OR and AND modes. Deleted docs never surface.
+func TestDeletedFilterEquivalence(t *testing.T) {
+	ex, ms, vocab := corpusSearchers(t, 600)
+	seg := ex.Segment()
+	deleted := func(d int32) bool { return d%5 == 2 }
+
+	// Filtered variants of each strategy. Large TopK so the unfiltered
+	// baseline retains enough survivors to compare against.
+	const k = 25
+	mk := func(useMS bool, del func(int32) bool) *Searcher {
+		return NewSearcher(seg, Options{TopK: k, UseMaxScore: useMS, Deleted: del})
+	}
+	exPlain := mk(false, nil)
+	exDel, msDel := mk(false, deleted), mk(true, deleted)
+	if !msDel.useBlockMax() {
+		t.Fatal("expected Block-Max to be active on the packed test segment")
+	}
+
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 150; trial++ {
+		n := 1 + rng.Intn(4)
+		terms := make([]string, n)
+		for i := range terms {
+			if rng.Intn(2) == 0 {
+				terms[i] = vocab.Word(rng.Intn(50))
+			} else {
+				terms[i] = vocab.Word(rng.Intn(vocab.Size()))
+			}
+		}
+		mode := ModeOr
+		if rng.Intn(3) == 0 {
+			mode = ModeAnd
+		}
+		raw := strings.Join(terms, " ")
+		q := ParseQuery(exPlain.Options().Analyzer, raw, mode)
+
+		// Baseline: unfiltered exhaustive results with deleted docs
+		// removed by hand.
+		base := exPlain.Search(q)
+		wantHits := make([]Hit, 0, len(base.Hits))
+		for _, h := range base.Hits {
+			if !deleted(h.Doc) {
+				wantHits = append(wantHits, h)
+			}
+		}
+
+		for name, s := range map[string]*Searcher{"or": exDel, "maxscore": msDel} {
+			got := s.Search(q)
+			for _, h := range got.Hits {
+				if deleted(h.Doc) {
+					t.Fatalf("%s/%v %q: deleted doc %d surfaced", name, mode, raw, h.Doc)
+				}
+			}
+			// The filtered top-k must agree with the hand-filtered
+			// baseline on every rank both lists cover.
+			m := min(len(got.Hits), len(wantHits))
+			for i := 0; i < m; i++ {
+				if got.Hits[i].Doc != wantHits[i].Doc ||
+					math.Abs(got.Hits[i].Score-wantHits[i].Score) > 1e-9 {
+					t.Fatalf("%s/%v %q rank %d: got (%d,%v), want (%d,%v)",
+						name, mode, raw, i, got.Hits[i].Doc, got.Hits[i].Score,
+						wantHits[i].Doc, wantHits[i].Score)
+				}
+			}
+			if len(got.Hits) < m {
+				t.Fatalf("%s/%v %q: filtered search lost hits", name, mode, raw)
+			}
+		}
+		_ = ms
+	}
+}
+
+// Phrase evaluation honors the Deleted filter too.
+func TestDeletedFilterPhrases(t *testing.T) {
+	b := index.NewBuilder(index.WithPositions(), index.WithAnalyzer(plainAnalyzer))
+	b.AddDocument("t0", "tail latency study", "u0", 1)
+	b.AddDocument("t1", "tail latency again", "u1", 1)
+	b.AddDocument("t2", "latency tail reversed", "u2", 1)
+	seg := b.Finalize()
+	del := NewSearcher(seg, Options{TopK: 10, Analyzer: plainAnalyzer,
+		Deleted: func(d int32) bool { return d == 0 }})
+	res := del.ParseAndSearch(`"tail latency"`, ModeOr)
+	if len(res.Hits) != 1 || res.Hits[0].Doc != 1 {
+		t.Fatalf("phrase hits = %v, want only doc 1", res.Hits)
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"websearchbench/internal/corpus"
 	"websearchbench/internal/index"
+	"websearchbench/internal/live"
 	"websearchbench/internal/partition"
 	"websearchbench/internal/qcache"
 	"websearchbench/internal/search"
@@ -47,8 +48,20 @@ type Config struct {
 	Positions bool
 	// CacheSize, when positive, adds an LRU result cache in front of the
 	// engine: repeated queries (which dominate real web streams) are
-	// answered without touching the index.
+	// answered without touching the index. With Live the cache is
+	// generation-stamped: every published mutation batch starts a new
+	// generation, so a result cached before a delete is never served
+	// after it.
 	CacheSize int
+	// Live routes the engine through a near-real-time mutable index
+	// (internal/live) seeded with the synthetic corpus: Add, Update and
+	// Delete become available and are promptly visible to Search. Live
+	// indexes do not store positions, so it cannot be combined with
+	// Positions, and the Partitions/GlobalStats knobs do not apply.
+	Live bool
+	// LiveConfig tunes the live index when Live is set; the zero value
+	// selects the live package's defaults.
+	LiveConfig live.Config
 }
 
 // Result is one search hit.
@@ -69,6 +82,11 @@ type Engine struct {
 	searcher *partition.Searcher
 	mode     search.Mode
 	cache    *qcache.Cache[[]Result]
+	// live and gcache replace idx/searcher/cache when Config.Live is set:
+	// the mutable index plus a generation-stamped result cache keyed by
+	// the snapshot generation each result was computed against.
+	live   *live.Index
+	gcache *qcache.Generational[[]Result]
 	// analyzer is stateless and shared across queries, so the facade
 	// does not rebuild the stopword set per search.
 	analyzer *textproc.Analyzer
@@ -101,6 +119,9 @@ func New(cfg Config) (*Engine, error) {
 	ccfg.NumDocs = cfg.Docs
 	ccfg.VocabSize = cfg.VocabSize
 	ccfg.Seed = cfg.Seed
+	if cfg.Live {
+		return newLive(cfg, ccfg)
+	}
 	var bopts []index.BuilderOption
 	if cfg.Positions {
 		bopts = append(bopts, index.WithPositions())
@@ -130,8 +151,43 @@ func New(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// newLive builds a live-mode engine: the synthetic corpus is streamed
+// into a mutable live index (keyed by URL) instead of immutable
+// partitions.
+func newLive(cfg Config, ccfg corpus.Config) (*Engine, error) {
+	if cfg.Positions {
+		return nil, fmt.Errorf("websearchbench: Live does not support Positions (live segments carry no positional postings)")
+	}
+	gen, err := corpus.NewGenerator(ccfg)
+	if err != nil {
+		return nil, fmt.Errorf("websearchbench: %w", err)
+	}
+	lcfg := cfg.LiveConfig
+	seedRefresh := lcfg.RefreshEvery
+	// Seeding publishes once at the end, not once per document.
+	lcfg.RefreshEvery = 1 << 30
+	li := live.NewIndex(lcfg)
+	gen.GenerateFunc(func(d corpus.Document) {
+		li.Add(d.URL, d.Title, d.Body, d.Quality)
+	})
+	li.SetRefreshEvery(seedRefresh)
+	li.Refresh()
+	mode := search.ModeOr
+	if cfg.Conjunctive {
+		mode = search.ModeAnd
+	}
+	e := &Engine{cfg: cfg, live: li, mode: mode, analyzer: textproc.NewAnalyzer()}
+	if cfg.CacheSize > 0 {
+		e.gcache = qcache.NewGenerational[[]Result](cfg.CacheSize)
+	}
+	return e, nil
+}
+
 // Search evaluates a free-text query and returns the ranked results.
 func (e *Engine) Search(query string) []Result {
+	if e.live != nil {
+		return e.searchLive(query)
+	}
 	if e.cache != nil {
 		if cached, ok := e.cache.Get(query); ok {
 			return cached
@@ -166,21 +222,109 @@ func (e *Engine) Search(query string) []Result {
 	return out
 }
 
+// searchLive answers a query from the live index under one acquired
+// snapshot. The result cache is keyed by the snapshot's generation, so a
+// result computed before any later mutation batch can never be replayed
+// against the newer index state.
+func (e *Engine) searchLive(query string) []Result {
+	snap := e.live.Acquire()
+	defer snap.Release()
+	if e.gcache != nil {
+		if cached, ok := e.gcache.GetAt(snap.Generation(), query); ok {
+			return cached
+		}
+	}
+	q := search.ParseQuery(e.analyzer, query, e.mode)
+	hits := snap.Search(q, e.cfg.TopK)
+	out := make([]Result, 0, len(hits))
+	for _, h := range hits {
+		snip := search.MakeSnippet(e.analyzer, h.Doc.Snippet, q.Terms, 0)
+		out = append(out, Result{
+			URL:         h.Doc.URL,
+			Title:       h.Doc.Title,
+			Snippet:     h.Doc.Snippet,
+			Highlighted: snip.HTML(),
+			Score:       h.Score,
+		})
+	}
+	if e.gcache != nil {
+		e.gcache.PutAt(snap.Generation(), query, out)
+	}
+	return out
+}
+
+// mustLive guards the mutation API against static engines.
+func (e *Engine) mustLive() *live.Index {
+	if e.live == nil {
+		panic("websearchbench: engine not configured with Live")
+	}
+	return e.live
+}
+
+// Add ingests (or replaces) a document in a live engine. The key doubles
+// as the result URL. It panics on an engine built without Config.Live.
+func (e *Engine) Add(key, title, body string, quality float64) {
+	e.mustLive().Add(key, title, body, quality)
+}
+
+// Update replaces the document stored under key in a live engine.
+func (e *Engine) Update(key, title, body string, quality float64) {
+	e.mustLive().Update(key, title, body, quality)
+}
+
+// Delete removes a document from a live engine, reporting whether the
+// key existed.
+func (e *Engine) Delete(key string) bool { return e.mustLive().Delete(key) }
+
+// Live exposes the underlying live index (nil for static engines).
+func (e *Engine) Live() *live.Index { return e.live }
+
+// LiveStats reports the live index's shape; ok is false for static
+// engines.
+func (e *Engine) LiveStats() (stats live.Stats, ok bool) {
+	if e.live == nil {
+		return live.Stats{}, false
+	}
+	return e.live.Stats(), true
+}
+
+// Close releases background resources (the live index's merge
+// scheduler). It is a no-op for static engines.
+func (e *Engine) Close() {
+	if e.live != nil {
+		e.live.Close()
+	}
+}
+
 // CacheHitRate reports the engine result cache's lifetime hit rate (0
 // when no cache is configured).
 func (e *Engine) CacheHitRate() float64 {
+	if e.gcache != nil {
+		return e.gcache.HitRate()
+	}
 	if e.cache == nil {
 		return 0
 	}
 	return e.cache.HitRate()
 }
 
-// NumDocs returns the number of indexed documents.
-func (e *Engine) NumDocs() int { return e.idx.NumDocs() }
+// NumDocs returns the number of indexed (live) documents.
+func (e *Engine) NumDocs() int {
+	if e.live != nil {
+		return int(e.live.Stats().LiveDocs)
+	}
+	return e.idx.NumDocs()
+}
 
-// NumPartitions returns the intra-server partition count.
-func (e *Engine) NumPartitions() int { return e.idx.NumPartitions() }
+// NumPartitions returns the intra-server partition count (1 for live
+// engines, whose sharding is segment-based rather than partition-based).
+func (e *Engine) NumPartitions() int {
+	if e.live != nil {
+		return 1
+	}
+	return e.idx.NumPartitions()
+}
 
 // Index exposes the underlying partitioned index for advanced use (the
-// examples use it to serve HTTP nodes).
+// examples use it to serve HTTP nodes). It is nil for live engines.
 func (e *Engine) Index() *partition.Index { return e.idx }

@@ -128,3 +128,74 @@ func TestEngineInvalidConfig(t *testing.T) {
 		t.Error("negative vocab accepted")
 	}
 }
+
+func TestEngineLive(t *testing.T) {
+	e := newTestEngine(t, Config{Live: true})
+	defer e.Close()
+	if e.NumDocs() != 500 {
+		t.Fatalf("live engine seeded %d docs, want 500", e.NumDocs())
+	}
+
+	e.Add("doc:new", "zyzzogeton studies", "a body about zyzzogeton behavior", 0.9)
+	res := e.Search("zyzzogeton")
+	if len(res) != 1 || res[0].URL != "doc:new" {
+		t.Fatalf("fresh add not searchable: %+v", res)
+	}
+
+	e.Update("doc:new", "quokka studies", "a body about quokka behavior", 0.9)
+	if res := e.Search("zyzzogeton"); len(res) != 0 {
+		t.Fatalf("superseded version still matches: %+v", res)
+	}
+	if res := e.Search("quokka"); len(res) != 1 || res[0].URL != "doc:new" {
+		t.Fatalf("updated doc not searchable: %+v", res)
+	}
+
+	if !e.Delete("doc:new") {
+		t.Fatal("Delete returned false for a live key")
+	}
+	if res := e.Search("quokka"); len(res) != 0 {
+		t.Fatalf("deleted doc still matches: %+v", res)
+	}
+
+	st, ok := e.LiveStats()
+	if !ok || st.LiveDocs != 500 {
+		t.Fatalf("LiveStats = %+v, %v", st, ok)
+	}
+}
+
+// TestEngineLiveStaleCache is the cache-coherence acceptance test: a
+// query result cached before a delete must not be served after it.
+func TestEngineLiveStaleCache(t *testing.T) {
+	e := newTestEngine(t, Config{Live: true, CacheSize: 64})
+	defer e.Close()
+
+	e.Add("doc:target", "xylographic survey", "a body about xylographic methods", 0.5)
+	first := e.Search("xylographic")
+	if len(first) != 1 || first[0].URL != "doc:target" {
+		t.Fatalf("priming query returned %+v", first)
+	}
+	// Same query again: served from cache (hit rate goes positive).
+	e.Search("xylographic")
+	if e.CacheHitRate() == 0 {
+		t.Fatal("repeat query did not hit the cache")
+	}
+
+	e.Delete("doc:target")
+	after := e.Search("xylographic")
+	if len(after) != 0 {
+		t.Fatalf("query cached before the delete was served after it: %+v", after)
+	}
+
+	// And the inverse: a cached empty result must not mask a later add.
+	e.Add("doc:target2", "xylographic revival", "more xylographic material", 0.5)
+	revived := e.Search("xylographic")
+	if len(revived) != 1 || revived[0].URL != "doc:target2" {
+		t.Fatalf("cached empty result masked a later add: %+v", revived)
+	}
+}
+
+func TestEngineLiveRejectsPositions(t *testing.T) {
+	if _, err := New(Config{Docs: 10, VocabSize: 100, Live: true, Positions: true}); err == nil {
+		t.Fatal("Live+Positions config accepted")
+	}
+}
