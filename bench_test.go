@@ -168,6 +168,12 @@ func BenchmarkLiveIngest(b *testing.B) {
 	benchExperiment(b, func(c *experiments.Context) { c.E20LiveIngest() })
 }
 
+// BenchmarkE21Replication regenerates the replicated serving-tier
+// experiment (replica count and selector ablation under faults).
+func BenchmarkE21Replication(b *testing.B) {
+	benchExperiment(b, func(c *experiments.Context) { c.E21Replication() })
+}
+
 // BenchmarkAblationMaxScore regenerates the MaxScore pruning ablation.
 func BenchmarkAblationMaxScore(b *testing.B) {
 	benchExperiment(b, func(c *experiments.Context) { c.AblationMaxScore() })

@@ -1,12 +1,23 @@
 // Command frontend serves the scatter/gather tier in front of searchd
 // nodes, with the resilience layer (deadlines, hedging, retries, circuit
 // breakers) exposed as flags. GET /metrics reports the end-to-end
-// search-latency histogram as JSON (count, mean, p50/p95/p99).
+// search-latency histogram as JSON (count, mean, p50/p95/p99) plus
+// per-shard replica-balancer state.
 //
 // Usage:
 //
 //	frontend -addr :8080 -nodes http://127.0.0.1:8081,http://127.0.0.1:8082 \
 //	  -deadline 2s -hedge -hedge-after 0 -retries 2
+//
+// For a replicated tier, -topology replaces -nodes: shards are separated
+// by ';' and a shard's replicas by ','. -balance picks the replica
+// selector (rr, p2c, peak-ewma, least-loaded). Live-index writes posted
+// to the front-end (POST /docs, /delete) are consistent-hash routed to
+// every replica of the key-owning shard:
+//
+//	frontend -addr :8080 \
+//	  -topology "http://127.0.0.1:8081,http://127.0.0.1:8082;http://127.0.0.1:8083,http://127.0.0.1:8084" \
+//	  -balance p2c -hedge
 package main
 
 import (
@@ -20,8 +31,31 @@ import (
 	"time"
 
 	"websearchbench/internal/cluster"
+	"websearchbench/internal/cluster/balance"
 	"websearchbench/internal/cluster/resilience"
 )
+
+// parseTopology splits a ';'-separated shard list of ','-separated
+// replica URLs into replica groups.
+func parseTopology(s string) ([][]string, error) {
+	var groups [][]string
+	for _, shard := range strings.Split(s, ";") {
+		var group []string
+		for _, u := range strings.Split(shard, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				group = append(group, u)
+			}
+		}
+		if len(group) == 0 {
+			return nil, fmt.Errorf("topology shard %d has no replicas", len(groups))
+		}
+		groups = append(groups, group)
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("empty topology")
+	}
+	return groups, nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -29,10 +63,12 @@ func main() {
 
 	def := resilience.DefaultPolicy()
 	var (
-		addr  = flag.String("addr", "127.0.0.1:8080", "listen address")
-		nodes = flag.String("nodes", "http://127.0.0.1:8081", "comma-separated node base URLs")
-		topK  = flag.Int("topk", 10, "merged results per query")
-		cache = flag.Int("cache", 0, "result-cache capacity (0 disables)")
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		nodes    = flag.String("nodes", "http://127.0.0.1:8081", "comma-separated node base URLs (one single-replica shard each)")
+		topology = flag.String("topology", "", "replicated layout: shards separated by ';', replicas by ',' (overrides -nodes)")
+		balancer = flag.String("balance", balance.RoundRobin, "replica selector: rr, p2c, peak-ewma, least-loaded")
+		topK     = flag.Int("topk", 10, "merged results per query")
+		cache    = flag.Int("cache", 0, "result-cache capacity (0 disables)")
 
 		deadline   = flag.Duration("deadline", def.Deadline, "per-query deadline (0 disables)")
 		hedge      = flag.Bool("hedge", false, "hedge straggling node sub-requests")
@@ -45,12 +81,19 @@ func main() {
 	)
 	flag.Parse()
 
-	urls := strings.Split(*nodes, ",")
-	for i := range urls {
-		urls[i] = strings.TrimSpace(urls[i])
+	spec := *topology
+	if spec == "" {
+		spec = strings.ReplaceAll(*nodes, ",", ";") // each node its own shard
 	}
-	fe, err := cluster.NewFrontend(urls, *topK)
+	groups, err := parseTopology(spec)
 	if err != nil {
+		log.Fatal(err)
+	}
+	fe, err := cluster.NewReplicatedFrontend(groups, *topK)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fe.SetBalancer(*balancer); err != nil {
 		log.Fatal(err)
 	}
 	policy := def
@@ -70,18 +113,28 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("frontend on http://%s scattering to %d nodes (deadline %v, hedge %v, retries %d)\n",
-		bound, len(urls), *deadline, *hedge, *retries)
+	replicas := 0
+	for _, g := range groups {
+		replicas += len(g)
+	}
+	fmt.Printf("frontend on http://%s scattering to %d shards / %d replicas, balance %s (deadline %v, hedge %v, retries %d)\n",
+		bound, len(groups), replicas, *balancer, *deadline, *hedge, *retries)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	st := fe.ResilienceStats()
-	fmt.Printf("served %d queries: %d hedges (%.2f%% of sub-requests), %d retries\n",
-		st.Queries, st.Hedges, st.HedgeRate*100, st.Retries)
-	for i, n := range st.Nodes {
-		fmt.Printf("  %s: %d reqs, %d failures, breaker %s, p95 %v\n",
-			urls[i], n.Requests, n.Failures, n.State, n.P95)
+	fmt.Printf("served %d queries: %d hedges (%.2f%% of sub-requests), %d retries, %d writes\n",
+		st.Queries, st.Hedges, st.HedgeRate*100, st.Retries, st.Writes)
+	i := 0
+	for s, g := range groups {
+		for r, u := range g {
+			n := st.Nodes[i]
+			b := st.Balance[s].Replicas[r]
+			fmt.Printf("  shard %d %s: %d reqs, %d picks, %d failures, breaker %s, p95 %v\n",
+				s, u, n.Requests, b.Picks, n.Failures, n.State, n.P95)
+			i++
+		}
 	}
 	if err := fe.Close(); err != nil {
 		log.Fatal(err)

@@ -7,7 +7,13 @@
 //
 // searchd builds its slice of the synthetic corpus in memory on startup
 // (deterministic for a given seed), so multi-node clusters are started by
-// giving each node its shard via -shard/-shards.
+// giving each node its shard via -shard/-shards. Replicated tiers start
+// several nodes with the same -shard (identical slices) and distinct
+// -replica labels, then list them as one replica group in the
+// front-end's -topology flag:
+//
+//	searchd -addr :8081 -shard 0 -shards 2 -replica 0
+//	searchd -addr :8082 -shard 0 -shards 2 -replica 1
 //
 // For resilience experiments a node can injure itself with the -fault-*
 // flags (deterministic latency/error/blackhole injection in front of the
@@ -56,7 +62,8 @@ func main() {
 		parts    = flag.Int("partitions", 4, "intra-server partitions")
 		parallel = flag.Bool("parallel", true, "search partitions with parallel workers")
 		shard    = flag.Int("shard", 0, "this node's shard number")
-		shards   = flag.Int("shards", 1, "total index-serving nodes")
+		shards   = flag.Int("shards", 1, "total shards in the cluster")
+		replica  = flag.Int("replica", 0, "this node's replica number within its shard (labeling only; replicas of a shard serve identical slices)")
 		topK     = flag.Int("topk", 10, "results per query")
 		drain    = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 
@@ -79,6 +86,14 @@ func main() {
 	flag.Parse()
 	if *shard < 0 || *shards <= 0 || *shard >= *shards {
 		log.Fatalf("invalid shard %d of %d", *shard, *shards)
+	}
+	if *replica < 0 {
+		log.Fatalf("invalid replica %d", *replica)
+	}
+	if *replica > 0 && *name == "node-0" {
+		// Default name: make replicas of a shard distinguishable in logs
+		// and /stats without requiring an explicit -name per process.
+		*name = fmt.Sprintf("node-%d-r%d", *shard, *replica)
 	}
 
 	cfg := corpus.DefaultConfig()
@@ -147,8 +162,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%s serving %s on http://%s (shard %d/%d)\n",
-		*name, serving, bound, *shard, *shards)
+	fmt.Printf("%s serving %s on http://%s (shard %d/%d, replica %d)\n",
+		*name, serving, bound, *shard, *shards, *replica)
 	if *liveMode && *liveIngest > 0 {
 		fmt.Printf("%s self-ingesting %.0f docs/sec\n", *name, *liveIngest)
 	}

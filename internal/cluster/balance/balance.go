@@ -1,0 +1,91 @@
+// Package balance implements replica selection for the replicated
+// serving tier: given a group of interchangeable replicas of one index
+// shard, a Selector picks which replica serves the next request. Four
+// policies are provided — round-robin, power-of-two-choices, peak-EWMA
+// and least-loaded — sharing per-replica pick counts and in-flight
+// gauges so the front-end can expose balancer state on /metrics. The
+// package also provides the consistent-hash Ring the front-end uses to
+// route live-index writes to the shard that owns a document key.
+//
+// Selectors are fed observations, not wired to transports: the caller
+// brackets every attempt with Start/Finish, and Pick chooses among the
+// candidate replica indices the caller deems eligible (typically those
+// whose circuit breakers are not open). All implementations are safe
+// for concurrent use from the front-end's parallel shard goroutines.
+package balance
+
+import (
+	"fmt"
+	"time"
+)
+
+// Selection policy names, as spelled in flags and wire stats.
+const (
+	// RoundRobin rotates through the eligible replicas.
+	RoundRobin = "rr"
+	// PowerOfTwo samples two distinct eligible replicas and picks the
+	// less loaded one — near-optimal load spread at O(1) cost.
+	PowerOfTwo = "p2c"
+	// PeakEWMA picks the replica minimizing a latency-sensitive cost:
+	// a peak-biased exponentially-decayed latency estimate multiplied
+	// by the replica's in-flight count (the Finagle discipline). Slow
+	// replicas shed load quickly and win it back as the estimate decays.
+	PeakEWMA = "peak-ewma"
+	// LeastLoaded picks the replica with the fewest in-flight requests.
+	LeastLoaded = "least-loaded"
+)
+
+// Policies returns every selection policy name, in ablation order.
+func Policies() []string {
+	return []string{RoundRobin, PowerOfTwo, PeakEWMA, LeastLoaded}
+}
+
+// ReplicaStats is one replica's balancer bookkeeping: attempts routed to
+// it, requests currently in flight, and (for latency-aware policies) the
+// decayed latency estimate.
+type ReplicaStats struct {
+	Picks    int64
+	InFlight int64
+	EWMA     time.Duration
+}
+
+// Selector picks replicas for one shard's replica group. Pick chooses
+// among the caller's candidate replica indices; Start and Finish bracket
+// each dispatched attempt so load- and latency-aware policies see the
+// traffic they routed.
+type Selector interface {
+	// Name returns the policy name (one of the package constants).
+	Name() string
+	// Pick returns one replica index out of candidates, which must be
+	// non-empty and hold valid replica indices. Pick does not record
+	// anything; the caller follows up with Start on the replica it
+	// actually dispatches to (which may differ, e.g. a breaker probe).
+	Pick(candidates []int) int
+	// Start records that an attempt was dispatched to replica i.
+	Start(i int)
+	// Finish records that the attempt on replica i completed after lat,
+	// successfully or not.
+	Finish(i int, lat time.Duration, ok bool)
+	// Snapshot returns per-replica stats, indexed by replica.
+	Snapshot() []ReplicaStats
+}
+
+// New returns a selector implementing the named policy over a group of
+// the given size. seed makes randomized policies (p2c tie-breaks)
+// deterministic for a given shard.
+func New(policy string, replicas int, seed int64) (Selector, error) {
+	if replicas <= 0 {
+		return nil, fmt.Errorf("balance: replica group must be non-empty")
+	}
+	switch policy {
+	case RoundRobin:
+		return newRoundRobin(replicas), nil
+	case PowerOfTwo:
+		return newP2C(replicas, seed), nil
+	case PeakEWMA:
+		return newPeakEWMA(replicas), nil
+	case LeastLoaded:
+		return newLeastLoaded(replicas), nil
+	}
+	return nil, fmt.Errorf("balance: unknown policy %q (valid: %v)", policy, Policies())
+}

@@ -1,0 +1,213 @@
+package balance
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, p := range Policies() {
+		s, err := New(p, 3, 1)
+		if err != nil {
+			t.Fatalf("New(%q) = %v", p, err)
+		}
+		if s.Name() != p {
+			t.Errorf("Name() = %q, want %q", s.Name(), p)
+		}
+	}
+	if _, err := New("nope", 3, 1); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := New(RoundRobin, 0, 1); err == nil {
+		t.Error("empty replica group accepted")
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	s, _ := New(RoundRobin, 3, 1)
+	candidates := []int{0, 1, 2}
+	seen := make(map[int]int)
+	for i := 0; i < 9; i++ {
+		seen[s.Pick(candidates)]++
+	}
+	for r := 0; r < 3; r++ {
+		if seen[r] != 3 {
+			t.Errorf("replica %d picked %d times over 9 picks, want 3", r, seen[r])
+		}
+	}
+	// A shrunken candidate set still only yields members of the set.
+	for i := 0; i < 5; i++ {
+		if got := s.Pick([]int{1}); got != 1 {
+			t.Fatalf("pick outside candidates: %d", got)
+		}
+	}
+}
+
+func TestLeastLoadedPrefersIdle(t *testing.T) {
+	s, _ := New(LeastLoaded, 3, 1)
+	// Load up replicas 0 and 2; 1 stays idle.
+	s.Start(0)
+	s.Start(0)
+	s.Start(2)
+	for i := 0; i < 10; i++ {
+		if got := s.Pick([]int{0, 1, 2}); got != 1 {
+			t.Fatalf("least-loaded picked %d with loads [2 0 1]", got)
+		}
+	}
+	// Once replica 1 carries the most load it stops being picked.
+	for i := 0; i < 4; i++ {
+		s.Start(1)
+	}
+	if got := s.Pick([]int{0, 1, 2}); got == 1 {
+		t.Error("least-loaded picked the most loaded replica")
+	}
+}
+
+func TestLeastLoadedTiesRotate(t *testing.T) {
+	s, _ := New(LeastLoaded, 3, 1)
+	seen := make(map[int]int)
+	for i := 0; i < 9; i++ {
+		seen[s.Pick([]int{0, 1, 2})]++
+	}
+	for r := 0; r < 3; r++ {
+		if seen[r] == 0 {
+			t.Errorf("replica %d never picked across 9 tied picks: %v", r, seen)
+		}
+	}
+}
+
+func TestP2CAvoidsLoad(t *testing.T) {
+	s, _ := New(PowerOfTwo, 2, 42)
+	// Replica 0 is saturated; every pair sample contains both replicas,
+	// so p2c must always keep the idle one.
+	for i := 0; i < 8; i++ {
+		s.Start(0)
+	}
+	for i := 0; i < 20; i++ {
+		if got := s.Pick([]int{0, 1}); got != 1 {
+			t.Fatalf("p2c picked the saturated replica on trial %d", i)
+		}
+	}
+	if got := s.Pick([]int{0}); got != 0 {
+		t.Errorf("single candidate pick = %d", got)
+	}
+}
+
+func TestP2CSpreadsUnderNoLoad(t *testing.T) {
+	s, _ := New(PowerOfTwo, 4, 7)
+	seen := make(map[int]int)
+	for i := 0; i < 400; i++ {
+		r := s.Pick([]int{0, 1, 2, 3})
+		seen[r]++
+		// Simulate instantly-completing work so inflight stays zero and
+		// the pick-count tie-break drives the spread.
+		s.Start(r)
+		s.Finish(r, time.Millisecond, true)
+	}
+	for r := 0; r < 4; r++ {
+		if seen[r] < 50 {
+			t.Errorf("replica %d picked only %d/400 times: %v", r, seen[r], seen)
+		}
+	}
+}
+
+func TestPeakEWMAAvoidsSlowReplica(t *testing.T) {
+	s, _ := New(PeakEWMA, 2, 1)
+	// Teach the selector that replica 0 is 100x slower.
+	for i := 0; i < 5; i++ {
+		s.Start(0)
+		s.Finish(0, 100*time.Millisecond, true)
+		s.Start(1)
+		s.Finish(1, time.Millisecond, true)
+	}
+	picks := make(map[int]int)
+	for i := 0; i < 20; i++ {
+		r := s.Pick([]int{0, 1})
+		picks[r]++
+		s.Start(r)
+		s.Finish(r, time.Millisecond, true)
+	}
+	if picks[1] < 15 {
+		t.Errorf("peak-EWMA sent %d/20 picks to the fast replica, want >= 15", picks[1])
+	}
+	snap := s.Snapshot()
+	if snap[0].EWMA <= snap[1].EWMA {
+		t.Errorf("EWMA estimates not ordered: slow=%v fast=%v", snap[0].EWMA, snap[1].EWMA)
+	}
+}
+
+func TestPeakEWMAPeakJump(t *testing.T) {
+	var c ewmaCell
+	now := time.Now()
+	c.observe(time.Millisecond, now)
+	// One straggling response must register at full strength...
+	c.observe(80*time.Millisecond, now.Add(time.Millisecond))
+	if got := c.read(now.Add(2 * time.Millisecond)); got < float64(70*time.Millisecond) {
+		t.Errorf("peak observation smoothed away: estimate %v", time.Duration(got))
+	}
+	// ...and decay back toward fast observations only gradually.
+	c.observe(time.Millisecond, now.Add(2*time.Millisecond))
+	if got := c.read(now.Add(3 * time.Millisecond)); got < float64(30*time.Millisecond) {
+		t.Errorf("estimate decayed implausibly fast: %v", time.Duration(got))
+	}
+}
+
+func TestSnapshotCounts(t *testing.T) {
+	for _, p := range Policies() {
+		s, _ := New(p, 2, 1)
+		s.Start(0)
+		s.Start(0)
+		s.Start(1)
+		s.Finish(0, time.Millisecond, true)
+		snap := s.Snapshot()
+		if snap[0].Picks != 2 || snap[1].Picks != 1 {
+			t.Errorf("%s picks = %d/%d, want 2/1", p, snap[0].Picks, snap[1].Picks)
+		}
+		if snap[0].InFlight != 1 || snap[1].InFlight != 1 {
+			t.Errorf("%s inflight = %d/%d, want 1/1", p, snap[0].InFlight, snap[1].InFlight)
+		}
+	}
+}
+
+// TestSelectorsConcurrent hammers every policy from parallel goroutines;
+// run with -race this is the selector-state data-race check demanded of
+// the replicated scatter path.
+func TestSelectorsConcurrent(t *testing.T) {
+	for _, p := range Policies() {
+		t.Run(p, func(t *testing.T) {
+			s, _ := New(p, 4, 99)
+			candidates := []int{0, 1, 2, 3}
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 500; i++ {
+						r := s.Pick(candidates)
+						if r < 0 || r > 3 {
+							panic("pick out of range")
+						}
+						s.Start(r)
+						s.Finish(r, time.Duration(i)*time.Microsecond, i%7 != 0)
+						if i%50 == 0 {
+							s.Snapshot()
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			var picks, inflight int64
+			for _, st := range s.Snapshot() {
+				picks += st.Picks
+				inflight += st.InFlight
+			}
+			if picks != 8*500 {
+				t.Errorf("total picks = %d, want %d", picks, 8*500)
+			}
+			if inflight != 0 {
+				t.Errorf("in-flight gauge did not return to zero: %d", inflight)
+			}
+		})
+	}
+}

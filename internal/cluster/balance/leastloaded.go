@@ -1,0 +1,45 @@
+package balance
+
+import "sync/atomic"
+
+// leastLoaded picks the candidate with the fewest in-flight requests —
+// the weighted-least-connections discipline with unit weights. Ties
+// rotate so an idle cluster still spreads warm-up traffic.
+type leastLoaded struct {
+	tracker
+	tie atomic.Uint64
+}
+
+func newLeastLoaded(replicas int) *leastLoaded {
+	return &leastLoaded{tracker: newTracker(replicas)}
+}
+
+func (s *leastLoaded) Name() string { return LeastLoaded }
+
+func (s *leastLoaded) Pick(candidates []int) int {
+	minLoad := int64(1<<63 - 1)
+	ties := 0
+	for _, c := range candidates {
+		switch load := s.inflight[c].Load(); {
+		case load < minLoad:
+			minLoad, ties = load, 1
+		case load == minLoad:
+			ties++
+		}
+	}
+	// k-th tied candidate, with k rotating across picks. The in-flight
+	// gauges move under us between the two passes; a near-minimum pick
+	// is still a fine choice, so take the last seen tie as the fallback.
+	k := int(s.tie.Add(1)-1) % ties
+	pick := candidates[0]
+	for _, c := range candidates {
+		if s.inflight[c].Load() <= minLoad {
+			pick = c
+			if k == 0 {
+				return c
+			}
+			k--
+		}
+	}
+	return pick
+}

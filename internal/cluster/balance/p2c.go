@@ -1,0 +1,48 @@
+package balance
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// p2c is the power-of-two-choices policy: sample two distinct candidates
+// uniformly at random and keep the less loaded one. Randomizing the pair
+// avoids the herd behaviour of deterministic least-loaded under many
+// concurrent pickers, while two samples already capture most of the
+// benefit of scanning everyone (Mitzenmacher's classic result).
+type p2c struct {
+	tracker
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newP2C(replicas int, seed int64) *p2c {
+	return &p2c{
+		tracker: newTracker(replicas),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (s *p2c) Name() string { return PowerOfTwo }
+
+func (s *p2c) Pick(candidates []int) int {
+	n := len(candidates)
+	if n == 1 {
+		return candidates[0]
+	}
+	// The rng is shared across the front-end's parallel shard
+	// goroutines, so draws happen under the mutex.
+	s.mu.Lock()
+	a := s.rng.Intn(n)
+	b := s.rng.Intn(n - 1)
+	s.mu.Unlock()
+	if b >= a {
+		b++
+	}
+	ca, cb := candidates[a], candidates[b]
+	la, lb := s.inflight[ca].Load(), s.inflight[cb].Load()
+	if lb < la || (lb == la && s.picks[cb].Load() < s.picks[ca].Load()) {
+		return cb
+	}
+	return ca
+}

@@ -1,0 +1,104 @@
+package balance
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// ewmaTau is the decay time constant of the peak-EWMA latency estimate:
+// an observation loses ~63% of its weight after tau without newer data.
+// Short enough that a recovered replica wins traffic back within a few
+// seconds, long enough that one straggling response keeps load away for
+// longer than the straggle itself.
+const ewmaTau = 5 * time.Second
+
+// peakEWMA scores each replica by a peak-biased exponentially-decayed
+// latency estimate multiplied by its in-flight count, and picks the
+// minimum — the Finagle "peak EWMA" balancer. The estimate jumps
+// immediately to any observation above it (tail latencies register at
+// full strength the moment they happen) and decays smoothly otherwise,
+// so a replica that turns slow sheds load within a round-trip while
+// transient noise averages out.
+type peakEWMA struct {
+	tracker
+	cells []ewmaCell
+}
+
+// ewmaCell is one replica's latency estimate. cost is in nanoseconds;
+// updatedAt timestamps the last observation so both reads and writes can
+// apply the elapsed-time decay.
+type ewmaCell struct {
+	mu        sync.Mutex
+	cost      float64
+	updatedAt time.Time
+}
+
+// observe folds one successful-response latency into the estimate.
+func (c *ewmaCell) observe(lat time.Duration, now time.Time) {
+	l := float64(lat)
+	c.mu.Lock()
+	switch {
+	case c.updatedAt.IsZero():
+		c.cost = l
+	case l > c.cost:
+		// Peak sensitivity: never let smoothing hide a straggler.
+		c.cost = l
+	default:
+		w := math.Exp(-float64(now.Sub(c.updatedAt)) / float64(ewmaTau))
+		c.cost = c.cost*w + l*(1-w)
+	}
+	c.updatedAt = now
+	c.mu.Unlock()
+}
+
+// read returns the estimate decayed to now. Decaying toward zero on
+// reads means a replica nobody routes to (because it was slow) becomes
+// attractive again on its own, which is what re-probes it.
+func (c *ewmaCell) read(now time.Time) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.updatedAt.IsZero() {
+		return 0
+	}
+	return c.cost * math.Exp(-float64(now.Sub(c.updatedAt))/float64(ewmaTau))
+}
+
+func newPeakEWMA(replicas int) *peakEWMA {
+	return &peakEWMA{
+		tracker: newTracker(replicas),
+		cells:   make([]ewmaCell, replicas),
+	}
+}
+
+func (s *peakEWMA) Name() string { return PeakEWMA }
+
+func (s *peakEWMA) Pick(candidates []int) int {
+	now := time.Now()
+	pick, best := candidates[0], math.Inf(1)
+	for _, c := range candidates {
+		// Cost scales with queue depth so two equally-fast replicas
+		// still spread load; +1 keeps idle replicas comparable.
+		score := s.cells[c].read(now) * float64(s.inflight[c].Load()+1)
+		if score < best || (score == best && s.picks[c].Load() < s.picks[pick].Load()) {
+			pick, best = c, score
+		}
+	}
+	return pick
+}
+
+func (s *peakEWMA) Finish(i int, lat time.Duration, ok bool) {
+	s.tracker.Finish(i, lat, ok)
+	if ok {
+		s.cells[i].observe(lat, time.Now())
+	}
+}
+
+func (s *peakEWMA) Snapshot() []ReplicaStats {
+	out := s.tracker.Snapshot()
+	now := time.Now()
+	for i := range out {
+		out[i].EWMA = time.Duration(s.cells[i].read(now))
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package balance
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVirtualNodes is the per-shard virtual-node count used when the
+// caller does not specify one. 64 points per shard keeps the expected
+// per-shard key share within a few percent of uniform for the shard
+// counts this benchmark runs.
+const DefaultVirtualNodes = 64
+
+// Ring is a consistent-hash ring over shards: each shard owns a set of
+// virtual points on a 64-bit circle and a key belongs to the shard of
+// the first point at or after the key's hash. The front-end routes
+// live-index writes through the ring so a document key always lands on
+// the same shard (and hence the same replica group) regardless of
+// cluster composition elsewhere on the ring — re-ingesting or deleting a
+// key reaches the replicas that hold it. A Ring is immutable and safe
+// for concurrent use.
+type Ring struct {
+	hashes []uint64 // sorted point hashes
+	owners []int    // owners[i] is the shard owning hashes[i]
+	shards int
+}
+
+// NewRing builds a ring over the given shard count with virtualNodes
+// points per shard (DefaultVirtualNodes when <= 0). shards must be
+// positive.
+func NewRing(shards, virtualNodes int) *Ring {
+	if shards <= 0 {
+		panic("balance: ring needs at least one shard")
+	}
+	if virtualNodes <= 0 {
+		virtualNodes = DefaultVirtualNodes
+	}
+	r := &Ring{
+		hashes: make([]uint64, 0, shards*virtualNodes),
+		owners: make([]int, 0, shards*virtualNodes),
+		shards: shards,
+	}
+	type point struct {
+		hash  uint64
+		shard int
+	}
+	points := make([]point, 0, shards*virtualNodes)
+	for s := 0; s < shards; s++ {
+		for v := 0; v < virtualNodes; v++ {
+			points = append(points, point{hashKey(fmt.Sprintf("shard-%d/vnode-%d", s, v)), s})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].hash < points[j].hash })
+	for _, p := range points {
+		r.hashes = append(r.hashes, p.hash)
+		r.owners = append(r.owners, p.shard)
+	}
+	return r
+}
+
+// Shards returns the ring's shard count.
+func (r *Ring) Shards() int { return r.shards }
+
+// Owner returns the shard owning key.
+func (r *Ring) Owner(key string) int {
+	h := hashKey(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0 // wrap past the last point
+	}
+	return r.owners[i]
+}
+
+// hashKey is FNV-1a 64, matching the query cache's sharding hash choice:
+// fast, dependency-free, and uniform enough for ring placement.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}

@@ -1,0 +1,70 @@
+package balance
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAndInRange(t *testing.T) {
+	r1 := NewRing(4, 0)
+	r2 := NewRing(4, 0)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("doc-%d", i)
+		a, b := r1.Owner(key), r2.Owner(key)
+		if a != b {
+			t.Fatalf("ring not deterministic: %q -> %d vs %d", key, a, b)
+		}
+		if a < 0 || a >= 4 {
+			t.Fatalf("owner out of range: %d", a)
+		}
+	}
+	if r1.Shards() != 4 {
+		t.Errorf("Shards() = %d", r1.Shards())
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	const shards, keys = 4, 20000
+	r := NewRing(shards, 0)
+	counts := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("http://example.com/page/%d", i))]++
+	}
+	want := keys / shards
+	for s, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Errorf("shard %d owns %d keys, want within [%d, %d]: %v",
+				s, c, want/2, want*2, counts)
+		}
+	}
+}
+
+// TestRingConsistency is the property that names the structure: growing
+// the ring by one shard must leave the large majority of keys on their
+// old shard (unlike modulo hashing, which moves nearly all of them).
+func TestRingConsistency(t *testing.T) {
+	const keys = 10000
+	small := NewRing(4, 0)
+	grown := NewRing(5, 0)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("doc-%d", i)
+		if small.Owner(key) != grown.Owner(key) {
+			moved++
+		}
+	}
+	// Ideal is 1/5 of keys; allow slack for placement variance but stay
+	// far below the ~4/5 modulo hashing would move.
+	if moved > keys*2/5 {
+		t.Errorf("growing 4->5 shards moved %d/%d keys, want <= %d", moved, keys, keys*2/5)
+	}
+}
+
+func TestRingSingleShard(t *testing.T) {
+	r := NewRing(1, 8)
+	for i := 0; i < 50; i++ {
+		if got := r.Owner(fmt.Sprintf("k%d", i)); got != 0 {
+			t.Fatalf("single-shard ring returned %d", got)
+		}
+	}
+}

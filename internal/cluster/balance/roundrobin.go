@@ -1,0 +1,21 @@
+package balance
+
+import "sync/atomic"
+
+// roundRobin rotates through the candidate list with a shared atomic
+// cursor. When breakers shrink the candidate set the rotation simply
+// wraps over whatever remains eligible.
+type roundRobin struct {
+	tracker
+	next atomic.Uint64
+}
+
+func newRoundRobin(replicas int) *roundRobin {
+	return &roundRobin{tracker: newTracker(replicas)}
+}
+
+func (s *roundRobin) Name() string { return RoundRobin }
+
+func (s *roundRobin) Pick(candidates []int) int {
+	return candidates[int((s.next.Add(1)-1)%uint64(len(candidates)))]
+}

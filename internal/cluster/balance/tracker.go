@@ -1,0 +1,45 @@
+package balance
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// tracker is the bookkeeping every selector shares: per-replica pick
+// counts and in-flight gauges, maintained lock-free through Start and
+// Finish.
+type tracker struct {
+	picks    []atomic.Int64
+	inflight []atomic.Int64
+}
+
+func newTracker(replicas int) tracker {
+	return tracker{
+		picks:    make([]atomic.Int64, replicas),
+		inflight: make([]atomic.Int64, replicas),
+	}
+}
+
+// Start records one attempt dispatched to replica i.
+func (t *tracker) Start(i int) {
+	t.picks[i].Add(1)
+	t.inflight[i].Add(1)
+}
+
+// Finish records that replica i's attempt completed.
+func (t *tracker) Finish(i int, lat time.Duration, ok bool) {
+	t.inflight[i].Add(-1)
+}
+
+// Snapshot returns the shared counters; latency-aware selectors overlay
+// their estimate on top.
+func (t *tracker) Snapshot() []ReplicaStats {
+	out := make([]ReplicaStats, len(t.picks))
+	for i := range out {
+		out[i] = ReplicaStats{
+			Picks:    t.picks[i].Load(),
+			InFlight: t.inflight[i].Load(),
+		}
+	}
+	return out
+}

@@ -116,6 +116,46 @@ func (c *Client) DoContext(ctx context.Context, q workload.Query) error {
 	return err
 }
 
+// AddDoc ingests one document through the service at base. Against a
+// front-end the write is ring-routed and fanned out to the owning
+// shard's replicas; against a live node it applies directly.
+func (c *Client) AddDoc(ctx context.Context, req AddDocRequest) (MutateResponse, error) {
+	return c.mutate(ctx, "/docs", req)
+}
+
+// DeleteDoc removes one document through the service at base.
+func (c *Client) DeleteDoc(ctx context.Context, req DeleteDocRequest) (MutateResponse, error) {
+	return c.mutate(ctx, "/delete", req)
+}
+
+func (c *Client) mutate(ctx context.Context, path string, req any) (MutateResponse, error) {
+	ctx, cancel := c.queryContext(ctx)
+	defer cancel()
+	body, err := json.Marshal(req)
+	if err != nil {
+		return MutateResponse{}, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return MutateResponse{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(hreq)
+	if err != nil {
+		return MutateResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return MutateResponse{}, fmt.Errorf("cluster: status %d: %s", resp.StatusCode, msg)
+	}
+	var out MutateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return MutateResponse{}, err
+	}
+	return out, nil
+}
+
 // Stats fetches a node's index shape.
 func (c *Client) Stats() (StatsResponse, error) {
 	resp, err := c.client.Get(c.base + "/stats")

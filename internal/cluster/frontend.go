@@ -12,46 +12,60 @@ import (
 	"net/http"
 	"net/url"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"websearchbench/internal/cluster/balance"
 	"websearchbench/internal/cluster/resilience"
 	"websearchbench/internal/metrics"
 	"websearchbench/internal/qcache"
 )
 
-// ErrCircuitOpen marks a sub-request skipped because the node's circuit
-// breaker is open: the node is presumed down and not contacted.
+// ErrCircuitOpen marks a shard sub-request skipped because every
+// replica's circuit breaker is open: the whole group is presumed down
+// and not contacted.
 var ErrCircuitOpen = errors.New("circuit open")
 
-// defaultHedgeDelay is the hedge delay used before a node has enough
+// defaultHedgeDelay is the hedge delay used before a replica has enough
 // latency history for an adaptive p95.
 const defaultHedgeDelay = 10 * time.Millisecond
 
 // defaultDrainTimeout bounds how long Close waits for in-flight requests.
 const defaultDrainTimeout = 5 * time.Second
 
-// Frontend scatters queries to index-serving nodes and merges their
-// responses, like the benchmark's Tomcat front-end tier. Its scatter path
-// applies the configured resilience.Policy: per-query deadlines, hedged
-// requests against stragglers, budgeted retries for transient transport
-// errors, and a per-node circuit breaker.
+// Frontend scatters queries to index-serving shards and merges their
+// responses, like the benchmark's Tomcat front-end tier. Each shard is a
+// replica group: one replica is selected per request by the configured
+// balance.Selector, hedges race a *different* replica of the same group,
+// and retries move to another replica — so a shard answers as long as
+// any replica answers. The scatter path applies the configured
+// resilience.Policy: per-query deadlines, hedged requests against
+// stragglers, budgeted retries for transient transport errors, and a
+// per-replica circuit breaker. Live-index writes (POST /docs, /delete)
+// are routed through a consistent-hash ring to every replica of the
+// key-owning shard, so ingest follows the serving topology.
 type Frontend struct {
-	nodes  []string // base URLs
+	groups [][]string // shard -> replica base URLs
 	client *http.Client
 	topK   int
 	mux    *http.ServeMux
-	cache  *qcache.Cache[SearchResponse]
+	cache  *qcache.Generational[SearchResponse]
 	hist   metrics.ConcurrentHistogram
+	ring   *balance.Ring
 
-	policy  resilience.Policy
-	health  []*resilience.NodeHealth
-	budget  *resilience.Budget
+	// state bundles the policy with everything derived from it (health
+	// trackers, selectors, retry budget) so SetPolicy swaps are atomic
+	// with respect to in-flight scatters.
+	state   atomic.Pointer[feState]
 	queries atomic.Int64
 	hedges  atomic.Int64
 	retries atomic.Int64
+	writes  atomic.Int64
 
+	// rng feeds the jittered retry backoff; it is shared by the parallel
+	// shard goroutines and therefore only used under rngMu.
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
@@ -60,18 +74,56 @@ type Frontend struct {
 	ln    net.Listener
 }
 
+// feState is the serving state derived from one (policy, balancer)
+// configuration. It is immutable once published: SetPolicy and
+// SetBalancer build a fresh feState and swap the pointer, so a scatter
+// that loaded the old state keeps a consistent view to completion.
+type feState struct {
+	policy    resilience.Policy
+	balancer  string
+	health    [][]*resilience.NodeHealth // per shard, per replica
+	selectors []balance.Selector         // per shard
+	budget    *resilience.Budget
+}
+
 // NewFrontend creates a front-end over the given node base URLs
-// (e.g. "http://127.0.0.1:8081") with the default resilience policy.
-// topK caps merged results (default 10).
+// (e.g. "http://127.0.0.1:8081"), one single-replica shard per URL, with
+// the default resilience policy. topK caps merged results (default 10).
 func NewFrontend(nodeURLs []string, topK int) (*Frontend, error) {
-	if len(nodeURLs) == 0 {
-		return nil, fmt.Errorf("cluster: frontend needs at least one node")
+	groups := make([][]string, len(nodeURLs))
+	for i, u := range nodeURLs {
+		groups[i] = []string{u}
+	}
+	return NewReplicatedFrontend(groups, topK)
+}
+
+// NewReplicatedFrontend creates a front-end over replica groups: shard i
+// is served by any of groups[i]. Replica selection defaults to
+// round-robin; configure it with SetBalancer. topK caps merged results
+// (default 10).
+func NewReplicatedFrontend(groups [][]string, topK int) (*Frontend, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("cluster: frontend needs at least one shard")
+	}
+	for s, group := range groups {
+		if len(group) == 0 {
+			return nil, fmt.Errorf("cluster: shard %d has no replicas", s)
+		}
+		for _, u := range group {
+			if u == "" {
+				return nil, fmt.Errorf("cluster: shard %d has an empty replica URL", s)
+			}
+		}
 	}
 	if topK <= 0 {
 		topK = 10
 	}
+	copied := make([][]string, len(groups))
+	for i, g := range groups {
+		copied[i] = append([]string(nil), g...)
+	}
 	f := &Frontend{
-		nodes: append([]string(nil), nodeURLs...),
+		groups: copied,
 		client: &http.Client{
 			// Backstop only; the per-query deadline governs.
 			Timeout: 30 * time.Second,
@@ -81,32 +133,82 @@ func NewFrontend(nodeURLs []string, topK int) (*Frontend, error) {
 		},
 		topK:  topK,
 		mux:   http.NewServeMux(),
+		ring:  balance.NewRing(len(groups), balance.DefaultVirtualNodes),
 		rng:   rand.New(rand.NewSource(rand.Int63())),
 		drain: defaultDrainTimeout,
 	}
-	f.SetPolicy(resilience.DefaultPolicy())
+	f.state.Store(f.buildState(resilience.DefaultPolicy(), balance.RoundRobin))
 	f.mux.HandleFunc("POST /search", f.handleSearch)
+	f.mux.HandleFunc("POST /docs", f.handleAddDoc)
+	f.mux.HandleFunc("POST /delete", f.handleDeleteDoc)
 	f.mux.HandleFunc("GET /metrics", f.handleMetrics)
 	return f, nil
 }
 
-// SetPolicy installs a resilience policy, resetting per-node health
-// trackers, the retry budget, and the hedge/retry counters. Call before
-// serving traffic.
-func (f *Frontend) SetPolicy(p resilience.Policy) {
-	f.policy = p
-	f.health = make([]*resilience.NodeHealth, len(f.nodes))
-	for i := range f.health {
-		f.health[i] = resilience.NewNodeHealth(p.BreakerThreshold, p.BreakerCooldown)
+// buildState derives fresh serving state (health trackers, selectors,
+// retry budget) for one policy/balancer pair. balancer must already be
+// validated.
+func (f *Frontend) buildState(p resilience.Policy, balancer string) *feState {
+	st := &feState{
+		policy:    p,
+		balancer:  balancer,
+		health:    make([][]*resilience.NodeHealth, len(f.groups)),
+		selectors: make([]balance.Selector, len(f.groups)),
+		budget:    resilience.NewBudget(p.RetryBudgetRatio, 10),
 	}
-	f.budget = resilience.NewBudget(p.RetryBudgetRatio, 10)
+	for s, group := range f.groups {
+		st.health[s] = make([]*resilience.NodeHealth, len(group))
+		for r := range group {
+			st.health[s][r] = resilience.NewNodeHealth(p.BreakerThreshold, p.BreakerCooldown)
+		}
+		sel, err := balance.New(balancer, len(group), int64(s)+1)
+		if err != nil {
+			// Balancer names are validated before they reach here.
+			panic(fmt.Sprintf("cluster: %v", err))
+		}
+		st.selectors[s] = sel
+	}
+	return st
+}
+
+// SetPolicy installs a resilience policy, resetting per-replica health
+// trackers, selector state, the retry budget, and the hedge/retry
+// counters. The swap is atomic: queries in flight finish under the state
+// they started with.
+func (f *Frontend) SetPolicy(p resilience.Policy) {
+	f.state.Store(f.buildState(p, f.state.Load().balancer))
 	f.queries.Store(0)
 	f.hedges.Store(0)
 	f.retries.Store(0)
 }
 
+// SetBalancer installs the named replica-selection policy (see
+// balance.Policies), resetting selector and health state like SetPolicy.
+func (f *Frontend) SetBalancer(policy string) error {
+	if _, err := balance.New(policy, 1, 0); err != nil {
+		return err
+	}
+	f.state.Store(f.buildState(f.state.Load().policy, policy))
+	f.queries.Store(0)
+	f.hedges.Store(0)
+	f.retries.Store(0)
+	return nil
+}
+
 // Policy returns the active resilience policy.
-func (f *Frontend) Policy() resilience.Policy { return f.policy }
+func (f *Frontend) Policy() resilience.Policy { return f.state.Load().policy }
+
+// Balancer returns the active replica-selection policy name.
+func (f *Frontend) Balancer() string { return f.state.Load().balancer }
+
+// Topology returns a copy of the shard -> replica URL layout.
+func (f *Frontend) Topology() [][]string {
+	out := make([][]string, len(f.groups))
+	for i, g := range f.groups {
+		out[i] = append([]string(nil), g...)
+	}
+	return out
+}
 
 // SetDrainTimeout bounds how long Close waits for in-flight requests
 // before forcing connections shut.
@@ -115,12 +217,14 @@ func (f *Frontend) SetDrainTimeout(d time.Duration) { f.drain = d }
 // Handler returns the front-end's HTTP handler.
 func (f *Frontend) Handler() http.Handler { return f.mux }
 
-// EnableCache adds an LRU result cache of the given capacity in front of
-// the scatter/gather path. Call before serving traffic. Only complete
-// responses (every node answered) are cached, so a transient node outage
-// can never poison the cache with partial result lists.
+// EnableCache adds a generation-stamped LRU result cache of the given
+// capacity in front of the scatter/gather path. Call before serving
+// traffic. Only complete responses (every shard answered) are cached, so
+// a transient outage can never poison the cache with partial result
+// lists; a write routed through the front-end bumps the generation,
+// making every cached result unreachable.
 func (f *Frontend) EnableCache(capacity int) {
-	f.cache = qcache.New[SearchResponse](capacity)
+	f.cache = qcache.NewGenerational[SearchResponse](capacity)
 }
 
 // CacheHitRate reports the result cache's lifetime hit rate (0 when no
@@ -141,31 +245,69 @@ type ResilienceStats struct {
 	Hedges int64
 	// Retries is the number of retry attempts issued.
 	Retries int64
-	// HedgeRate is hedges per node sub-request.
+	// Writes is the number of mutations fanned out through the ring.
+	Writes int64
+	// HedgeRate is hedges per replica sub-request.
 	HedgeRate float64
-	// Nodes holds one health snapshot per configured node, in node
-	// order.
+	// Nodes holds one health snapshot per replica in shard-major order
+	// (shard 0's replicas first). With single-replica shards this is the
+	// legacy one-entry-per-node layout.
 	Nodes []resilience.HealthSnapshot
+	// Balance holds per-shard balancer state, aligned with Topology().
+	Balance []ShardBalanceStats
 }
 
 // ResilienceStats returns a point-in-time view of hedging, retry and
-// per-node health counters.
+// per-replica health counters.
 func (f *Frontend) ResilienceStats() ResilienceStats {
-	st := ResilienceStats{
+	st := f.state.Load()
+	stats := ResilienceStats{
 		Queries: f.queries.Load(),
 		Hedges:  f.hedges.Load(),
 		Retries: f.retries.Load(),
-		Nodes:   make([]resilience.HealthSnapshot, len(f.health)),
+		Writes:  f.writes.Load(),
+		Balance: f.balanceStats(st),
 	}
 	var subRequests int64
-	for i, h := range f.health {
-		st.Nodes[i] = h.Snapshot()
-		subRequests += st.Nodes[i].Requests
+	for s := range st.health {
+		for _, h := range st.health[s] {
+			snap := h.Snapshot()
+			stats.Nodes = append(stats.Nodes, snap)
+			subRequests += snap.Requests
+		}
 	}
 	if subRequests > 0 {
-		st.HedgeRate = float64(st.Hedges) / float64(subRequests)
+		stats.HedgeRate = float64(stats.Hedges) / float64(subRequests)
 	}
-	return st
+	return stats
+}
+
+// BalanceStats returns per-shard, per-replica balancer state: pick
+// counts, in-flight gauges, latency estimates and breaker positions.
+func (f *Frontend) BalanceStats() []ShardBalanceStats {
+	return f.balanceStats(f.state.Load())
+}
+
+func (f *Frontend) balanceStats(st *feState) []ShardBalanceStats {
+	out := make([]ShardBalanceStats, len(f.groups))
+	for s, group := range f.groups {
+		snap := st.selectors[s].Snapshot()
+		out[s] = ShardBalanceStats{
+			Shard:    s,
+			Policy:   st.balancer,
+			Replicas: make([]ReplicaBalanceStats, len(group)),
+		}
+		for r, u := range group {
+			out[s].Replicas[r] = ReplicaBalanceStats{
+				URL:        u,
+				Picks:      snap[r].Picks,
+				InFlight:   snap[r].InFlight,
+				EWMAMicros: snap[r].EWMA.Microseconds(),
+				Breaker:    st.health[s][r].Breaker().State().String(),
+			}
+		}
+	}
+	return out
 }
 
 // cacheKey identifies a request for caching.
@@ -173,7 +315,7 @@ func cacheKey(req SearchRequest) string {
 	return fmt.Sprintf("%s\x00%s\x00%d", req.Mode, req.Query, req.TopK)
 }
 
-// Search scatters req to all nodes and merges the responses, with no
+// Search scatters req to all shards and merges the responses, with no
 // caller deadline beyond the policy's. It is the in-process API used by
 // local clients; HTTP traffic flows through SearchContext with the
 // request's context.
@@ -181,11 +323,11 @@ func (f *Frontend) Search(req SearchRequest) (SearchResponse, error) {
 	return f.SearchContext(context.Background(), req)
 }
 
-// SearchContext scatters req to all nodes and merges the responses,
+// SearchContext scatters req to all shards and merges the responses,
 // honoring ctx and the policy's per-query deadline (whichever is
-// sooner). A partial merge — some nodes failed or were breaker-skipped —
-// is returned with Degraded set; total failure returns the join of every
-// node's error.
+// sooner). A partial merge — some shards failed or were breaker-skipped
+// on every replica — is returned with Degraded set; total failure
+// returns the join of every shard's error.
 func (f *Frontend) SearchContext(ctx context.Context, req SearchRequest) (SearchResponse, error) {
 	if req.TopK <= 0 {
 		req.TopK = f.topK
@@ -201,49 +343,51 @@ func (f *Frontend) SearchContext(ctx context.Context, req SearchRequest) (Search
 	if err != nil {
 		return SearchResponse{}, err
 	}
-	if f.policy.Deadline > 0 {
+	st := f.state.Load()
+	if st.policy.Deadline > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, f.policy.Deadline)
+		ctx, cancel = context.WithTimeout(ctx, st.policy.Deadline)
 		defer cancel()
 	}
 	f.queries.Add(1)
 
-	type nodeResult struct {
+	type shardResult struct {
 		resp SearchResponse
 		err  error
 	}
-	results := make([]nodeResult, len(f.nodes))
+	results := make([]shardResult, len(f.groups))
 	var wg sync.WaitGroup
-	for i := range f.nodes {
+	for s := range f.groups {
 		wg.Add(1)
-		go func(i int) {
+		go func(s int) {
 			defer wg.Done()
-			results[i].resp, results[i].err = f.dispatchNode(ctx, i, body)
-		}(i)
+			results[s].resp, results[s].err = f.dispatchShard(ctx, st, s, body)
+		}(s)
 	}
 	wg.Wait()
 
 	var merged SearchResponse
 	var errs []error
 	var maxTook int64
-	for i := range results {
-		if results[i].err != nil {
+	for s := range results {
+		if results[s].err != nil {
 			// Degraded results: the benchmark front-end answers with
-			// whatever nodes responded; total failure is an error.
-			errs = append(errs, fmt.Errorf("cluster: node %s: %w", f.nodes[i], results[i].err))
+			// whatever shards responded; total failure is an error.
+			errs = append(errs, fmt.Errorf("cluster: shard %d (%s): %w",
+				s, strings.Join(f.groups[s], " "), results[s].err))
 			continue
 		}
 		merged.NodesAnswered++
-		merged.Hits = append(merged.Hits, results[i].resp.Hits...)
-		merged.Matches += results[i].resp.Matches
-		if results[i].resp.TookMicros > maxTook {
-			maxTook = results[i].resp.TookMicros
+		merged.Hits = append(merged.Hits, results[s].resp.Hits...)
+		merged.Matches += results[s].resp.Matches
+		if results[s].resp.TookMicros > maxTook {
+			maxTook = results[s].resp.TookMicros
 		}
 	}
 	if merged.NodesAnswered == 0 {
 		return SearchResponse{}, errors.Join(errs...)
 	}
-	merged.Degraded = merged.NodesAnswered < len(f.nodes)
+	merged.Degraded = merged.NodesAnswered < len(f.groups)
 	sort.SliceStable(merged.Hits, func(i, j int) bool {
 		if merged.Hits[i].Score != merged.Hits[j].Score {
 			return merged.Hits[i].Score > merged.Hits[j].Score
@@ -261,36 +405,47 @@ func (f *Frontend) SearchContext(ctx context.Context, req SearchRequest) (Search
 	return merged, nil
 }
 
-// dispatchNode runs the full per-node resilience ladder: breaker check,
-// hedged attempt, then budgeted retries with jittered backoff for
-// transient errors.
-func (f *Frontend) dispatchNode(ctx context.Context, i int, body []byte) (SearchResponse, error) {
-	h := f.health[i]
-	h.ObserveRequest()
-	f.budget.Deposit()
+// dispatchShard runs the full per-shard resilience ladder: replica
+// selection, hedged attempt against a second replica, then budgeted
+// retries (moved to a different replica when one is eligible) with
+// jittered backoff for transient errors.
+func (f *Frontend) dispatchShard(ctx context.Context, st *feState, shard int, body []byte) (SearchResponse, error) {
+	st.budget.Deposit()
 	var lastErr error
+	prev := -1
 	for attempt := 0; ; attempt++ {
-		if !h.Breaker().Allow() {
+		replica := f.pickReplica(st, shard, prev)
+		if replica < 0 {
 			if lastErr != nil {
 				return SearchResponse{}, lastErr
 			}
 			return SearchResponse{}, ErrCircuitOpen
 		}
-		resp, err := f.hedgedQuery(ctx, i, body)
+		h := st.health[shard][replica]
+		h.ObserveRequest()
+		resp, err := f.hedgedQuery(ctx, st, shard, replica, body)
 		if err == nil {
 			return resp, nil
 		}
-		h.ObserveFailure()
 		lastErr = err
-		if attempt >= f.policy.MaxRetries || !transientErr(err) || ctx.Err() != nil {
+		prev = replica
+		// Single-replica shards only re-send transient errors (a 500
+		// would just repeat). With replicas, any error short of the
+		// caller's context expiring is worth failing over to a different
+		// machine: the fault may be local to the one we picked.
+		retryable := transientErr(err)
+		if len(st.health[shard]) > 1 && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			retryable = true
+		}
+		if attempt >= st.policy.MaxRetries || !retryable || ctx.Err() != nil {
 			return SearchResponse{}, lastErr
 		}
-		if !f.budget.Withdraw() {
+		if !st.budget.Withdraw() {
 			return SearchResponse{}, fmt.Errorf("retry budget exhausted: %w", lastErr)
 		}
 		f.retries.Add(1)
 		h.ObserveRetry()
-		if delay := f.backoffDelay(attempt); delay > 0 {
+		if delay := f.backoffDelay(st, attempt); delay > 0 {
 			timer := time.NewTimer(delay)
 			select {
 			case <-ctx.Done():
@@ -302,54 +457,103 @@ func (f *Frontend) dispatchNode(ctx context.Context, i int, body []byte) (Search
 	}
 }
 
-// backoffDelay draws the jittered backoff for one retry attempt.
-func (f *Frontend) backoffDelay(attempt int) time.Duration {
-	f.rngMu.Lock()
-	defer f.rngMu.Unlock()
-	return f.policy.RetryBackoff.Delay(attempt, f.rng)
+// pickReplica chooses which replica of shard serves the next attempt,
+// skipping open breakers. exclude is the replica a hedge or retry wants
+// to avoid (-1 for none); it is only re-used when no alternative is
+// admissible. Returns -1 when every replica's breaker rejects.
+func (f *Frontend) pickReplica(st *feState, shard, exclude int) int {
+	group := st.health[shard]
+	if len(group) == 1 {
+		if group[0].Breaker().Allow() {
+			return 0
+		}
+		return -1
+	}
+	// A cooled-down open breaker gets its recovery probe first: healthy
+	// replicas would otherwise absorb all traffic and the dead one could
+	// never be observed healing. ProbeReady is a pure read, so only the
+	// breaker actually dispatched to consumes its probe slot via Allow.
+	for r, h := range group {
+		if r != exclude && h.Breaker().ProbeReady() && h.Breaker().Allow() {
+			return r
+		}
+	}
+	candidates := make([]int, 0, len(group))
+	for r, h := range group {
+		if r != exclude && h.Breaker().State() == resilience.Closed {
+			candidates = append(candidates, r)
+		}
+	}
+	if len(candidates) > 0 {
+		return st.selectors[shard].Pick(candidates)
+	}
+	// No closed breaker besides (possibly) the excluded replica: take
+	// anything Allow admits, the excluded replica as the last resort.
+	for r, h := range group {
+		if r != exclude && h.Breaker().Allow() {
+			return r
+		}
+	}
+	if exclude >= 0 && group[exclude].Breaker().Allow() {
+		return exclude
+	}
+	return -1
 }
 
-// hedgedQuery issues one sub-request to node i and, when hedging is
-// enabled and the node has not answered within the hedge delay, races a
-// duplicate against it, returning the first success. Success latency
-// feeds the node's p95 tracker (and hence the adaptive hedge delay).
-func (f *Frontend) hedgedQuery(ctx context.Context, i int, body []byte) (SearchResponse, error) {
-	h := f.health[i]
-	base := f.nodes[i]
-	if !f.policy.HedgeEnabled {
+// backoffDelay draws the jittered backoff for one retry attempt. The
+// shared rng is guarded by rngMu because shard goroutines retry in
+// parallel (rand.Rand is not safe for concurrent use).
+func (f *Frontend) backoffDelay(st *feState, attempt int) time.Duration {
+	f.rngMu.Lock()
+	defer f.rngMu.Unlock()
+	return st.policy.RetryBackoff.Delay(attempt, f.rng)
+}
+
+// hedgedQuery issues one sub-request to the chosen replica and, when
+// hedging is enabled and no answer arrived within the hedge delay, races
+// a duplicate against it — sent to a different replica of the group when
+// one is admissible, so a sick machine cannot straggle its own hedge.
+// The first success wins; its latency feeds the serving replica's p95
+// tracker (and hence the adaptive hedge delay).
+func (f *Frontend) hedgedQuery(ctx context.Context, st *feState, shard, primary int, body []byte) (SearchResponse, error) {
+	health := st.health[shard]
+	if !st.policy.HedgeEnabled {
 		start := time.Now()
-		resp, err := f.queryNode(ctx, base, body)
+		resp, err := f.queryReplica(ctx, st, shard, primary, body)
 		if err == nil {
-			h.ObserveSuccess(time.Since(start))
+			health[primary].ObserveSuccess(time.Since(start))
+			return resp, nil
 		}
-		return resp, err
+		health[primary].ObserveFailure()
+		return SearchResponse{}, err
 	}
-	delay := f.policy.HedgeAfter
+	delay := st.policy.HedgeAfter
 	if delay <= 0 {
-		delay = h.P95()
+		delay = health[primary].P95()
 		if delay <= 0 {
 			delay = defaultHedgeDelay
 		}
-		if delay < f.policy.HedgeMinDelay {
-			delay = f.policy.HedgeMinDelay
+		if delay < st.policy.HedgeMinDelay {
+			delay = st.policy.HedgeMinDelay
 		}
 	}
 	// The loser is canceled as soon as a winner returns, freeing the
-	// node (its handler honors request-context cancellation).
+	// replica (its handler honors request-context cancellation).
 	subCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type attemptResult struct {
-		resp SearchResponse
-		err  error
-		lat  time.Duration
+		replica int
+		resp    SearchResponse
+		err     error
+		lat     time.Duration
 	}
 	ch := make(chan attemptResult, 2)
-	launch := func() {
+	launch := func(replica int) {
 		start := time.Now()
-		resp, err := f.queryNode(subCtx, base, body)
-		ch <- attemptResult{resp, err, time.Since(start)}
+		resp, err := f.queryReplica(subCtx, st, shard, replica, body)
+		ch <- attemptResult{replica, resp, err, time.Since(start)}
 	}
-	go launch()
+	go launch(primary)
 	launched := 1
 	timer := time.NewTimer(delay)
 	defer timer.Stop()
@@ -359,22 +563,43 @@ func (f *Frontend) hedgedQuery(ctx context.Context, i int, body []byte) (SearchR
 		case r := <-ch:
 			received++
 			if r.err == nil {
-				h.ObserveSuccess(r.lat)
+				health[r.replica].ObserveSuccess(r.lat)
 				return r.resp, nil
 			}
+			health[r.replica].ObserveFailure()
 			lastErr = r.err
 		case <-timer.C:
 			if launched == 1 {
+				hedge := f.pickReplica(st, shard, primary)
+				if hedge < 0 {
+					hedge = primary // single replica or all breakers shut
+				}
 				launched++
 				f.hedges.Add(1)
-				h.ObserveHedge()
-				go launch()
+				health[hedge].ObserveHedge()
+				go launch(hedge)
 			}
 		case <-ctx.Done():
+			// The query deadline fired with attempts still in flight;
+			// charge the primary so a blackholed replica trips its
+			// breaker.
+			health[primary].ObserveFailure()
 			return SearchResponse{}, ctx.Err()
 		}
 	}
 	return SearchResponse{}, lastErr
+}
+
+// queryReplica sends one sub-request to a replica, bracketing it with
+// the shard selector's Start/Finish so load- and latency-aware policies
+// see the traffic they routed.
+func (f *Frontend) queryReplica(ctx context.Context, st *feState, shard, replica int, body []byte) (SearchResponse, error) {
+	sel := st.selectors[shard]
+	sel.Start(replica)
+	start := time.Now()
+	resp, err := f.queryNode(ctx, f.groups[shard][replica], body)
+	sel.Finish(replica, time.Since(start), err == nil)
+	return resp, err
 }
 
 // statusError is a non-200 node response, kept typed so the retry path
@@ -428,6 +653,109 @@ func (f *Frontend) queryNode(ctx context.Context, base string, body []byte) (Sea
 	return out, nil
 }
 
+// AddDoc routes one document mutation through the consistent-hash ring
+// to every replica of the key-owning shard. The write succeeds when at
+// least one replica acknowledges; Acked and Replicas in the response
+// report how complete the fan-out was.
+func (f *Frontend) AddDoc(ctx context.Context, req AddDocRequest) (MutateResponse, error) {
+	if req.Key == "" {
+		return MutateResponse{}, fmt.Errorf("cluster: empty document key")
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return MutateResponse{}, err
+	}
+	return f.fanoutWrite(ctx, "/docs", req.Key, body)
+}
+
+// DeleteDoc routes one document delete to every replica of the
+// key-owning shard, with the same fan-out semantics as AddDoc.
+func (f *Frontend) DeleteDoc(ctx context.Context, req DeleteDocRequest) (MutateResponse, error) {
+	if req.Key == "" {
+		return MutateResponse{}, fmt.Errorf("cluster: empty document key")
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return MutateResponse{}, err
+	}
+	return f.fanoutWrite(ctx, "/delete", req.Key, body)
+}
+
+// fanoutWrite sends one mutation to all replicas of the ring-owning
+// shard in parallel. Success requires one acknowledgment — availability
+// over strictness, matching the read path's any-replica-answers rule —
+// and a successful write invalidates the result cache by bumping its
+// generation.
+func (f *Frontend) fanoutWrite(ctx context.Context, path, key string, body []byte) (MutateResponse, error) {
+	st := f.state.Load()
+	if st.policy.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, st.policy.Deadline)
+		defer cancel()
+	}
+	shard := f.ring.Owner(key)
+	group := f.groups[shard]
+	type writeResult struct {
+		resp MutateResponse
+		err  error
+	}
+	results := make([]writeResult, len(group))
+	var wg sync.WaitGroup
+	for r := range group {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			results[r].resp, results[r].err = f.mutateReplica(ctx, group[r]+path, body)
+		}(r)
+	}
+	wg.Wait()
+
+	out := MutateResponse{Shard: shard, Replicas: len(group)}
+	var errs []error
+	for r := range results {
+		if results[r].err != nil {
+			errs = append(errs, fmt.Errorf("cluster: replica %s: %w", group[r], results[r].err))
+			continue
+		}
+		out.Acked++
+		out.Found = out.Found || results[r].resp.Found
+		if results[r].resp.Generation > out.Generation {
+			out.Generation = results[r].resp.Generation
+		}
+	}
+	if out.Acked == 0 {
+		return MutateResponse{}, errors.Join(errs...)
+	}
+	f.writes.Add(1)
+	if f.cache != nil {
+		f.cache.Invalidate()
+	}
+	return out, nil
+}
+
+// mutateReplica posts one mutation to a replica endpoint.
+func (f *Frontend) mutateReplica(ctx context.Context, url string, body []byte) (MutateResponse, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return MutateResponse{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := f.client.Do(hreq)
+	if err != nil {
+		return MutateResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return MutateResponse{}, &statusError{code: resp.StatusCode, msg: string(msg)}
+	}
+	var out MutateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return MutateResponse{}, err
+	}
+	return out, nil
+}
+
 // handleSearch is the HTTP entry point.
 func (f *Frontend) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var req SearchRequest
@@ -453,10 +781,53 @@ func (f *Frontend) handleSearch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// handleAddDoc is the HTTP entry point for ring-routed ingest.
+func (f *Frontend) handleAddDoc(w http.ResponseWriter, r *http.Request) {
+	var req AddDocRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if req.Key == "" {
+		http.Error(w, "bad request: empty key", http.StatusBadRequest)
+		return
+	}
+	resp, err := f.AddDoc(r.Context(), req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// handleDeleteDoc is the HTTP entry point for ring-routed deletes.
+func (f *Frontend) handleDeleteDoc(w http.ResponseWriter, r *http.Request) {
+	var req DeleteDocRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if req.Key == "" {
+		http.Error(w, "bad request: empty key", http.StatusBadRequest)
+		return
+	}
+	resp, err := f.DeleteDoc(r.Context(), req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	writeJSON(w, resp)
+}
+
 // handleMetrics reports the front-end's end-to-end search-latency
-// histogram (scatter, gather, merge and cache hits included).
+// histogram (scatter, gather, merge and cache hits included) plus
+// per-shard, per-replica balancer state.
 func (f *Frontend) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, MetricsResponse{Node: "frontend", Search: f.hist.Snapshot().JSON()})
+	writeJSON(w, MetricsResponse{
+		Node:    "frontend",
+		Search:  f.hist.Snapshot().JSON(),
+		Balance: f.BalanceStats(),
+	})
 }
 
 // Start listens on addr and serves in the background, returning the bound

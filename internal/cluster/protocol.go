@@ -51,12 +51,13 @@ type SearchResponse struct {
 	TookMicros int64 `json:"tookMicros"`
 	// Node identifies the responding node, for debugging.
 	Node string `json:"node,omitempty"`
-	// NodesAnswered is how many index-serving nodes contributed to a
-	// merged front-end response (0 on single-node responses).
+	// NodesAnswered is how many shards contributed to a merged front-end
+	// response (0 on single-node responses). A shard counts once no
+	// matter how many of its replicas were raced or retried.
 	NodesAnswered int `json:"nodesAnswered,omitempty"`
-	// Degraded marks a partial merge: at least one node failed or was
-	// skipped by its circuit breaker, so Hits may be incomplete.
-	// Degraded responses are never cached by the front-end.
+	// Degraded marks a partial merge: at least one shard failed on every
+	// replica or was skipped by its circuit breakers, so Hits may be
+	// incomplete. Degraded responses are never cached by the front-end.
 	Degraded bool `json:"degraded,omitempty"`
 }
 
@@ -88,17 +89,43 @@ type DeleteDocRequest struct {
 
 // MutateResponse acknowledges a live mutation. Generation is the index
 // generation after the mutation published; Found reports whether a
-// delete's key existed.
+// delete's key existed. When the mutation flows through the front-end's
+// consistent-hash fan-out, Shard names the ring-owning shard and
+// Acked/Replicas report how many of its replicas acknowledged (the
+// write succeeds with any Acked >= 1); a node answering directly leaves
+// them zero.
 type MutateResponse struct {
 	Generation uint64 `json:"generation"`
 	Found      bool   `json:"found,omitempty"`
+	Shard      int    `json:"shard,omitempty"`
+	Replicas   int    `json:"replicas,omitempty"`
+	Acked      int    `json:"acked,omitempty"`
+}
+
+// ReplicaBalanceStats is one replica's balancer view: selection counts,
+// load gauges, the latency estimate (peak-EWMA policies only), and the
+// circuit breaker's position.
+type ReplicaBalanceStats struct {
+	URL        string `json:"url"`
+	Picks      int64  `json:"picks"`
+	InFlight   int64  `json:"inFlight"`
+	EWMAMicros int64  `json:"ewmaMicros,omitempty"`
+	Breaker    string `json:"breaker"`
+}
+
+// ShardBalanceStats is one replica group's balancer state.
+type ShardBalanceStats struct {
+	Shard    int                   `json:"shard"`
+	Policy   string                `json:"policy"`
+	Replicas []ReplicaBalanceStats `json:"replicas"`
 }
 
 // MetricsResponse is the wire form of a server's /metrics endpoint: the
 // search-latency histogram summary plus, on live nodes, the live index's
-// shape.
+// shape and, on the front-end, per-shard replica-balancer state.
 type MetricsResponse struct {
-	Node   string               `json:"node,omitempty"`
-	Search metrics.JSONSnapshot `json:"search"`
-	Live   *live.Stats          `json:"live,omitempty"`
+	Node    string               `json:"node,omitempty"`
+	Search  metrics.JSONSnapshot `json:"search"`
+	Live    *live.Stats          `json:"live,omitempty"`
+	Balance []ShardBalanceStats  `json:"balance,omitempty"`
 }

@@ -126,6 +126,20 @@ func (b *Breaker) OnFailure() {
 	}
 }
 
+// ProbeReady reports whether the breaker is open with its cooldown
+// elapsed, i.e. the next Allow would admit a recovery probe. Unlike
+// Allow it is a pure read: replica selection uses it to steer one
+// request at an open-but-cooled breaker without consuming the probe
+// slot of breakers it merely inspects.
+func (b *Breaker) ProbeReady() bool {
+	if b == nil || b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == Open && b.now().Sub(b.openedAt) >= b.cooldown
+}
+
 // State returns the breaker's current position, advancing Open to
 // HalfOpen-eligible reporting only on Allow (State is a pure read).
 func (b *Breaker) State() BreakerState {

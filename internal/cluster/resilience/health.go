@@ -24,7 +24,7 @@ type NodeHealth struct {
 	filled  int
 	breaker *Breaker
 
-	requests int64 // first attempts dispatched
+	requests int64 // attempts dispatched to this node (hedges excluded)
 	failures int64 // attempts that errored (incl. hedges/retries)
 	hedges   int64 // hedge sub-requests issued
 	retries  int64 // retry attempts issued
@@ -59,7 +59,8 @@ func (h *NodeHealth) ObserveFailure() {
 	h.breaker.OnFailure()
 }
 
-// ObserveRequest counts one first attempt.
+// ObserveRequest counts one dispatched attempt (hedges are counted
+// separately through ObserveHedge).
 func (h *NodeHealth) ObserveRequest() {
 	h.mu.Lock()
 	h.requests++

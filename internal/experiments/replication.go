@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"websearchbench/internal/cluster"
+	"websearchbench/internal/cluster/resilience"
+	"websearchbench/internal/corpus"
+	"websearchbench/internal/metrics"
+	"websearchbench/internal/partition"
+	"websearchbench/internal/search"
+	"websearchbench/internal/workload"
+)
+
+// E21Row is one (replica count, selector, fault scenario) combination
+// measured on the replicated live cluster.
+type E21Row struct {
+	Scenario string
+	Replicas int
+	Balancer string
+	P50      time.Duration
+	P99      time.Duration
+	// Availability is the fraction of queries that returned any answer.
+	Availability float64
+	// DegradedFrac is the fraction of answered queries flagged as
+	// partial merges (a whole replica group failed).
+	DegradedFrac float64
+	// FaultedPickFrac is the share of replica picks that went to the
+	// faulted replicas (selector ablation rows only).
+	FaultedPickFrac float64
+	Retries         int64
+}
+
+// E21Result is the replicated-serving experiment.
+type E21Result struct {
+	Shards  int
+	Queries int
+	Rows    []E21Row
+}
+
+// E21 fault parameters: the "killed" replica answers nothing but 503s;
+// the "slow" replica pays a flat 25ms on every request against sub-ms
+// healthy service.
+const (
+	e21SlowLatency = 25 * time.Millisecond
+	e21Shards      = 2
+)
+
+// E21Replication measures what replica groups buy the serving tier. Part
+// one kills one replica of every shard and sweeps the replication factor:
+// with R=1 the shard is simply gone (every answer degraded), with R>=2
+// retries and breakers steer around the corpse and availability holds
+// with zero degraded answers. Part two fixes R=3, makes one replica of
+// each shard a straggler, and ablates the replica selector: load- and
+// latency-aware policies (p2c, peak-EWMA, least-loaded) route picks away
+// from the slow replica while round-robin keeps feeding it a third of
+// the traffic.
+func (c *Context) E21Replication() E21Result {
+	queries := c.Stream()
+	n := min(len(queries), 200)
+	res := E21Result{Shards: e21Shards, Queries: n}
+
+	policy := resilience.Policy{
+		Deadline:         2 * time.Second,
+		MaxRetries:       2,
+		RetryBackoff:     resilience.Backoff{Base: time.Millisecond, Max: 20 * time.Millisecond, Factor: 2},
+		RetryBudgetRatio: 0.2,
+		BreakerThreshold: 5,
+		BreakerCooldown:  250 * time.Millisecond,
+	}
+
+	// Part 1: replication factor vs a killed replica. Replica 0 of shard 0
+	// dies; at R=1 that is the whole shard (every answer degraded), at
+	// R>=2 the survivors absorb its traffic.
+	for _, replicas := range []int{1, 2, 3} {
+		fe, injectors, teardown := c.buildReplicatedCluster(e21Shards, replicas)
+		injectors[0][0].Update(resilience.FaultConfig{ErrorProb: 1, Seed: 2100})
+		balancer := "rr"
+		if replicas > 1 {
+			balancer = "p2c"
+		}
+		row := c.runReplicatedLoad(fe, policy, balancer, queries[:n])
+		teardown()
+		row.Scenario = "replica 0 killed"
+		row.Replicas = replicas
+		res.Rows = append(res.Rows, row)
+		id := fmt.Sprintf("killed-R%d", replicas)
+		c.record("E21", id, "availability_pct", row.Availability*100)
+		c.record("E21", id, "degraded_pct", row.DegradedFrac*100)
+		c.record("E21", id, "p99_ns", float64(row.P99))
+	}
+
+	// Part 2: selector ablation with one slow replica per shard at R=3.
+	for _, balancer := range []string{"rr", "p2c", "peak-ewma", "least-loaded"} {
+		fe, injectors, teardown := c.buildReplicatedCluster(e21Shards, 3)
+		for s := range injectors {
+			injectors[s][0].Update(resilience.FaultConfig{
+				Latency: e21SlowLatency, LatencyProb: 1, Seed: int64(2150 + s),
+			})
+		}
+		row := c.runReplicatedLoad(fe, policy, balancer, queries[:n])
+		teardown()
+		row.Scenario = "replica 0 slow " + e21SlowLatency.String()
+		row.Replicas = 3
+		res.Rows = append(res.Rows, row)
+		id := "slow-" + balancer
+		c.record("E21", id, "p50_ns", float64(row.P50))
+		c.record("E21", id, "p99_ns", float64(row.P99))
+		c.record("E21", id, "faulted_pick_pct", row.FaultedPickFrac*100)
+	}
+
+	c.section("E21", "replicated serving: replica count and selector ablation under faults")
+	fmt.Fprintf(c.Out, "%d shards over loopback HTTP, %d queries/row, one faulted replica per shard\n",
+		e21Shards, n)
+	w := c.table()
+	fmt.Fprintf(w, "scenario\tR\tbalance\tp50\tp99\tavailability\tdegraded\tfaulted picks\tretries\n")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%s\t%d\t%s\t%s\t%s\t%.1f%%\t%.1f%%\t%.1f%%\t%d\n",
+			r.Scenario, r.Replicas, r.Balancer, ms(r.P50), ms(r.P99),
+			r.Availability*100, r.DegradedFrac*100, r.FaultedPickFrac*100, r.Retries)
+	}
+	w.Flush()
+	return res
+}
+
+// buildReplicatedCluster starts a live loopback cluster of shards×replicas
+// nodes behind a replicated front-end, with a FaultInjector in front of
+// every replica. Replicas of a shard serve the identical index slice, so
+// the per-shard index is built once and shared.
+func (c *Context) buildReplicatedCluster(shards, replicas int) (*cluster.Frontend, [][]*resilience.FaultInjector, func()) {
+	gen, err := corpus.NewGenerator(c.CorpusCfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: corpus generator failed: %v", err))
+	}
+	builders := make([]*partition.Builder, shards)
+	for i := range builders {
+		b, err := partition.NewBuilder(2, partition.RoundRobin, 0)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: partition builder failed: %v", err))
+		}
+		builders[i] = b
+	}
+	i := 0
+	gen.GenerateFunc(func(d corpus.Document) {
+		builders[i%shards].AddCorpusDoc(d)
+		i++
+	})
+
+	groups := make([][]string, shards)
+	injectors := make([][]*resilience.FaultInjector, shards)
+	var servers []*cluster.Node
+	teardown := func() {
+		for _, n := range servers {
+			n.Close()
+		}
+	}
+	for s, b := range builders {
+		idx := b.Finalize()
+		groups[s] = make([]string, replicas)
+		injectors[s] = make([]*resilience.FaultInjector, replicas)
+		for r := 0; r < replicas; r++ {
+			node := cluster.NewNode(fmt.Sprintf("node-%d-r%d", s, r), idx,
+				search.Options{TopK: 10}, false)
+			inj := resilience.NewFaultInjector(node.Handler(),
+				resilience.FaultConfig{Seed: int64(2100 + s*8 + r)})
+			addr, err := node.StartWith("127.0.0.1:0", func(http.Handler) http.Handler { return inj })
+			if err != nil {
+				teardown()
+				panic(fmt.Sprintf("experiments: replicated node start failed: %v", err))
+			}
+			servers = append(servers, node)
+			injectors[s][r] = inj
+			groups[s][r] = "http://" + addr
+		}
+	}
+	fe, err := cluster.NewReplicatedFrontend(groups, 10)
+	if err != nil {
+		teardown()
+		panic(fmt.Sprintf("experiments: replicated frontend failed: %v", err))
+	}
+	return fe, injectors, teardown
+}
+
+// runReplicatedLoad replays queries through the replicated front-end
+// under one policy/balancer pair and summarizes latency, availability,
+// and how much traffic the selector sent to replica 0 (the faulted one)
+// of each shard. Installing the balancer and policy resets selector and
+// health state, so rows don't contaminate each other.
+func (c *Context) runReplicatedLoad(fe *cluster.Frontend, p resilience.Policy, balancer string, queries []workload.Query) E21Row {
+	if err := fe.SetBalancer(balancer); err != nil {
+		panic(fmt.Sprintf("experiments: balancer %q: %v", balancer, err))
+	}
+	fe.SetPolicy(p)
+	// Drive with concurrent closed-loop workers: load-aware selectors
+	// (p2c, least-loaded) only differentiate themselves when requests can
+	// pile up on a slow replica, which single-stream load never shows.
+	const workers = 8
+	var lat metrics.ConcurrentHistogram
+	var answered, degraded atomic.Int64
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				q := queries[i]
+				start := time.Now()
+				resp, err := fe.Search(cluster.SearchRequest{Query: q.Text, Mode: q.Mode.String()})
+				if err != nil {
+					continue
+				}
+				lat.Record(time.Since(start))
+				answered.Add(1)
+				if resp.Degraded {
+					degraded.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snap := lat.Snapshot()
+	row := E21Row{
+		Balancer:     balancer,
+		P50:          snap.P50,
+		P99:          snap.P99,
+		Availability: float64(answered.Load()) / float64(max(1, len(queries))),
+	}
+	if answered.Load() > 0 {
+		row.DegradedFrac = float64(degraded.Load()) / float64(answered.Load())
+	}
+	var faulted, total int64
+	for _, shard := range fe.BalanceStats() {
+		for r, rep := range shard.Replicas {
+			total += rep.Picks
+			if r == 0 {
+				faulted += rep.Picks
+			}
+		}
+	}
+	if total > 0 {
+		row.FaultedPickFrac = float64(faulted) / float64(total)
+	}
+	row.Retries = fe.ResilienceStats().Retries
+	return row
+}

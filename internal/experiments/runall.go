@@ -30,6 +30,7 @@ func (c *Context) RunAll() []string {
 		{"E18", func() { c.E18Hedging() }},
 		{"E19", func() { c.E19LiveFaults() }},
 		{"E20", func() { c.E20LiveIngest() }},
+		{"E21", func() { c.E21Replication() }},
 		{"ABL-1", func() { c.AblationMaxScore() }},
 		{"ABL-2", func() { c.AblationCompression() }},
 		{"ABL-3", func() { c.AblationAssignment() }},

@@ -2,6 +2,7 @@ package qcache
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -73,4 +74,52 @@ func TestGenerationalDeadEntriesEvict(t *testing.T) {
 			t.Fatalf("live entry q%d evicted while dead entries remain", i)
 		}
 	}
+}
+
+// TestGenerationalConcurrentInvalidation is the staleness-under-race
+// check: 8 goroutines cache and read generation-stamped values while the
+// generation keeps advancing, and a value cached at generation N must
+// never be served once the cache is at generation N+1. Each value
+// records the generation it was computed at, so any cross-generation
+// leak is observable in the payload itself.
+func TestGenerationalConcurrentInvalidation(t *testing.T) {
+	g := NewGenerational[uint64](256)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Writer: keep bumping the generation, as frontend writes would.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			g.Invalidate()
+		}
+		close(stop)
+	}()
+
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := fmt.Sprintf("q-%d", w)
+			for i := 0; ; i++ {
+				// Compute "at" the current generation and cache under that
+				// exact stamp, like a query result computed against one
+				// index snapshot.
+				gen := g.Generation()
+				g.PutAt(gen, key, gen)
+				now := g.Generation()
+				if v, ok := g.GetAt(now, key); ok && v != now {
+					t.Errorf("generation %d served a value computed at generation %d", now, v)
+					return
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 }
