@@ -174,6 +174,12 @@ func BenchmarkE21Replication(b *testing.B) {
 	benchExperiment(b, func(c *experiments.Context) { c.E21Replication() })
 }
 
+// BenchmarkE22Durability regenerates the durability experiment (ingest
+// throughput per fsync policy and recovery time vs WAL size).
+func BenchmarkE22Durability(b *testing.B) {
+	benchExperiment(b, func(c *experiments.Context) { c.E22Durability() })
+}
+
 // BenchmarkAblationMaxScore regenerates the MaxScore pruning ablation.
 func BenchmarkAblationMaxScore(b *testing.B) {
 	benchExperiment(b, func(c *experiments.Context) { c.AblationMaxScore() })

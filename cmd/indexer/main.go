@@ -16,10 +16,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
 	"websearchbench/internal/corpus"
+	"websearchbench/internal/durable"
 	"websearchbench/internal/index"
 	"websearchbench/internal/live"
 	"websearchbench/internal/workload"
@@ -75,9 +77,13 @@ func main() {
 		}
 		li := live.NewIndex(live.Config{RefreshEvery: 1 << 30})
 		gen.GenerateFunc(func(d corpus.Document) {
-			li.Add(d.URL, d.Title, d.Body, d.Quality)
+			if err := li.Add(d.URL, d.Title, d.Body, d.Quality); err != nil {
+				log.Fatal(err)
+			}
 		})
-		li.Compact()
+		if err := li.Compact(); err != nil {
+			log.Fatal(err)
+		}
 		seg = li.Segment()
 		li.Close()
 		if seg == nil {
@@ -90,14 +96,14 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	f, err := os.Create(*out)
-	if err != nil {
-		log.Fatal(err)
-	}
-	n, err := seg.WriteTo(f)
-	if err == nil {
-		err = f.Close()
-	}
+	// Write-temp-fsync-rename so a crashed or interrupted indexer never
+	// leaves a half-written file under the output name.
+	var n int64
+	err := durable.WriteFileAtomic(durable.NewOSFS(), *out, func(w io.Writer) error {
+		var werr error
+		n, werr = seg.WriteTo(w)
+		return werr
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

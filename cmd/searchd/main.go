@@ -44,6 +44,7 @@ import (
 	"websearchbench/internal/cluster"
 	"websearchbench/internal/cluster/resilience"
 	"websearchbench/internal/corpus"
+	"websearchbench/internal/durable"
 	"websearchbench/internal/live"
 	"websearchbench/internal/partition"
 	"websearchbench/internal/search"
@@ -73,6 +74,13 @@ func main() {
 		liveMemDocs = flag.Int("live-memtable", 1024, "with -live: memtable flush threshold in docs")
 		liveSegs    = flag.Int("live-max-segments", 8, "with -live: segment-count budget before merging")
 		liveRefresh = flag.Int("live-refresh", 1, "with -live: publish a snapshot every N mutations")
+
+		// Durability: with -data-dir the live index journals every
+		// mutation to a write-ahead log, persists flushed segments with
+		// checksums, and recovers its state across restarts and crashes.
+		dataDir       = flag.String("data-dir", "", "with -live: durable storage directory (empty = in-memory only)")
+		fsyncPolicy   = flag.String("fsync", "always", "with -data-dir: WAL fsync policy: always, interval or none")
+		fsyncInterval = flag.Duration("fsync-interval", 100*time.Millisecond, "with -fsync interval: background sync period")
 
 		// Fault injection, for resilience experiments against a live
 		// node: searchd can make itself a straggler, an error source,
@@ -107,20 +115,50 @@ func main() {
 
 	var node *cluster.Node
 	var serving string
+	var store *durable.Store
 	if *liveMode {
-		li := live.NewIndex(live.Config{
+		lcfg := live.Config{
 			MemtableMaxDocs: *liveMemDocs,
 			MaxSegments:     *liveSegs,
-			RefreshEvery:    1 << 30, // bulk seeding: publish once below
-		})
-		defer li.Close()
-		i := 0
-		gen.GenerateFunc(func(d corpus.Document) {
-			if i%*shards == *shard {
-				li.Add(d.URL, d.Title, d.Body, d.Quality)
+			RefreshEvery:    *liveRefresh,
+		}
+		var li *live.Index
+		if *dataDir != "" {
+			policy, err := durable.ParseFsyncPolicy(*fsyncPolicy)
+			if err != nil {
+				log.Fatal(err)
 			}
-			i++
-		})
+			li, store, err = durable.OpenIndex(*dataDir, lcfg, durable.Options{
+				Fsync:         policy,
+				FsyncInterval: *fsyncInterval,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			rs := store.RecoveryStats()
+			fmt.Printf("%s recovered %s: generation %d, %d segments (%d quarantined), %d WAL records replayed (%d bytes, %d truncated) in %v\n",
+				*name, *dataDir, rs.ManifestGeneration, rs.SegmentsLoaded, rs.SegmentsQuarantined,
+				rs.ReplayedRecords, rs.ReplayedBytes, rs.TruncatedBytes, rs.RecoveryTime.Round(time.Millisecond))
+		} else {
+			lcfg.RefreshEvery = 1 << 30 // bulk seeding: publish once below
+			li = live.NewIndex(lcfg)
+		}
+		defer li.Close()
+		// Seed the corpus only into an empty index: a recovered durable
+		// index already holds its documents (re-seeding would double-log
+		// every document into the fresh WAL on every restart).
+		if li.Stats().LiveDocs == 0 {
+			li.SetRefreshEvery(1 << 30) // bulk seeding: publish once below
+			i := 0
+			gen.GenerateFunc(func(d corpus.Document) {
+				if i%*shards == *shard {
+					if err := li.Add(d.URL, d.Title, d.Body, d.Quality); err != nil {
+						log.Fatal(err)
+					}
+				}
+				i++
+			})
+		}
 		li.SetRefreshEvery(*liveRefresh)
 		li.Refresh()
 		if *liveIngest > 0 {
@@ -129,6 +167,9 @@ func main() {
 		node = cluster.NewLiveNode(*name, li, *topK)
 		serving = fmt.Sprintf("%d live docs (memtable %d, max %d segments)",
 			li.Stats().LiveDocs, *liveMemDocs, *liveSegs)
+		if store != nil {
+			serving += fmt.Sprintf(", durable in %s (fsync %s)", *dataDir, *fsyncPolicy)
+		}
 	} else {
 		b, err := partition.NewBuilder(*parts, partition.RoundRobin, 0)
 		if err != nil {
@@ -177,6 +218,19 @@ func main() {
 	<-sig
 	if err := node.Close(); err != nil {
 		log.Fatal(err)
+	}
+	if store != nil {
+		// Graceful shutdown: flush the memtable (persisting it and
+		// rotating the WAL down to empty) so the next startup replays
+		// nothing. A crash skips this — that is what the WAL is for.
+		if li := node.Live(); li != nil {
+			if err := li.Flush(); err != nil {
+				log.Printf("final flush: %v", err)
+			}
+		}
+		if err := store.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

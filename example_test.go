@@ -92,7 +92,7 @@ func ExampleEngine_Add() {
 	results := engine.Search("eclipse")
 	fmt.Println("found after add:", len(results) == 1 && results[0].URL == "doc:breaking")
 
-	engine.Delete("doc:breaking")
+	_, _ = engine.Delete("doc:breaking")
 	fmt.Println("found after delete:", len(engine.Search("eclipse")) > 0)
 	// Output:
 	// found after add: true

@@ -159,6 +159,9 @@ func (n *Node) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// Live returns the node's live index (nil for static nodes).
+func (n *Node) Live() *live.Index { return n.live }
+
 // handleAddDoc ingests one document into a live node.
 func (n *Node) handleAddDoc(w http.ResponseWriter, r *http.Request) {
 	var req AddDocRequest
@@ -170,7 +173,10 @@ func (n *Node) handleAddDoc(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad request: empty key", http.StatusBadRequest)
 		return
 	}
-	n.live.Add(req.Key, req.Title, req.Body, req.Quality)
+	if err := n.live.Add(req.Key, req.Title, req.Body, req.Quality); err != nil {
+		http.Error(w, fmt.Sprintf("ingest failed: %v", err), http.StatusInternalServerError)
+		return
+	}
 	writeJSON(w, MutateResponse{Generation: n.live.Stats().Generation, Found: true})
 }
 
@@ -181,7 +187,11 @@ func (n *Node) handleDeleteDoc(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
 		return
 	}
-	found := n.live.Delete(req.Key)
+	found, err := n.live.Delete(req.Key)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("delete failed: %v", err), http.StatusInternalServerError)
+		return
+	}
 	writeJSON(w, MutateResponse{Generation: n.live.Stats().Generation, Found: found})
 }
 

@@ -1,0 +1,110 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Every index artifact on disk — segment, tombstone bitmap, manifest —
+// is wrapped in a checksummed envelope so recovery can tell a good file
+// from a truncated or bit-rotted one before handing its payload to a
+// parser:
+//
+//	[8]  magic "WSBENV01"
+//	[1]  kind (segment / tombstones / manifest)
+//	[8]  payload length, little-endian
+//	[n]  payload
+//	[4]  CRC32C(payload), little-endian
+//
+// The trailer checksum doubles as a completeness check: a torn write
+// that loses the tail loses the CRC, and a torn payload fails it.
+
+// Envelope kinds.
+const (
+	KindSegment    byte = 1
+	KindTombstones byte = 2
+	KindManifest   byte = 3
+)
+
+var envelopeMagic = [8]byte{'W', 'S', 'B', 'E', 'N', 'V', '0', '1'}
+
+const envelopeHeaderLen = 8 + 1 + 8
+
+// ErrCorrupt reports an envelope that failed verification; errors from
+// ReadEnvelope wrap it so callers can distinguish corruption (quarantine
+// and continue) from I/O failures.
+var ErrCorrupt = errors.New("durable: corrupt envelope")
+
+// crcTable is the Castagnoli polynomial table (CRC32C, the checksum
+// with hardware support on both amd64 and arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC32C of data.
+func Checksum(data []byte) uint32 { return crc32.Checksum(data, crcTable) }
+
+// WriteEnvelope frames payload with the header and CRC32C trailer.
+func WriteEnvelope(w io.Writer, kind byte, payload []byte) error {
+	var hdr [envelopeHeaderLen]byte
+	copy(hdr[:8], envelopeMagic[:])
+	hdr[8] = kind
+	binary.LittleEndian.PutUint64(hdr[9:], uint64(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var tr [4]byte
+	binary.LittleEndian.PutUint32(tr[:], Checksum(payload))
+	_, err := w.Write(tr[:])
+	return err
+}
+
+// ReadEnvelope verifies data as an envelope of the given kind and
+// returns its payload (aliasing data). Any structural or checksum
+// failure wraps ErrCorrupt.
+func ReadEnvelope(data []byte, kind byte) ([]byte, error) {
+	if len(data) < envelopeHeaderLen+4 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the framing", ErrCorrupt, len(data))
+	}
+	if [8]byte(data[:8]) != envelopeMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:8])
+	}
+	if data[8] != kind {
+		return nil, fmt.Errorf("%w: kind %d, want %d", ErrCorrupt, data[8], kind)
+	}
+	n := binary.LittleEndian.Uint64(data[9:])
+	if n != uint64(len(data)-envelopeHeaderLen-4) {
+		return nil, fmt.Errorf("%w: payload length %d in a %d-byte file", ErrCorrupt, n, len(data))
+	}
+	payload := data[envelopeHeaderLen : envelopeHeaderLen+int(n)]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := Checksum(payload); got != want {
+		return nil, fmt.Errorf("%w: checksum %08x, want %08x", ErrCorrupt, got, want)
+	}
+	return payload, nil
+}
+
+// WriteEnvelopeFileAtomic writes an enveloped artifact with the atomic
+// temp-fsync-rename dance.
+func WriteEnvelopeFileAtomic(fs FS, path string, kind byte, payload []byte) error {
+	return WriteFileAtomic(fs, path, func(w io.Writer) error {
+		return WriteEnvelope(w, kind, payload)
+	})
+}
+
+// ReadEnvelopeFile loads and verifies an enveloped artifact.
+func ReadEnvelopeFile(fs FS, path string, kind byte) ([]byte, error) {
+	data, err := fs.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := ReadEnvelope(data, kind)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return payload, nil
+}

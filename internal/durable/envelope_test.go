@@ -1,0 +1,108 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("payload"), 100)}
+	for _, kind := range []byte{KindSegment, KindTombstones, KindManifest} {
+		for _, p := range payloads {
+			var buf bytes.Buffer
+			if err := WriteEnvelope(&buf, kind, p); err != nil {
+				t.Fatalf("WriteEnvelope: %v", err)
+			}
+			got, err := ReadEnvelope(buf.Bytes(), kind)
+			if err != nil {
+				t.Fatalf("ReadEnvelope kind %d len %d: %v", kind, len(p), err)
+			}
+			if !bytes.Equal(got, p) {
+				t.Errorf("kind %d: payload mismatch", kind)
+			}
+		}
+	}
+}
+
+func TestEnvelopeWrongKind(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEnvelope(&buf, KindSegment, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadEnvelope(buf.Bytes(), KindManifest); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("wrong kind: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestEnvelopeEveryBitFlip flips each bit of an envelope in turn: every
+// single-bit error anywhere — magic, kind, length, payload, trailer —
+// must be detected as corruption.
+func TestEnvelopeEveryBitFlip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEnvelope(&buf, KindSegment, []byte("the payload under test")); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for off := 0; off < len(data); off++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), data...)
+			mut[off] ^= 1 << bit
+			if _, err := ReadEnvelope(mut, KindSegment); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d went undetected", off, bit)
+			} else if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("bit flip at byte %d bit %d: err %v does not wrap ErrCorrupt", off, bit, err)
+			}
+		}
+	}
+}
+
+func TestEnvelopeTruncations(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEnvelope(&buf, KindTombstones, bytes.Repeat([]byte{42}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := ReadEnvelope(data[:cut], KindTombstones); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d bytes: err = %v, want ErrCorrupt", cut, err)
+		}
+	}
+	// Appended junk is also not a valid envelope.
+	if _, err := ReadEnvelope(append(append([]byte(nil), data...), 0), KindTombstones); !errors.Is(err, ErrCorrupt) {
+		t.Error("trailing junk went undetected")
+	}
+}
+
+func TestEnvelopeFileAtomicRoundTrip(t *testing.T) {
+	fs := NewOSFS()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.seg")
+	payload := []byte("artifact body")
+	if err := WriteEnvelopeFileAtomic(fs, path, KindSegment, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEnvelopeFile(fs, path, KindSegment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("payload mismatch after atomic write")
+	}
+	// Overwrite in place — the atomic path must replace, not append.
+	if err := WriteEnvelopeFileAtomic(fs, path, KindSegment, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadEnvelopeFile(fs, path, KindSegment)
+	if err != nil || string(got) != "v2" {
+		t.Errorf("after overwrite: %q, %v", got, err)
+	}
+	// FlipBit then read: detection end to end.
+	if err := FlipBit(fs, path, 12, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadEnvelopeFile(fs, path, KindSegment); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("flipped file read: err = %v, want ErrCorrupt", err)
+	}
+}

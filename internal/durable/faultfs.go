@@ -1,0 +1,237 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ErrInjectedCrash is returned by every mutating operation of a FaultFS
+// after its scripted crash point fires: from the store's perspective the
+// machine died mid-write, and only the bytes that reached the inner FS
+// before the crash exist.
+var ErrInjectedCrash = errors.New("durable: injected crash")
+
+// FaultFS wraps an FS with a deterministic fault script for
+// crash-recovery tests:
+//
+//   - CrashAfterWrites(n, keep) tears the n-th subsequent File.Write
+//     after keep bytes and fails every later mutation — simulating a
+//     power cut at an exact byte offset.
+//   - FailRenames(n) makes the next n Rename calls fail without
+//     renaming (a full filesystem or permission flake mid-swap).
+//
+// Reads keep working after a crash so a test can inspect the post-crash
+// disk image, but the canonical pattern is to reopen the directory
+// through a fresh OSFS — exactly what a process restart does.
+type FaultFS struct {
+	inner FS
+
+	mu            sync.Mutex
+	crashed       bool
+	writesToCrash int // counts down; 0 = disabled
+	tearKeep      int
+	renamesToFail int
+	writes        int64
+}
+
+// NewFaultFS wraps inner with an initially fault-free script.
+func NewFaultFS(inner FS) *FaultFS { return &FaultFS{inner: inner} }
+
+// CrashAfterWrites arms the crash: the n-th File.Write call from now on
+// (1-based) persists only its first keep bytes, then the FS enters the
+// crashed state. n <= 0 disarms.
+func (f *FaultFS) CrashAfterWrites(n, keep int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writesToCrash = n
+	f.tearKeep = keep
+}
+
+// FailRenames makes the next n Rename calls fail.
+func (f *FaultFS) FailRenames(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.renamesToFail = n
+}
+
+// Crashed reports whether the scripted crash has fired.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Writes returns the total File.Write calls observed, so a sweep can
+// first measure a clean run and then crash at every write index.
+func (f *FaultFS) Writes() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes
+}
+
+// checkMutate gates a non-write mutation on the crash state.
+func (f *FaultFS) checkMutate() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrInjectedCrash
+	}
+	return nil
+}
+
+func (f *FaultFS) Create(name string) (File, error) {
+	if err := f.checkMutate(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *FaultFS) OpenAppend(name string) (File, error) {
+	if err := f.checkMutate(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) { return f.inner.ReadFile(name) }
+
+func (f *FaultFS) Rename(oldname, newname string) error {
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
+		return ErrInjectedCrash
+	}
+	if f.renamesToFail > 0 {
+		f.renamesToFail--
+		f.mu.Unlock()
+		return fmt.Errorf("durable: injected rename failure %s -> %s", oldname, newname)
+	}
+	f.mu.Unlock()
+	return f.inner.Rename(oldname, newname)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if err := f.checkMutate(); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if err := f.checkMutate(); err != nil {
+		return err
+	}
+	return f.inner.Truncate(name, size)
+}
+
+func (f *FaultFS) MkdirAll(dir string) error {
+	if err := f.checkMutate(); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.inner.ReadDir(dir) }
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if err := f.checkMutate(); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile intercepts writes to apply the crash script.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	f := ff.fs
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
+		return 0, ErrInjectedCrash
+	}
+	f.writes++
+	tear := false
+	keep := 0
+	if f.writesToCrash > 0 {
+		f.writesToCrash--
+		if f.writesToCrash == 0 {
+			tear = true
+			keep = f.tearKeep
+			f.crashed = true
+		}
+	}
+	f.mu.Unlock()
+	if tear {
+		if keep > len(p) {
+			keep = len(p)
+		}
+		if keep > 0 {
+			// The torn prefix reaches the disk; the rest never happened.
+			if _, err := ff.inner.Write(p[:keep]); err != nil {
+				return 0, err
+			}
+		}
+		return keep, ErrInjectedCrash
+	}
+	return ff.inner.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if ff.fs.Crashed() {
+		return ErrInjectedCrash
+	}
+	return ff.inner.Sync()
+}
+
+// Close always closes the underlying file so crashed tests do not leak
+// descriptors; the crash state is reported through writes and syncs.
+func (ff *faultFile) Close() error { return ff.inner.Close() }
+
+// FlipBit corrupts one bit of a file in place — the test hook for
+// simulating silent media corruption that the checksummed envelopes
+// must catch. offset indexes bytes; bit indexes within the byte (0-7).
+func FlipBit(fs FS, name string, offset int64, bit uint) error {
+	data, err := fs.ReadFile(name)
+	if err != nil {
+		return err
+	}
+	if offset < 0 || offset >= int64(len(data)) {
+		return fmt.Errorf("durable: flip offset %d outside file of %d bytes", offset, len(data))
+	}
+	data[offset] ^= 1 << (bit & 7)
+	f, err := fs.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(f, &byteReader{b: data}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// byteReader avoids importing bytes for one Reader.
+type byteReader struct{ b []byte }
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}

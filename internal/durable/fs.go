@@ -1,0 +1,135 @@
+// Package durable is the crash-safe storage layer under the live
+// (near-real-time) index: a write-ahead log with CRC32C record framing
+// and configurable fsync policy, checksummed envelopes around segment
+// and tombstone files, a generation-stamped manifest swapped atomically
+// via write-temp-fsync-rename, and the recovery path that stitches them
+// back into a serving index after a crash — quarantining corrupt
+// segments instead of refusing to start.
+//
+// All file access goes through the FS interface so tests can inject
+// deterministic faults (torn writes, failed renames, crash-at-write-N)
+// with FaultFS and then "restart the process" by reopening the same
+// directory through the plain OS implementation.
+package durable
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the subset of *os.File the durability layer writes through.
+type File interface {
+	io.Writer
+	io.Closer
+	Sync() error
+}
+
+// FS abstracts the filesystem operations the store performs, so fault
+// injection can sit between the store and the disk. Paths are plain
+// OS paths; implementations must be safe for concurrent use.
+type FS interface {
+	// Create opens name for writing, truncating any previous content.
+	Create(name string) (File, error)
+	// OpenAppend opens an existing file for appending (the WAL reopen
+	// path after recovery truncated its torn tail).
+	OpenAppend(name string) (File, error)
+	// ReadFile returns the full content of name.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Truncate cuts name to size bytes.
+	Truncate(name string, size int64) error
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// ReadDir lists the names (not paths) of dir's entries, sorted.
+	ReadDir(dir string) ([]string, error)
+	// SyncDir fsyncs the directory itself, making renames and file
+	// creations within it durable.
+	SyncDir(dir string) error
+}
+
+// OSFS is the production FS backed by the os package.
+type OSFS struct{}
+
+// NewOSFS returns the real-filesystem implementation.
+func NewOSFS() OSFS { return OSFS{} }
+
+func (OSFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (OSFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WriteFileAtomic writes a file with full crash atomicity: the content
+// goes to a temporary sibling, is fsynced, then renamed over path, and
+// the directory is fsynced so the rename itself survives a power cut. A
+// crash at any point leaves either the complete old file or the
+// complete new file — never a truncated hybrid.
+func WriteFileAtomic(fs FS, path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp := path + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fs.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fs.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		fs.Remove(tmp)
+		return err
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
+		return err
+	}
+	return fs.SyncDir(dir)
+}

@@ -1,0 +1,77 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+)
+
+// The manifest is the root of the durable index: a generation-stamped
+// JSON document (inside a checksummed envelope, swapped atomically via
+// write-temp-fsync-rename) naming the live segment files, their
+// tombstone bitmaps, and the active write-ahead log. Startup recovery
+// is therefore: read MANIFEST → verify and load each segment →
+// replay the named WAL. Files in the directory that the manifest does
+// not reference are leftovers of an interrupted commit and are swept.
+
+// manifestName is the manifest's filename within the data directory.
+const manifestName = "MANIFEST"
+
+// quarantineDir collects segment files that failed verification.
+const quarantineDir = "quarantine"
+
+// manifestFormat is bumped on incompatible schema changes.
+const manifestFormat = 1
+
+// Manifest is the on-disk schema.
+type Manifest struct {
+	Format     int           `json:"format"`
+	Generation uint64        `json:"generation"`
+	NextSegID  uint64        `json:"next_seg_id"`
+	WAL        string        `json:"wal"`
+	Segments   []ManifestSeg `json:"segments"`
+}
+
+// ManifestSeg describes one live segment.
+type ManifestSeg struct {
+	ID   uint64 `json:"id"`
+	File string `json:"file"`
+	// Tomb names the segment's tombstone bitmap file; empty when the
+	// segment has no deleted documents.
+	Tomb string `json:"tombstones,omitempty"`
+	Docs int    `json:"docs"`
+}
+
+// segFileName and friends fix the directory layout.
+func segFileName(id uint64) string  { return fmt.Sprintf("seg-%06d.seg", id) }
+func tombFileName(id uint64) string { return fmt.Sprintf("seg-%06d.tomb", id) }
+func walFileName(seq uint64) string { return fmt.Sprintf("wal-%06d.log", seq) }
+
+// writeManifest atomically replaces the manifest.
+func writeManifest(fs FS, dir string, m *Manifest) error {
+	payload, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return WriteEnvelopeFileAtomic(fs, filepath.Join(dir, manifestName), KindManifest, payload)
+}
+
+// readManifest loads and verifies the manifest. The caller distinguishes
+// a missing manifest (fresh directory) via errors reported by the FS.
+func readManifest(fs FS, dir string) (*Manifest, error) {
+	payload, err := ReadEnvelopeFile(fs, filepath.Join(dir, manifestName), KindManifest)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return nil, fmt.Errorf("durable: manifest JSON: %w", err)
+	}
+	if m.Format != manifestFormat {
+		return nil, fmt.Errorf("durable: manifest format %d, want %d", m.Format, manifestFormat)
+	}
+	if m.WAL == "" || m.NextSegID == 0 {
+		return nil, fmt.Errorf("durable: manifest missing wal or next_seg_id")
+	}
+	return &m, nil
+}

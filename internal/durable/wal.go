@@ -1,0 +1,294 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Write-ahead log. Every Add/Delete mutation is framed and appended
+// before it is acknowledged; replaying the log over the last durable
+// manifest reconstructs the memtable a crash destroyed. Framing:
+//
+//	[4] payload length, little-endian
+//	[4] CRC32C(payload), little-endian
+//	[n] payload
+//
+// payload: [1] op, then uvarint-length-prefixed key; adds continue with
+// title, body (same prefixing) and the quality as 8 float64 bits. Replay
+// stops at the first frame that is short, oversized, or fails its CRC —
+// the torn tail a crash mid-append leaves — and reports the byte offset
+// of the last good record so the tail can be truncated before the log
+// is appended to again.
+
+// WAL record opcodes.
+const (
+	OpAdd    byte = 1
+	OpDelete byte = 2
+)
+
+// maxWALRecord bounds a frame's claimed payload size; anything larger is
+// corruption, not a record (documents are capped far below this).
+const maxWALRecord = 1 << 26
+
+// Record is one logged mutation.
+type Record struct {
+	Op      byte
+	Key     string
+	Title   string
+	Body    string
+	Quality float64
+}
+
+// FsyncPolicy selects when WAL appends reach stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs after every record, before the mutation is
+	// acknowledged: an acked write survives any crash.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs on a background ticker: a crash can lose the
+	// last interval's worth of acknowledged writes.
+	FsyncInterval
+	// FsyncNone never syncs explicitly: durability is whatever the OS
+	// page cache happens to have flushed.
+	FsyncNone
+)
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNone:
+		return "none"
+	default:
+		return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseFsyncPolicy maps the CLI flag spelling to a policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "none":
+		return FsyncNone, nil
+	default:
+		return 0, fmt.Errorf("durable: unknown fsync policy %q (want always, interval or none)", s)
+	}
+}
+
+// appendRecord frames rec onto buf.
+func appendRecord(buf []byte, rec Record) []byte {
+	payload := appendPayload(nil, rec)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, Checksum(payload))
+	return append(buf, payload...)
+}
+
+func appendPayload(b []byte, rec Record) []byte {
+	b = append(b, rec.Op)
+	b = appendString(b, rec.Key)
+	if rec.Op == OpAdd {
+		b = appendString(b, rec.Title)
+		b = appendString(b, rec.Body)
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(rec.Quality))
+	}
+	return b
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// parsePayload decodes one framed payload back into a Record.
+func parsePayload(p []byte) (Record, error) {
+	if len(p) == 0 {
+		return Record{}, fmt.Errorf("durable: empty WAL payload")
+	}
+	rec := Record{Op: p[0]}
+	p = p[1:]
+	var err error
+	if rec.Key, p, err = takeString(p); err != nil {
+		return Record{}, err
+	}
+	switch rec.Op {
+	case OpDelete:
+	case OpAdd:
+		if rec.Title, p, err = takeString(p); err != nil {
+			return Record{}, err
+		}
+		if rec.Body, p, err = takeString(p); err != nil {
+			return Record{}, err
+		}
+		if len(p) != 8 {
+			return Record{}, fmt.Errorf("durable: add record tail is %d bytes, want 8", len(p))
+		}
+		rec.Quality = math.Float64frombits(binary.LittleEndian.Uint64(p))
+		p = nil
+	default:
+		return Record{}, fmt.Errorf("durable: unknown WAL opcode %d", rec.Op)
+	}
+	if len(p) != 0 {
+		return Record{}, fmt.Errorf("durable: %d trailing bytes in WAL record", len(p))
+	}
+	return rec, nil
+}
+
+func takeString(p []byte) (string, []byte, error) {
+	n, w := binary.Uvarint(p)
+	if w <= 0 || n > uint64(len(p)-w) {
+		return "", nil, fmt.Errorf("durable: truncated string in WAL record")
+	}
+	return string(p[w : w+int(n)]), p[w+int(n):], nil
+}
+
+// ReplayWAL scans data, invoking fn for each intact record in order. It
+// stops at the first torn or corrupt frame and returns the number of
+// records delivered and the byte offset just past the last good one —
+// the size the log must be truncated to before further appends. A
+// non-nil error from fn aborts the scan.
+func ReplayWAL(data []byte, fn func(Record) error) (records int, goodBytes int64, err error) {
+	off := 0
+	for {
+		if len(data)-off < 8 {
+			return records, int64(off), nil
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if n > maxWALRecord || int(n) > len(data)-off-8 {
+			return records, int64(off), nil
+		}
+		payload := data[off+8 : off+8+int(n)]
+		if Checksum(payload) != crc {
+			return records, int64(off), nil
+		}
+		rec, perr := parsePayload(payload)
+		if perr != nil {
+			// Framing held but the payload grammar did not: treat like a
+			// torn tail rather than serving half-parsed state.
+			return records, int64(off), nil
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return records, int64(off), err
+			}
+		}
+		records++
+		off += 8 + int(n)
+	}
+}
+
+// WAL is an open, appendable log. Safe for concurrent use.
+type WAL struct {
+	fs     FS
+	path   string
+	policy FsyncPolicy
+
+	mu      sync.Mutex
+	f       File
+	scratch []byte
+	dirty   bool // bytes appended since the last sync
+
+	bytes   int64
+	records int64
+	syncs   int64
+}
+
+// CreateWAL creates (truncating) a log at path and syncs it and its
+// directory so the empty log itself is durable.
+func CreateWAL(fs FS, dir, path string, policy FsyncPolicy) (*WAL, error) {
+	f, err := fs.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &WAL{fs: fs, path: path, policy: policy, f: f}, nil
+}
+
+// OpenWAL reopens an existing log for appending after recovery: the
+// torn tail past goodBytes (as reported by ReplayWAL) is truncated
+// first so new records extend the last intact one.
+func OpenWAL(fs FS, path string, goodBytes int64, policy FsyncPolicy) (*WAL, error) {
+	if err := fs.Truncate(path, goodBytes); err != nil {
+		return nil, err
+	}
+	f, err := fs.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &WAL{fs: fs, path: path, policy: policy, f: f, bytes: goodBytes}, nil
+}
+
+// Append frames rec onto the log. Under FsyncAlways the record is on
+// stable storage when Append returns.
+func (w *WAL) Append(rec Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.scratch = appendRecord(w.scratch[:0], rec)
+	if _, err := w.f.Write(w.scratch); err != nil {
+		return err
+	}
+	w.bytes += int64(len(w.scratch))
+	w.records++
+	w.dirty = true
+	if w.policy == FsyncAlways {
+		return w.syncLocked()
+	}
+	return nil
+}
+
+// Sync forces buffered records to stable storage (the interval policy's
+// ticker calls this; it is harmless under the other policies).
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncLocked()
+}
+
+func (w *WAL) syncLocked() error {
+	if !w.dirty {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.dirty = false
+	w.syncs++
+	return nil
+}
+
+// Close syncs and closes the log file; the file stays on disk.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	serr := w.syncLocked()
+	cerr := w.f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// Size returns the bytes appended so far (including any recovered
+// prefix), Records the record count since open, Syncs the fsync count.
+func (w *WAL) Size() int64 { w.mu.Lock(); defer w.mu.Unlock(); return w.bytes }
+
+// Records returns the records appended since this WAL object opened.
+func (w *WAL) Records() int64 { w.mu.Lock(); defer w.mu.Unlock(); return w.records }
+
+// Syncs returns the number of fsyncs issued.
+func (w *WAL) Syncs() int64 { w.mu.Lock(); defer w.mu.Unlock(); return w.syncs }

@@ -31,6 +31,7 @@ func (c *Context) RunAll() []string {
 		{"E19", func() { c.E19LiveFaults() }},
 		{"E20", func() { c.E20LiveIngest() }},
 		{"E21", func() { c.E21Replication() }},
+		{"E22", func() { c.E22Durability() }},
 		{"ABL-1", func() { c.AblationMaxScore() }},
 		{"ABL-2", func() { c.AblationCompression() }},
 		{"ABL-3", func() { c.AblationAssignment() }},

@@ -259,43 +259,80 @@ func ReadSegment(r io.Reader) (*Segment, error) {
 	if numDocs > maxCount || numTerms > maxCount {
 		return nil, fmt.Errorf("index: implausible counts docs=%d terms=%d", numDocs, numTerms)
 	}
-	s.docLens = make([]int32, numDocs)
-	for i := range s.docLens {
-		s.docLens[i] = int32(rd.uvarint())
+	// The declared counts are untrusted until that many entries actually
+	// decode, so slices grow by appending (with a bounded initial
+	// capacity) rather than pre-allocating count elements — a 100-byte
+	// file claiming 2^28 documents must fail on its missing bytes, not
+	// allocate gigabytes first. Each loop bails at the first decode error
+	// for the same reason.
+	const maxPrealloc = 1 << 16
+	prealloc := int(numDocs)
+	if prealloc > maxPrealloc {
+		prealloc = maxPrealloc
 	}
-	s.docs = make([]StoredDoc, numDocs)
-	for i := range s.docs {
-		s.docs[i].URL = rd.str()
-		s.docs[i].Title = rd.str()
-		s.docs[i].Quality = rd.f32()
-		s.docs[i].Snippet = rd.str()
+	s.docLens = make([]int32, 0, prealloc)
+	for i := uint32(0); i < numDocs; i++ {
+		s.docLens = append(s.docLens, int32(rd.uvarint()))
+		if rd.err != nil {
+			return nil, fmt.Errorf("index: doc lengths: %w", rd.err)
+		}
 	}
-	s.terms = make(map[string]int32, numTerms)
-	s.termList = make([]string, numTerms)
-	s.postings = make([][]byte, numTerms)
-	s.docFreqs = make([]int32, numTerms)
-	s.collFreqs = make([]int64, numTerms)
-	s.maxScores = make([]float32, numTerms)
+	s.docs = make([]StoredDoc, 0, prealloc)
+	for i := uint32(0); i < numDocs; i++ {
+		var d StoredDoc
+		d.URL = rd.str()
+		d.Title = rd.str()
+		d.Quality = rd.f32()
+		d.Snippet = rd.str()
+		if rd.err != nil {
+			return nil, fmt.Errorf("index: stored doc %d: %w", i, rd.err)
+		}
+		s.docs = append(s.docs, d)
+	}
+	prealloc = int(numTerms)
+	if prealloc > maxPrealloc {
+		prealloc = maxPrealloc
+	}
+	s.terms = make(map[string]int32, prealloc)
+	s.termList = make([]string, 0, prealloc)
+	s.postings = make([][]byte, 0, prealloc)
+	s.docFreqs = make([]int32, 0, prealloc)
+	s.collFreqs = make([]int64, 0, prealloc)
+	s.maxScores = make([]float32, 0, prealloc)
 	if hasBlockMax && s.comp != CompressionRaw {
-		s.blockMaxes = make([][]float32, numTerms)
+		s.blockMaxes = make([][]float32, 0, prealloc)
 	}
 	for id := uint32(0); id < numTerms; id++ {
 		t := rd.str()
-		s.termList[id] = t
-		s.terms[t] = int32(id)
-		s.docFreqs[id] = int32(rd.u32())
-		s.collFreqs[id] = int64(rd.u64())
-		s.maxScores[id] = rd.f32()
+		df := int32(rd.u32())
+		cf := int64(rd.u64())
+		maxScore := rd.f32()
 		plen := rd.uvarint()
 		if rd.err != nil {
-			return nil, rd.err
+			return nil, fmt.Errorf("index: term %d dictionary entry: %w", id, rd.err)
+		}
+		if df < 0 || uint32(df) > numDocs {
+			return nil, fmt.Errorf("index: term %q doc freq %d exceeds %d documents", t, df, numDocs)
 		}
 		if plen > maxStringLen*16 {
 			return nil, fmt.Errorf("index: posting list length %d exceeds limit", plen)
 		}
+		if s.comp == CompressionRaw && plen != uint64(df)*8 {
+			// Raw lists are fixed 8-byte records and are decoded without
+			// per-read bounds checks; a short list must be rejected here.
+			return nil, fmt.Errorf("index: term %q raw posting list is %d bytes, want %d", t, plen, df*8)
+		}
 		buf := make([]byte, plen)
 		rd.read(buf)
-		s.postings[id] = buf
+		if rd.err != nil {
+			return nil, fmt.Errorf("index: term %q postings: %w", t, rd.err)
+		}
+		s.termList = append(s.termList, t)
+		s.terms[t] = int32(id)
+		s.docFreqs = append(s.docFreqs, df)
+		s.collFreqs = append(s.collFreqs, cf)
+		s.maxScores = append(s.maxScores, maxScore)
+		s.postings = append(s.postings, buf)
 		if hasBlockMax {
 			nBlocks := rd.uvarint()
 			if rd.err != nil {
@@ -305,23 +342,55 @@ func ReadSegment(r io.Reader) (*Segment, error) {
 			// mismatched count means corruption, not a format variant.
 			want := 0
 			if s.comp != CompressionRaw {
-				want = numBlocksFor(s.docFreqs[id])
+				want = numBlocksFor(df)
 			}
 			if int(nBlocks) != want {
 				return nil, fmt.Errorf("index: term %q has %d block maxima, want %d", t, nBlocks, want)
 			}
-			if want > 0 {
-				blocks := make([]float32, want)
-				for j := range blocks {
-					blocks[j] = rd.f32()
-				}
-				s.blockMaxes[id] = blocks
+			var blocks []float32
+			for j := 0; j < want; j++ {
+				blocks = append(blocks, rd.f32())
+			}
+			if s.comp != CompressionRaw {
+				s.blockMaxes = append(s.blockMaxes, blocks)
 			}
 		}
 	}
 	if rd.err != nil {
 		return nil, rd.err
 	}
+	if err := s.validatePostings(); err != nil {
+		return nil, err
+	}
 	s.buildSkips()
 	return s, nil
+}
+
+// validatePostings decodes every posting list once and rejects lists
+// that deliver the wrong number of postings or documents out of range —
+// corruption the per-read decoders cannot always detect (a bit flip in a
+// varint delta still decodes, to a docID that would crash scoring
+// later). Runs before buildSkips so nothing downstream sees bad lists.
+func (s *Segment) validatePostings() error {
+	numDocs := int32(len(s.docLens))
+	for id := range s.termList {
+		it := newPostingsIterator(s.comp, s.postings[id], s.docFreqs[id])
+		it.positional = s.positions
+		n := int32(0)
+		last := int32(-1)
+		for it.Next() {
+			d := it.Doc()
+			if d <= last || d >= numDocs {
+				return fmt.Errorf("index: term %q posting %d: docID %d out of order or range (prev %d, docs %d)",
+					s.termList[id], n, d, last, numDocs)
+			}
+			last = d
+			n++
+		}
+		if n != s.docFreqs[id] {
+			return fmt.Errorf("index: term %q posting list decoded %d postings, want %d",
+				s.termList[id], n, s.docFreqs[id])
+		}
+	}
+	return nil
 }

@@ -2,6 +2,7 @@ package index
 
 import (
 	"bytes"
+	"encoding/binary"
 	"io"
 	"reflect"
 	"testing"
@@ -148,6 +149,83 @@ func TestReadSegmentUnknownCompression(t *testing.T) {
 	data[8] = 7 // compression byte right after magic
 	if _, err := ReadSegment(bytes.NewReader(data)); err == nil {
 		t.Error("expected error for unknown compression")
+	}
+}
+
+func TestReadSegmentHugeCounts(t *testing.T) {
+	// A tiny file claiming 2^28 documents must fail on its missing
+	// bytes without first allocating count-sized slices.
+	s := buildTiny(t)
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// numDocs is the u32 at offset 8 (magic) + 1 (comp) + 1 (flags) + 16 (bm25).
+	binary.LittleEndian.PutUint32(data[26:], 1<<28)
+	if _, err := ReadSegment(bytes.NewReader(data)); err == nil {
+		t.Error("expected error for inflated doc count")
+	}
+	binary.LittleEndian.PutUint32(data[26:], 1<<28+1)
+	if _, err := ReadSegment(bytes.NewReader(data)); err == nil {
+		t.Error("expected error for implausible doc count")
+	}
+}
+
+func TestReadSegmentRawShortPostings(t *testing.T) {
+	// Raw posting lists are decoded without per-read bounds checks, so a
+	// list shorter than 8*docFreq must be rejected at load, not panic at
+	// iteration.
+	b := NewBuilder(WithCompression(CompressionRaw))
+	b.AddDocument("solo", "alpha alpha beta", "doc:raw", 0.5)
+	var buf bytes.Buffer
+	if _, err := b.Finalize().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Chop trailing bytes: some prefixes cut inside a raw posting list.
+	for cut := 1; cut < 24 && cut < len(full); cut++ {
+		data := full[:len(full)-cut]
+		s, err := ReadSegment(bytes.NewReader(data))
+		if err != nil {
+			continue
+		}
+		for id := range s.termList {
+			it := s.PostingsByID(int32(id))
+			for it.Next() {
+			}
+		}
+	}
+}
+
+func TestReadSegmentCorruptPostingDelta(t *testing.T) {
+	// Flip bytes inside the serialized postings region: the segment must
+	// either fail to load or iterate only in-range, ordered docIDs.
+	s := buildTiny(t)
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for off := 0; off < len(full); off++ {
+		data := append([]byte(nil), full...)
+		data[off] ^= 0xff
+		got, err := ReadSegment(bytes.NewReader(data))
+		if err != nil {
+			continue
+		}
+		n := int32(got.NumDocs())
+		for id := range got.termList {
+			it := got.PostingsByID(int32(id))
+			last := int32(-1)
+			for it.Next() {
+				if d := it.Doc(); d <= last || d >= n {
+					t.Fatalf("offset %d: term %q docID %d out of order/range", off, got.termList[id], d)
+				} else {
+					last = d
+				}
+			}
+		}
 	}
 }
 

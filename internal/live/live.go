@@ -30,6 +30,10 @@ type Config struct {
 	// Analyzer used for documents and queries; defaults to the standard
 	// pipeline.
 	Analyzer *textproc.Analyzer
+	// Durable, when set, receives every mutation before it is applied and
+	// every flush/merge commit; see the Sink docs. Nil means in-memory
+	// only (the default, and the pre-durability behavior).
+	Durable Sink
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +84,9 @@ type Stats struct {
 	Tombstones   int    `json:"tombstones"`
 	Flushes      int64  `json:"flushes"`
 	Merges       int64  `json:"merges"`
+	// Durable carries the sink's telemetry when the sink implements
+	// StatsSink; nil for in-memory indexes.
+	Durable *SinkStats `json:"durable,omitempty"`
 }
 
 // Index is a near-real-time mutable index: Add, Update and Delete are
@@ -133,6 +140,51 @@ func NewIndex(cfg Config) *Index {
 	return li
 }
 
+// NewRecoveredIndex rebuilds a live index from durably recovered
+// segments (ascending-ID order) — the manifest half of crash recovery;
+// the caller then replays the write-ahead log through ordinary Add and
+// Delete calls. Key references are reconstructed from stored documents
+// (a document's key is its stored URL), walking segments in ascending ID
+// order so a key deleted-and-readded across flushes resolves to its
+// newest copy, which always lives in the higher-ID segment.
+func NewRecoveredIndex(cfg Config, segs []RecoveredSegment, nextSegID uint64) *Index {
+	li := &Index{
+		cfg:       cfg.withDefaults(),
+		mem:       newMemtable(),
+		memDead:   NewTombstones(),
+		keyRefs:   make(map[string]docRef),
+		nextSegID: 1,
+		mergeCh:   make(chan struct{}, 1),
+		closeCh:   make(chan struct{}),
+	}
+	for _, rs := range segs {
+		n := rs.Seg.NumDocs()
+		tomb := rs.Tomb
+		if tomb == nil {
+			tomb = NewTombstones()
+		}
+		keys := make([]string, n)
+		for i := 0; i < n; i++ {
+			keys[i] = rs.Seg.Doc(int32(i)).URL
+			if !tomb.Has(int32(i)) {
+				li.keyRefs[keys[i]] = docRef{segID: rs.ID, local: int32(i)}
+			}
+		}
+		li.segs = append(li.segs, &liveSeg{id: rs.ID, seg: rs.Seg, keys: keys, tomb: tomb})
+		if rs.ID >= li.nextSegID {
+			li.nextSegID = rs.ID + 1
+		}
+	}
+	if nextSegID > li.nextSegID {
+		li.nextSegID = nextSegID
+	}
+	li.mergeCond = sync.NewCond(&li.mu)
+	li.publishLocked()
+	li.wg.Add(1)
+	go li.mergeLoop()
+	return li
+}
+
 // Close stops the background scheduler. The index remains searchable
 // (snapshots stay valid) but must not be mutated afterwards.
 func (li *Index) Close() {
@@ -163,8 +215,10 @@ func (li *Index) Acquire() *Snapshot {
 // Add ingests a document under key, superseding any previous document
 // with the same key (the previous version is tombstoned and reclaimed at
 // the next merge touching its segment). The key doubles as the
-// document's URL in stored fields.
-func (li *Index) Add(key, title, body string, quality float64) {
+// document's URL in stored fields. With a durable sink configured, the
+// mutation is journaled before it is applied; a journaling error leaves
+// the index unchanged.
+func (li *Index) Add(key, title, body string, quality float64) error {
 	terms := analyze(li.cfg.Analyzer, title, body)
 	snippet := body
 	if len(snippet) > storedSnippetLen {
@@ -174,37 +228,51 @@ func (li *Index) Add(key, title, body string, quality float64) {
 
 	li.mu.Lock()
 	defer li.mu.Unlock()
+	if li.cfg.Durable != nil {
+		if err := li.cfg.Durable.LogAdd(key, title, body, quality); err != nil {
+			return err
+		}
+	}
 	if old, ok := li.keyRefs[key]; ok {
 		li.tombstoneLocked(old)
 	}
 	local := li.mem.add(stored, key, terms)
 	li.keyRefs[key] = docRef{segID: 0, local: local}
+	var err error
 	if len(li.mem.docs) >= li.cfg.MemtableMaxDocs {
-		li.flushLocked()
+		err = li.flushLocked()
 	}
 	li.afterMutationLocked()
+	return err
 }
 
 // Update replaces the document stored under key; it is Add's
 // read-your-writes alias, kept for call-site clarity.
-func (li *Index) Update(key, title, body string, quality float64) {
-	li.Add(key, title, body, quality)
+func (li *Index) Update(key, title, body string, quality float64) error {
+	return li.Add(key, title, body, quality)
 }
 
 // Delete removes the document stored under key, reporting whether it
 // existed. The document stops matching searches at the next refresh; its
-// index data is reclaimed when a merge rewrites its segment.
-func (li *Index) Delete(key string) bool {
+// index data is reclaimed when a merge rewrites its segment. Like Add,
+// the delete is journaled before it is applied; deletes of absent keys
+// are not journaled.
+func (li *Index) Delete(key string) (bool, error) {
 	li.mu.Lock()
 	defer li.mu.Unlock()
 	ref, ok := li.keyRefs[key]
 	if !ok {
-		return false
+		return false, nil
+	}
+	if li.cfg.Durable != nil {
+		if err := li.cfg.Durable.LogDelete(key); err != nil {
+			return false, err
+		}
 	}
 	li.tombstoneLocked(ref)
 	delete(li.keyRefs, key)
 	li.afterMutationLocked()
-	return true
+	return true, nil
 }
 
 // Search parses raw against the index's analyzer and evaluates it on the
@@ -242,11 +310,14 @@ func (li *Index) Refresh() uint64 {
 }
 
 // Flush forces the memtable into an immutable segment and publishes.
-func (li *Index) Flush() {
+// With a durable sink, the flush is committed (segments persisted, WAL
+// rotated) before Flush returns.
+func (li *Index) Flush() error {
 	li.mu.Lock()
 	defer li.mu.Unlock()
-	li.flushLocked()
+	err := li.flushLocked()
 	li.publishLocked()
+	return err
 }
 
 // Stats returns a point-in-time summary.
@@ -265,6 +336,10 @@ func (li *Index) Stats() Stats {
 	for _, ls := range li.segs {
 		st.Tombstones += ls.tomb.Count()
 		st.LiveDocs += int64(ls.seg.NumDocs() - ls.tomb.Count())
+	}
+	if ss, ok := li.cfg.Durable.(StatsSink); ok {
+		d := ss.SinkStats()
+		st.Durable = &d
 	}
 	return st
 }
@@ -317,12 +392,14 @@ func (li *Index) afterMutationLocked() {
 // documents already tombstoned (cheap reclamation: they never reach a
 // segment), rewires key references, and starts a fresh memtable. The
 // previous memtable object is left untouched for snapshots that still
-// view it.
-func (li *Index) flushLocked() {
+// view it. With a durable sink the new segment set is committed and the
+// write-ahead log rotated; a commit error is returned but the in-memory
+// flush stands (the old WAL still covers the unpersisted delta).
+func (li *Index) flushLocked() error {
 	m := li.mem
 	n := len(m.docs)
 	if n == 0 {
-		return
+		return nil
 	}
 	if alive := n - li.memDead.Count(); alive > 0 {
 		b := index.NewBuilder(index.WithAnalyzer(li.cfg.Analyzer))
@@ -361,6 +438,27 @@ func (li *Index) flushLocked() {
 	li.memDirty = false
 	li.flushes++
 	li.wakeMerger()
+	return li.commitLocked("flush", true)
+}
+
+// commitLocked hands the durable sink the full post-change segment set.
+// rotate is true for flush commits (the persisted segments now capture
+// everything the WAL held) and false for merges (which reshuffle
+// already-persisted documents without touching the log's coverage).
+func (li *Index) commitLocked(reason string, rotate bool) error {
+	if li.cfg.Durable == nil {
+		return nil
+	}
+	c := Commit{Reason: reason, NextSegID: li.nextSegID, Rotate: rotate}
+	c.Segments = make([]CommitSegment, 0, len(li.segs))
+	for _, ls := range li.segs {
+		cs := CommitSegment{ID: ls.id, Seg: ls.seg}
+		if ls.tomb.Count() > 0 {
+			cs.Tomb = ls.tomb.Marshal()
+		}
+		c.Segments = append(c.Segments, cs)
+	}
+	return li.cfg.Durable.Commit(c)
 }
 
 // wakeMerger nudges the background scheduler without blocking.

@@ -52,10 +52,10 @@ func TestLiveAddSearchDeleteUpdate(t *testing.T) {
 		t.Fatalf("latency query returned %v", hitKeys(hits))
 	}
 
-	if !li.Delete("c") {
+	if ok, _ := li.Delete("c"); !ok {
 		t.Fatal("Delete(c) = false for an existing key")
 	}
-	if li.Delete("c") {
+	if ok, _ := li.Delete("c"); ok {
 		t.Fatal("Delete(c) = true for a deleted key")
 	}
 	if got := keySet(li.Search("latency", search.ModeOr, 10)); got["c"] {
@@ -93,7 +93,7 @@ func TestLiveFlushVisibility(t *testing.T) {
 		alive[key] = true
 		if i%3 == 2 {
 			victim := fmt.Sprintf("doc%03d", rng.Intn(i+1))
-			if li.Delete(victim) != alive[victim] {
+			if ok, _ := li.Delete(victim); ok != alive[victim] {
 				t.Fatalf("Delete(%s) disagreed with the model", victim)
 			}
 			delete(alive, victim)

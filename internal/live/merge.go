@@ -200,6 +200,11 @@ func (li *Index) applyMergeLocked(plan *mergePlan, merged *index.Segment, remaps
 		})
 	}
 	li.merges++
+	// Merge commits never rotate the WAL: they reshuffle documents that
+	// durable segments already capture. A commit failure here is latched
+	// by the sink (surfaced via stats) — the pre-merge files remain on
+	// disk and remain sufficient for recovery.
+	_ = li.commitLocked("merge", false)
 	if len(li.segs) > li.cfg.MaxSegments {
 		li.wakeMerger()
 	}
@@ -210,11 +215,14 @@ func (li *Index) applyMergeLocked(plan *mergePlan, merged *index.Segment, remaps
 // path cmd/indexer's -live mode uses before serializing. Mutations may
 // continue concurrently, but then Compact only guarantees the state it
 // observed is compacted.
-func (li *Index) Compact() {
+func (li *Index) Compact() error {
 	li.mu.Lock()
-	li.flushLocked()
+	err := li.flushLocked()
 	li.publishLocked()
 	li.mu.Unlock()
+	if err != nil {
+		return err
+	}
 	for {
 		li.mu.Lock()
 		for li.merging {
@@ -228,7 +236,7 @@ func (li *Index) Compact() {
 		}
 		if !needs {
 			li.mu.Unlock()
-			return
+			return nil
 		}
 		plan := li.capturePlanLocked(li.segs)
 		li.merging = true

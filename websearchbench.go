@@ -263,18 +263,20 @@ func (e *Engine) mustLive() *live.Index {
 
 // Add ingests (or replaces) a document in a live engine. The key doubles
 // as the result URL. It panics on an engine built without Config.Live.
-func (e *Engine) Add(key, title, body string, quality float64) {
-	e.mustLive().Add(key, title, body, quality)
+// The error is always nil for in-memory engines; with a durable sink it
+// reports journaling or flush-persistence failures.
+func (e *Engine) Add(key, title, body string, quality float64) error {
+	return e.mustLive().Add(key, title, body, quality)
 }
 
 // Update replaces the document stored under key in a live engine.
-func (e *Engine) Update(key, title, body string, quality float64) {
-	e.mustLive().Update(key, title, body, quality)
+func (e *Engine) Update(key, title, body string, quality float64) error {
+	return e.mustLive().Update(key, title, body, quality)
 }
 
 // Delete removes a document from a live engine, reporting whether the
 // key existed.
-func (e *Engine) Delete(key string) bool { return e.mustLive().Delete(key) }
+func (e *Engine) Delete(key string) (bool, error) { return e.mustLive().Delete(key) }
 
 // Live exposes the underlying live index (nil for static engines).
 func (e *Engine) Live() *live.Index { return e.live }

@@ -150,7 +150,7 @@ func TestEngineLive(t *testing.T) {
 		t.Fatalf("updated doc not searchable: %+v", res)
 	}
 
-	if !e.Delete("doc:new") {
+	if ok, _ := e.Delete("doc:new"); !ok {
 		t.Fatal("Delete returned false for a live key")
 	}
 	if res := e.Search("quokka"); len(res) != 0 {
@@ -180,7 +180,7 @@ func TestEngineLiveStaleCache(t *testing.T) {
 		t.Fatal("repeat query did not hit the cache")
 	}
 
-	e.Delete("doc:target")
+	_, _ = e.Delete("doc:target")
 	after := e.Search("xylographic")
 	if len(after) != 0 {
 		t.Fatalf("query cached before the delete was served after it: %+v", after)
