@@ -34,10 +34,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -144,10 +146,25 @@ func main() {
 			li = live.NewIndex(lcfg)
 		}
 		defer li.Close()
-		// Seed the corpus only into an empty index: a recovered durable
-		// index already holds its documents (re-seeding would double-log
-		// every document into the fresh WAL on every restart).
-		if li.Stats().LiveDocs == 0 {
+		// Seed the corpus unless a previous run durably completed it. The
+		// recovered doc count alone cannot gate this: a crash partway
+		// through the initial seed leaves a durable index holding a
+		// partial corpus, so completion is tracked by a marker file
+		// written only after the seed is flushed. Re-seeding is
+		// idempotent — existing keys update in place.
+		seedMarker := ""
+		needSeed := true
+		if store != nil {
+			seedMarker = filepath.Join(*dataDir, "SEEDED")
+			if _, err := os.Stat(seedMarker); err == nil {
+				needSeed = false
+			} else if n := li.Stats().LiveDocs; n > 0 {
+				expected := (*docs - *shard + *shards - 1) / *shards
+				log.Printf("warning: recovered %d docs but no seed-complete marker (expected %d for shard %d/%d); re-seeding",
+					n, expected, *shard, *shards)
+			}
+		}
+		if needSeed {
 			li.SetRefreshEvery(1 << 30) // bulk seeding: publish once below
 			i := 0
 			gen.GenerateFunc(func(d corpus.Document) {
@@ -158,6 +175,22 @@ func main() {
 				}
 				i++
 			})
+			if store != nil {
+				// The seed is only complete once it is durable: flush it
+				// (persisting segments and rotating the WAL), then drop
+				// the marker atomically.
+				if err := li.Flush(); err != nil {
+					log.Fatal(err)
+				}
+				err := durable.WriteFileAtomic(durable.NewOSFS(), seedMarker, func(w io.Writer) error {
+					_, err := fmt.Fprintf(w, "seeded %d docs (shard %d/%d, seed %d)\n",
+						li.Stats().LiveDocs, *shard, *shards, *seed)
+					return err
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+			}
 		}
 		li.SetRefreshEvery(*liveRefresh)
 		li.Refresh()

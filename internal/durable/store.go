@@ -74,15 +74,15 @@ type Store struct {
 	persisted map[uint64]bool
 	lastTomb  map[uint64][]byte
 
-	commits      int64
-	rotations    int64
-	walRecords   int64 // records across rotations
-	walSyncs     int64
-	lastErr      error
-	recovery     RecoveryStats
-	flusherStop  chan struct{}
-	flusherDone  chan struct{}
-	recovered    *Recovered
+	commits     int64
+	rotations   int64
+	walRecords  int64 // records across rotations
+	walSyncs    int64
+	lastErr     error
+	recovery    RecoveryStats
+	flusherStop chan struct{}
+	flusherDone chan struct{}
+	recovered   *Recovered
 }
 
 // Recovered is the state Open reconstructed from the data directory.
@@ -164,6 +164,17 @@ func Open(dir string, opts Options) (*Store, *Recovered, error) {
 		kept = append(kept, ms)
 	}
 	s.manifest.Segments = kept
+	if rec.Stats.SegmentsQuarantined > 0 {
+		// The quarantined files are gone from the directory, so the
+		// pruned segment list must become durable before we serve: a
+		// restart before the next flush/merge commit would otherwise
+		// re-read the stale manifest, find its files missing, and (on a
+		// read-mostly node) keep failing startup forever.
+		s.manifest.Generation++
+		if err := writeManifest(s.fs, dir, &s.manifest); err != nil {
+			return nil, nil, fmt.Errorf("durable: prune quarantined segments: %w", err)
+		}
+	}
 
 	walPath := filepath.Join(dir, s.manifest.WAL)
 	data, err := s.fs.ReadFile(walPath)
@@ -186,12 +197,18 @@ func Open(dir string, opts Options) (*Store, *Recovered, error) {
 }
 
 // loadSegment verifies and parses one manifest entry. Checksum and
-// parse failures wrap ErrCorrupt (quarantine); I/O errors do not. A
-// corrupt tombstone file condemns its segment too: serving the segment
-// without its deletes would resurrect acknowledged removals.
+// parse failures wrap ErrCorrupt (quarantine); so does a referenced
+// file that is simply missing — e.g. moved aside by a recovery that
+// died before pruning the manifest — since refusing to start would
+// brick the directory. Other I/O errors stay fatal. A corrupt
+// tombstone file condemns its segment too: serving the segment without
+// its deletes would resurrect acknowledged removals.
 func (s *Store) loadSegment(ms ManifestSeg) (live.RecoveredSegment, error) {
 	payload, err := ReadEnvelopeFile(s.fs, filepath.Join(s.dir, ms.File), KindSegment)
 	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			err = fmt.Errorf("%w: segment %s: %v", ErrCorrupt, ms.File, err)
+		}
 		return live.RecoveredSegment{}, err
 	}
 	seg, err := index.ReadSegment(bytes.NewReader(payload))
@@ -202,6 +219,9 @@ func (s *Store) loadSegment(ms ManifestSeg) (live.RecoveredSegment, error) {
 	if ms.Tomb != "" {
 		tb, err := ReadEnvelopeFile(s.fs, filepath.Join(s.dir, ms.Tomb), KindTombstones)
 		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				err = fmt.Errorf("%w: tombstones %s: %v", ErrCorrupt, ms.Tomb, err)
+			}
 			return live.RecoveredSegment{}, err
 		}
 		if tomb, err = live.UnmarshalTombstones(tb); err != nil {
@@ -314,15 +334,16 @@ func (s *Store) LogDelete(key string) error {
 
 func (s *Store) log(rec Record) error {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.replaying || s.closed {
 		// Replay: the record is already in the log being replayed.
-		s.mu.Unlock()
 		return nil
 	}
-	w := s.wal
-	s.mu.Unlock()
-	if err := w.Append(rec); err != nil {
-		s.noteErr(err)
+	// Append under s.mu (the WAL's own lock nests inside it, never the
+	// reverse) so a concurrent Close cannot close the file out from
+	// under an in-flight append.
+	if err := s.wal.Append(rec); err != nil {
+		s.lastErr = err
 		return fmt.Errorf("durable: WAL append: %w", err)
 	}
 	return nil

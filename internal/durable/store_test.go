@@ -482,3 +482,118 @@ func TestErrInjectedCrashSurfaces(t *testing.T) {
 		t.Error("pre-crash doc lost from the serving index")
 	}
 }
+
+// TestQuarantinePersistsWithoutFlush is the read-mostly-node scenario:
+// recovery quarantines a corrupt segment and the process restarts before
+// any flush or merge commits a fresh manifest. The pruned manifest must
+// have been persisted by recovery itself, or every later startup finds a
+// manifest naming a file that was moved to quarantine and fails forever.
+func TestQuarantinePersistsWithoutFlush(t *testing.T) {
+	dir := t.TempDir()
+	li, store := openTest(t, dir, NewOSFS(), live.Config{MemtableMaxDocs: 10, MaxSegments: 100})
+	for i := 0; i < 30; i++ { // three flushed segments
+		k, title, body := testDoc(i, 1)
+		li.Add(k, title, body, 0.5)
+	}
+	li.Close()
+	store.Close()
+	if err := FlipBit(NewOSFS(), filepath.Join(dir, segFileName(2)), 40, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// First restart quarantines; no mutation, no flush, just close.
+	li2, store2 := openTest(t, dir, NewOSFS(), live.Config{MemtableMaxDocs: 1 << 20})
+	if rs := store2.RecoveryStats(); rs.SegmentsQuarantined != 1 {
+		t.Fatalf("quarantined %d segments, want 1", rs.SegmentsQuarantined)
+	}
+	li2.Close()
+	store2.Close()
+
+	// Second restart must come up clean on the pruned manifest.
+	li3, store3, err := OpenIndex(dir, live.Config{MemtableMaxDocs: 1 << 20}, Options{})
+	if err != nil {
+		t.Fatalf("restart after quarantine without flush: %v", err)
+	}
+	defer li3.Close()
+	defer store3.Close()
+	if rs := store3.RecoveryStats(); rs.SegmentsQuarantined != 0 {
+		t.Errorf("second restart quarantined %d segments, want 0", rs.SegmentsQuarantined)
+	}
+	if got := li3.Stats().LiveDocs; got != 20 {
+		t.Errorf("serving %d docs after restart, want 20", got)
+	}
+}
+
+// TestMissingSegmentFileQuarantined: a manifest-referenced file that has
+// vanished outright (operator cleanup, or a quarantining recovery that
+// crashed before pruning) is skipped like corruption, not fatal.
+func TestMissingSegmentFileQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	li, store := openTest(t, dir, NewOSFS(), live.Config{MemtableMaxDocs: 10, MaxSegments: 100})
+	for i := 0; i < 30; i++ {
+		k, title, body := testDoc(i, 1)
+		li.Add(k, title, body, 0.5)
+	}
+	li.Close()
+	store.Close()
+	if err := os.Remove(filepath.Join(dir, segFileName(2))); err != nil {
+		t.Fatal(err)
+	}
+
+	li2, store2 := openTest(t, dir, NewOSFS(), live.Config{MemtableMaxDocs: 1 << 20})
+	rs := store2.RecoveryStats()
+	if rs.SegmentsQuarantined != 1 || rs.SegmentsLoaded != 2 {
+		t.Fatalf("recovery loaded %d, quarantined %d segments (want 2, 1)", rs.SegmentsLoaded, rs.SegmentsQuarantined)
+	}
+	if got := li2.Stats().LiveDocs; got != 20 {
+		t.Errorf("serving %d docs, want 20", got)
+	}
+	li2.Close()
+	store2.Close()
+	// And the directory stays healthy across another restart.
+	li3, store3, err := OpenIndex(dir, live.Config{MemtableMaxDocs: 1 << 20}, Options{})
+	if err != nil {
+		t.Fatalf("restart after missing-file quarantine: %v", err)
+	}
+	li3.Close()
+	store3.Close()
+}
+
+// TestAddSucceedsWhenFlushCommitFails: once a mutation is journaled and
+// applied, a failing flush commit must not fail the Add — the document
+// is WAL-covered and visible. The error is latched in the store and the
+// document survives a restart.
+func TestAddSucceedsWhenFlushCommitFails(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(NewOSFS())
+	li, store := openTest(t, dir, ffs, live.Config{MemtableMaxDocs: 4, MaxSegments: 100})
+	for i := 0; i < 3; i++ {
+		k, title, body := testDoc(i, 1)
+		if err := li.Add(k, title, body, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ffs.FailRenames(1) // fails the flush commit's first atomic write
+	k, title, body := testDoc(3, 1)
+	if err := li.Add(k, title, body, 0.5); err != nil {
+		t.Fatalf("Add whose flush commit failed returned %v; the write is journaled and applied", err)
+	}
+	if store.Err() == nil {
+		t.Error("store did not latch the commit error")
+	}
+	if _, ok := probe(li, 3); !ok {
+		t.Error("acked doc not visible after failed flush commit")
+	}
+	li.Close()
+	store.Close()
+
+	li2, store2 := openTest(t, dir, NewOSFS(), live.Config{MemtableMaxDocs: 1 << 20})
+	defer li2.Close()
+	defer store2.Close()
+	if got := li2.Stats().LiveDocs; got != 4 {
+		t.Errorf("recovered %d docs, want 4 (WAL covered the failed commit)", got)
+	}
+	if title, ok := probe(li2, 3); !ok || title != "v1" {
+		t.Errorf("doc 3 after restart: (%q, %v), want v1", title, ok)
+	}
+}

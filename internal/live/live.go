@@ -217,7 +217,10 @@ func (li *Index) Acquire() *Snapshot {
 // the next merge touching its segment). The key doubles as the
 // document's URL in stored fields. With a durable sink configured, the
 // mutation is journaled before it is applied; a journaling error leaves
-// the index unchanged.
+// the index unchanged. An error from the flush commit a full memtable
+// triggers is NOT returned: at that point the document is journaled,
+// applied, and WAL-covered, so the sink latches the error (surfaced via
+// stats and Err) instead of failing a write that actually succeeded.
 func (li *Index) Add(key, title, body string, quality float64) error {
 	terms := analyze(li.cfg.Analyzer, title, body)
 	snippet := body
@@ -238,12 +241,17 @@ func (li *Index) Add(key, title, body string, quality float64) error {
 	}
 	local := li.mem.add(stored, key, terms)
 	li.keyRefs[key] = docRef{segID: 0, local: local}
-	var err error
 	if len(li.mem.docs) >= li.cfg.MemtableMaxDocs {
-		err = li.flushLocked()
+		// A commit failure here is post-apply: the document was journaled
+		// before it was applied and the un-rotated WAL still covers it,
+		// so it is durable and visible. Like the merge path, latching the
+		// error in the sink (it resurfaces via stats and the next commit
+		// retries the persist) beats reporting failure for a write that
+		// succeeded.
+		_ = li.flushLocked()
 	}
 	li.afterMutationLocked()
-	return err
+	return nil
 }
 
 // Update replaces the document stored under key; it is Add's
