@@ -180,6 +180,12 @@ func BenchmarkE22Durability(b *testing.B) {
 	benchExperiment(b, func(c *experiments.Context) { c.E22Durability() })
 }
 
+// BenchmarkE23ParallelIndexing regenerates the parallel-indexing
+// experiment (build throughput vs worker count, rebuild interference).
+func BenchmarkE23ParallelIndexing(b *testing.B) {
+	benchExperiment(b, func(c *experiments.Context) { c.E23ParallelIndexing() })
+}
+
 // BenchmarkAblationMaxScore regenerates the MaxScore pruning ablation.
 func BenchmarkAblationMaxScore(b *testing.B) {
 	benchExperiment(b, func(c *experiments.Context) { c.AblationMaxScore() })

@@ -27,7 +27,7 @@ func main() {
 
 	var (
 		scale = flag.Float64("scale", 1.0, "scale factor for corpus/queries/sim durations")
-		only  = flag.String("only", "", "run a single experiment (E1..E22, ABL-1..ABL-8)")
+		only  = flag.String("only", "", "run a single experiment (E1..E23, ABL-1..ABL-8)")
 		jsonO = flag.String("json", "", "write the run's measurements to this file as a JSON array of records (see experiments.Record for the schema)")
 	)
 	flag.Parse()
@@ -68,6 +68,7 @@ func main() {
 		"E20":   func() { c.E20LiveIngest() },
 		"E21":   func() { c.E21Replication() },
 		"E22":   func() { c.E22Durability() },
+		"E23":   func() { c.E23ParallelIndexing() },
 		"ABL-1": func() { c.AblationMaxScore() },
 		"ABL-2": func() { c.AblationCompression() },
 		"ABL-3": func() { c.AblationAssignment() },

@@ -5,6 +5,14 @@
 //
 //	indexer -docs 20000 -vocab 30000 -out index.seg -trace queries.txt
 //
+// Builds run through the parallel indexing pipeline: -workers analyze/
+// build workers (default all CPUs) consume the streamed corpus, cutting
+// segments every -segment-docs documents while a background tier merges
+// them, and the result is compacted to a single segment. Output is
+// byte-identical for any worker count; -workers 1 with the default
+// -segment-docs is the plain single-builder path. Progress (docs/s,
+// MB/s) is reported every few seconds on stderr.
+//
 // With -live the corpus is streamed through the near-real-time ingest
 // path (memtable, flushes, tiered merges) and compacted to a single
 // segment before serialization — exercising exactly the machinery a
@@ -19,13 +27,51 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"time"
 
 	"websearchbench/internal/corpus"
 	"websearchbench/internal/durable"
 	"websearchbench/internal/index"
+	"websearchbench/internal/index/pipeline"
 	"websearchbench/internal/live"
 	"websearchbench/internal/workload"
 )
+
+// startProgress launches a ticker that reports build progress (docs/s,
+// MB/s, elapsed, merge backlog) on stderr until the returned stop
+// function is called. A zero interval disables reporting.
+func startProgress(p *pipeline.Pipeline, every time.Duration) (stop func()) {
+	if every <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		var lastDocs, lastBytes int64
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+			}
+			st := p.Stats()
+			log.Printf("progress: %d docs (%.0f docs/s, %.1f MB/s), %d segments cut, %d merges, backlog %d, %.1fs elapsed",
+				st.DocsIndexed,
+				float64(st.DocsIndexed-lastDocs)/every.Seconds(),
+				float64(st.BytesIndexed-lastBytes)/every.Seconds()/(1<<20),
+				st.SegmentsCut, st.Merges, st.MergeBacklog, st.Elapsed.Seconds())
+			lastDocs, lastBytes = st.DocsIndexed, st.BytesIndexed
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -44,6 +90,9 @@ func main() {
 		timed    = flag.String("timed", "", "also write a timed (replayable) trace to this file")
 		rate     = flag.Float64("rate", 100, "arrival rate for the timed trace (qps)")
 		queries  = flag.Int("queries", 10000, "queries to write to the trace")
+		workers  = flag.Int("workers", runtime.NumCPU(), "parallel analyze/build workers (1 = serial single-builder path)")
+		segDocs  = flag.Int("segment-docs", 0, "documents per intermediate segment (0 = auto; ignored with -workers 1)")
+		progress = flag.Duration("progress", 3*time.Second, "progress report interval (0 disables)")
 	)
 	flag.Parse()
 
@@ -90,11 +139,39 @@ func main() {
 			log.Fatal("live compaction did not converge to a single segment")
 		}
 	} else {
-		var err error
-		seg, err = index.BuildFromCorpus(cfg, opts...)
+		gen, err := corpus.NewGenerator(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
+		p := pipeline.New(pipeline.Config{
+			Workers:        *workers,
+			SegmentDocs:    *segDocs,
+			Compact:        true,
+			BuilderOptions: opts,
+		})
+		stopProgress := startProgress(p, *progress)
+		// Stream generated documents through a bounded channel: generation
+		// runs concurrently with indexing and blocks when the workers fall
+		// behind (backpressure), instead of materializing the corpus.
+		ch := make(chan pipeline.Doc, 4*p.Config().Workers)
+		go func() {
+			defer close(ch)
+			gen.GenerateFunc(func(d corpus.Document) {
+				ch <- pipeline.Doc{Title: d.Title, Body: d.Body, URL: d.URL, Quality: d.Quality}
+			})
+		}()
+		res, err := p.Run(pipeline.FromChan(ch))
+		stopProgress()
+		if err != nil {
+			log.Fatal(err)
+		}
+		seg = res.Segments[0]
+		st := p.Stats()
+		log.Printf("built %d docs in %.2fs (%.0f docs/s, %.1f MB/s): %d segments cut, %d merges, first searchable after %.2fs",
+			res.Docs, res.Elapsed.Seconds(),
+			float64(res.Docs)/res.Elapsed.Seconds(),
+			float64(res.Bytes)/res.Elapsed.Seconds()/(1<<20),
+			st.SegmentsCut, st.Merges, res.TimeToFirstSegment.Seconds())
 	}
 	// Write-temp-fsync-rename so a crashed or interrupted indexer never
 	// leaves a half-written file under the output name.

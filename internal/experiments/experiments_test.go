@@ -523,11 +523,11 @@ func TestRunAllSmoke(t *testing.T) {
 	var buf bytes.Buffer
 	c := NewContext(&buf, 0.03)
 	names := c.RunAll()
-	if len(names) != 30 {
-		t.Errorf("ran %d experiments, want 30", len(names))
+	if len(names) != 31 {
+		t.Errorf("ran %d experiments, want 31", len(names))
 	}
 	out := buf.String()
-	for _, want := range []string{"E1", "E7", "E10", "E19", "E20", "E22", "ABL-4", "ABL-7", "ABL-8", "completed"} {
+	for _, want := range []string{"E1", "E7", "E10", "E19", "E20", "E22", "E23", "ABL-4", "ABL-7", "ABL-8", "completed"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q", want)
 		}

@@ -32,6 +32,7 @@ func (c *Context) RunAll() []string {
 		{"E20", func() { c.E20LiveIngest() }},
 		{"E21", func() { c.E21Replication() }},
 		{"E22", func() { c.E22Durability() }},
+		{"E23", func() { c.E23ParallelIndexing() }},
 		{"ABL-1", func() { c.AblationMaxScore() }},
 		{"ABL-2", func() { c.AblationCompression() }},
 		{"ABL-3", func() { c.AblationAssignment() }},

@@ -22,6 +22,7 @@ type Builder struct {
 
 	scratch    map[string]int32   // per-document term frequencies, reused
 	scratchPos map[string][]int32 // per-document term positions, reused
+	termsBuf   []string           // per-document sorted distinct terms, reused
 }
 
 type termAcc struct {
@@ -101,12 +102,14 @@ func (b *Builder) AddDocument(title, body, url string, quality float64) int32 {
 	b.analyzer.AnalyzeFunc(body, count)
 
 	// Postings must be appended in deterministic order for reproducible
-	// segments; sort this document's distinct terms.
-	terms := make([]string, 0, len(b.scratch))
+	// segments; sort this document's distinct terms. The slice is builder
+	// scratch, reused across documents.
+	terms := b.termsBuf[:0]
 	for t := range b.scratch {
 		terms = append(terms, t)
 	}
 	sort.Strings(terms)
+	b.termsBuf = terms
 	for _, t := range terms {
 		acc, ok := b.terms[t]
 		if !ok {

@@ -1,0 +1,41 @@
+package index
+
+import (
+	"testing"
+
+	"websearchbench/internal/corpus"
+)
+
+// BenchmarkBuilderAddDoc locks in the per-document cost and allocation
+// count of the analyze-and-accumulate hot path — the inner loop every
+// parallel-pipeline worker runs. The builder's scratch maps, sorted-term
+// slice and the analyzer's pooled stemmer buffer are all reused across
+// documents, so allocs/op here is dominated by the unavoidable term-key
+// and postings growth, not per-token garbage.
+func BenchmarkBuilderAddDoc(b *testing.B) {
+	cfg := corpus.DefaultConfig()
+	cfg.NumDocs = 512
+	gen, err := corpus.NewGenerator(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	docs := gen.Generate()
+	var total int64
+	for _, d := range docs {
+		total += int64(len(d.Title) + len(d.Body))
+	}
+	b.SetBytes(total / int64(len(docs)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	bl := NewBuilder()
+	for i := 0; i < b.N; i++ {
+		bl.AddCorpusDoc(docs[i%len(docs)])
+		if bl.NumDocs() >= len(docs) {
+			// Cap segment growth so long -benchtime runs measure steady
+			// per-document cost, not an ever-larger accumulator.
+			b.StopTimer()
+			bl = NewBuilder()
+			b.StartTimer()
+		}
+	}
+}

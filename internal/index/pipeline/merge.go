@@ -1,0 +1,183 @@
+package pipeline
+
+import (
+	"sort"
+	"sync"
+
+	"websearchbench/internal/index"
+)
+
+// The background merge tier. Built segments land in tier 0 under their
+// chunk index; whenever an aligned group of MergeFanIn adjacent
+// same-tier segments is complete, a background goroutine folds them with
+// index.MergeSegments into one tier+1 segment — concurrently with the
+// workers still building. Alignment (group g at tier t covers chunks
+// [g*F^(t+1), (g+1)*F^(t+1))) makes merge decisions purely structural:
+// which merges happen depends only on how many chunks the stream
+// produced, never on completion order, so the output segment set is
+// deterministic.
+
+// mergeJob is one scheduled fold: inputs are adjacent in document order.
+type mergeJob struct {
+	tier   int // output tier
+	group  int // output slot index within the output tier
+	inputs []*index.Segment
+}
+
+type mergeTier struct {
+	p     *Pipeline
+	fanIn int
+
+	mu       sync.Mutex
+	slots    map[int]map[int]*index.Segment // tier → slot index → segment
+	queue    []mergeJob
+	inflight int
+	closing  bool
+	err      error
+
+	wake chan struct{} // buffered(1): nudges the merge goroutine
+	idle chan struct{} // buffered(1): signals queue drained to drain()
+	done chan struct{}
+}
+
+func newMergeTier(p *Pipeline) *mergeTier {
+	t := &mergeTier{
+		p:     p,
+		fanIn: p.cfg.MergeFanIn,
+		slots: make(map[int]map[int]*index.Segment),
+		wake:  make(chan struct{}, 1),
+		idle:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+	}
+	go t.mergeLoop()
+	return t
+}
+
+// add registers a finished segment at (tier, idx) and schedules a merge
+// when it completes its aligned group. Called by build workers (tier 0)
+// and by the merge goroutine itself (cascading carries).
+func (t *mergeTier) add(tier, idx int, seg *index.Segment) {
+	t.mu.Lock()
+	m := t.slots[tier]
+	if m == nil {
+		m = make(map[int]*index.Segment)
+		t.slots[tier] = m
+	}
+	m[idx] = seg
+	t.p.backlog.Add(1)
+	g := idx / t.fanIn
+	full := true
+	for i := g * t.fanIn; i < (g+1)*t.fanIn; i++ {
+		if m[i] == nil {
+			full = false
+			break
+		}
+	}
+	if full {
+		inputs := make([]*index.Segment, 0, t.fanIn)
+		for i := g * t.fanIn; i < (g+1)*t.fanIn; i++ {
+			inputs = append(inputs, m[i])
+			delete(m, i)
+		}
+		t.queue = append(t.queue, mergeJob{tier: tier + 1, group: g, inputs: inputs})
+	}
+	t.mu.Unlock()
+	t.nudge()
+}
+
+func (t *mergeTier) nudge() {
+	select {
+	case t.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (t *mergeTier) mergeLoop() {
+	defer close(t.done)
+	for {
+		t.mu.Lock()
+		if len(t.queue) == 0 {
+			closing := t.closing
+			t.mu.Unlock()
+			if closing {
+				return
+			}
+			select {
+			case t.idle <- struct{}{}:
+			default:
+			}
+			<-t.wake
+			continue
+		}
+		job := t.queue[0]
+		t.queue = t.queue[1:]
+		t.inflight++
+		t.mu.Unlock()
+
+		merged, err := index.MergeSegments(job.inputs)
+
+		t.mu.Lock()
+		t.inflight--
+		if err != nil {
+			// Uniform builder options make this unreachable in practice;
+			// latch the error and drop the inputs rather than deadlock.
+			if t.err == nil {
+				t.err = err
+			}
+			t.p.backlog.Add(-int64(len(job.inputs)))
+			t.mu.Unlock()
+			continue
+		}
+		t.p.backlog.Add(-int64(len(job.inputs)))
+		t.mu.Unlock()
+		t.p.merges.Add(1)
+		t.add(job.tier, job.group, merged)
+	}
+}
+
+// drain waits for every queued and cascading merge to finish, stops the
+// merge goroutine, and returns the remaining segments in document order.
+// Called after all workers have exited, so no new tier-0 adds can race.
+func (t *mergeTier) drain() ([]*index.Segment, error) {
+	for {
+		t.mu.Lock()
+		busy := len(t.queue) > 0 || t.inflight > 0
+		if !busy {
+			t.closing = true
+		}
+		t.mu.Unlock()
+		if !busy {
+			break
+		}
+		<-t.idle
+	}
+	t.nudge()
+	<-t.done
+
+	if t.err != nil {
+		return nil, t.err
+	}
+	// Collect leftovers: incomplete groups at every tier (the stream's
+	// tail never fills its aligned group). A tier-t slot idx covers
+	// chunks starting at idx * fanIn^t.
+	type span struct {
+		start int
+		seg   *index.Segment
+	}
+	var spans []span
+	for tier, m := range t.slots {
+		mult := 1
+		for i := 0; i < tier; i++ {
+			mult *= t.fanIn
+		}
+		for idx, seg := range m {
+			spans = append(spans, span{start: idx * mult, seg: seg})
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+	segs := make([]*index.Segment, len(spans))
+	for i, s := range spans {
+		segs[i] = s.seg
+	}
+	return segs, nil
+}

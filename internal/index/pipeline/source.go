@@ -1,0 +1,96 @@
+// Package pipeline implements high-throughput parallel index
+// construction: a streaming, backpressured document source feeds N
+// workers that each own a private Builder (analysis included, so
+// tokenization parallelizes too) and cut independent segments at a
+// configurable document/byte budget, while a background merge tier folds
+// finished segments together with the existing size-tiered
+// MergeSegmentsFiltered machinery — concurrently with building.
+//
+// Determinism contract: the source is consumed in order by a single
+// feeder that cuts the stream into fixed chunks; a chunk's content, and
+// therefore the segment built from it, depends only on its position in
+// the stream, never on which worker built it or when. Background merges
+// combine only aligned, fully-present runs of adjacent chunks, so the
+// set of output segments (and, with Compact, the single merged segment)
+// is byte-for-byte reproducible for a fixed input order — independent of
+// worker count, scheduling, and merge timing.
+package pipeline
+
+import (
+	"websearchbench/internal/corpus"
+)
+
+// Doc is one document flowing through the pipeline.
+type Doc struct {
+	Title   string
+	Body    string
+	URL     string
+	Quality float64
+}
+
+// Source streams documents into the pipeline. Next returns the next
+// document in order, or ok=false when the stream is exhausted. Sources
+// are consumed by a single goroutine; implementations need not be
+// concurrency-safe.
+type Source interface {
+	Next() (d Doc, ok bool)
+}
+
+// chanSource adapts a channel of documents: the canonical streaming,
+// backpressured feed. The producer blocks when the pipeline falls
+// behind (bounded channel) and closes the channel at end of stream.
+type chanSource struct {
+	ch <-chan Doc
+}
+
+// FromChan returns a Source reading from ch until it is closed. Use a
+// bounded channel so a slow pipeline exerts backpressure on the
+// producer.
+func FromChan(ch <-chan Doc) Source { return &chanSource{ch: ch} }
+
+func (s *chanSource) Next() (Doc, bool) {
+	d, ok := <-s.ch
+	return d, ok
+}
+
+// corpusSource pulls documents from the synthetic corpus generator in
+// document order — generation interleaves with indexing instead of
+// materializing the whole corpus first.
+type corpusSource struct {
+	gen  *corpus.Generator
+	next int
+	n    int
+}
+
+// FromCorpus returns a Source streaming the generator's full corpus.
+func FromCorpus(gen *corpus.Generator) Source {
+	return &corpusSource{gen: gen, n: gen.Config().NumDocs}
+}
+
+func (s *corpusSource) Next() (Doc, bool) {
+	if s.next >= s.n {
+		return Doc{}, false
+	}
+	d := s.gen.GenerateDoc(s.next)
+	s.next++
+	return Doc{Title: d.Title, Body: d.Body, URL: d.URL, Quality: d.Quality}, true
+}
+
+// docsSource streams an in-memory slice, for tests and experiments that
+// pre-generate documents to keep generation cost out of the measurement.
+type docsSource struct {
+	docs []corpus.Document
+	next int
+}
+
+// FromDocs returns a Source over an already-materialized document slice.
+func FromDocs(docs []corpus.Document) Source { return &docsSource{docs: docs} }
+
+func (s *docsSource) Next() (Doc, bool) {
+	if s.next >= len(s.docs) {
+		return Doc{}, false
+	}
+	d := s.docs[s.next]
+	s.next++
+	return Doc{Title: d.Title, Body: d.Body, URL: d.URL, Quality: d.Quality}, true
+}

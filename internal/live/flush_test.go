@@ -1,0 +1,182 @@
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"websearchbench/internal/search"
+)
+
+// TestLiveAsyncFlushChurn stress-tests the background-flush pipeline's
+// correctness under churn: a tiny memtable and a pending-flush bound of
+// 2 force constant freezes and writer stalls, while every writer keeps
+// updating and deleting keys whose current version often sits in a
+// frozen memtable that is being built into a segment at that very
+// moment. That exercises the pending-flush tombstone carry-over (deletes
+// landing after the freeze must be remapped onto the spliced segment)
+// and the key-reference translation from memtable-local to
+// segment-local coordinates. Each writer owns a disjoint key range and
+// records the revision it last wrote (or that it deleted the key), and
+// the quiesced index must agree with that model exactly — every
+// surviving key resolves to its newest revision, every deleted key is
+// gone. Run under -race this is the async flusher's data-race canary.
+func TestLiveAsyncFlushChurn(t *testing.T) {
+	const (
+		writers     = 3
+		keysPerW    = 40
+		opsPerGoro  = 400
+		searchIters = 80
+	)
+	li := NewIndex(Config{
+		MemtableMaxDocs:   16,
+		MaxPendingFlushes: 2,
+		MaxSegments:       4,
+		ReclaimFrac:       0.2,
+	})
+	defer li.Close()
+
+	// finalRev[w][k] is the last revision writer w wrote for its key k,
+	// or -1 if the last operation was a delete. Written only by writer w,
+	// read after wg.Wait.
+	finalRev := make([][]int, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		finalRev[w] = make([]int, keysPerW)
+		for k := range finalRev[w] {
+			finalRev[w][k] = -1
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			for i := 0; i < opsPerGoro; i++ {
+				k := rng.Intn(keysPerW)
+				key := fmt.Sprintf("w%d-k%02d", w, k)
+				if rng.Intn(5) == 0 {
+					li.Delete(key)
+					finalRev[w][k] = -1
+				} else {
+					li.Update(key, "churn title",
+						fmt.Sprintf("churn body rev-%d-%d-%d", w, k, i), 0)
+					finalRev[w][k] = i
+				}
+			}
+		}(w)
+	}
+
+	// A searcher validates snapshot stability while flushes splice in,
+	// and a stats poller checks the new counters stay coherent.
+	q := search.Query{Terms: []string{"churn"}, Mode: search.ModeOr}
+	errs := make(chan error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < searchIters; i++ {
+			snap := li.Acquire()
+			a := snap.Search(q, writers*keysPerW*2)
+			b := snap.Search(q, writers*keysPerW*2)
+			if len(a) != len(b) {
+				errs <- fmt.Errorf("snapshot gen %d drifted: %d then %d hits", snap.Generation(), len(a), len(b))
+				snap.Release()
+				return
+			}
+			snap.Release()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < searchIters; i++ {
+			st := li.Stats()
+			if st.PendingFlushes < 0 || st.PendingFlushes > 2 {
+				errs <- fmt.Errorf("PendingFlushes %d outside [0, MaxPendingFlushes]", st.PendingFlushes)
+				return
+			}
+			if st.LiveDocs < 0 || st.DocsIndexed < st.Flushes {
+				errs <- fmt.Errorf("incoherent stats: %+v", st)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		return
+	}
+
+	// Quiesce: drain every pending flush, then check the model.
+	if err := li.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st := li.Stats(); st.PendingFlushes != 0 || st.MemtableDocs != 0 {
+		t.Fatalf("Flush left work pending: %+v", st)
+	}
+	got := make(map[string]string) // key → newest body
+	for _, h := range li.Search("churn", search.ModeOr, writers*keysPerW*2) {
+		got[h.Key] = h.Doc.Snippet
+	}
+	for w := 0; w < writers; w++ {
+		for k := 0; k < keysPerW; k++ {
+			key := fmt.Sprintf("w%d-k%02d", w, k)
+			rev, body := finalRev[w][k], got[key]
+			if rev < 0 {
+				if body != "" {
+					t.Fatalf("deleted key %s still present with %q", key, body)
+				}
+				continue
+			}
+			want := fmt.Sprintf("churn body rev-%d-%d-%d", w, k, rev)
+			if body != want {
+				t.Fatalf("key %s resolved to %q, want %q", key, body, want)
+			}
+		}
+	}
+
+	// Compact must drain and collapse to a single clean segment.
+	if err := li.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return li.Segment() != nil }, 5*time.Second)
+}
+
+// TestLiveFrozenMemtableSearchable pins down time-to-searchable: a
+// frozen memtable's documents must keep matching queries in the window
+// between the freeze and the background splice. The flusher is stalled
+// deliberately by freezing more memtables than it can have started, then
+// visibility is asserted while PendingFlushes > 0.
+func TestLiveFrozenMemtableSearchable(t *testing.T) {
+	li := NewIndex(Config{MemtableMaxDocs: 8, MaxPendingFlushes: 4})
+	defer li.Close()
+
+	for i := 0; i < 24; i++ {
+		li.Add(fmt.Sprintf("f%02d", i), "frozen", fmt.Sprintf("frozen body %d", i), 0)
+	}
+	// Whether or not the flusher has caught up yet, every document must
+	// be visible right now.
+	if got := keySet(li.Search("frozen", search.ModeOr, 100)); len(got) != 24 {
+		t.Fatalf("only %d of 24 docs visible mid-flush", len(got))
+	}
+	// Deletes routed at a frozen memtable must hide the doc immediately.
+	if ok, _ := li.Delete("f01"); !ok {
+		t.Fatal("Delete(f01) found nothing")
+	}
+	if got := keySet(li.Search("frozen", search.ModeOr, 100)); got["f01"] || len(got) != 23 {
+		t.Fatalf("delete against frozen memtable not visible: %d docs", len(got))
+	}
+	if err := li.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := keySet(li.Search("frozen", search.ModeOr, 100)); got["f01"] || len(got) != 23 {
+		t.Fatalf("post-splice state wrong: %d docs", len(got))
+	}
+	st := li.Stats()
+	if st.SegmentsCut == 0 || st.DocsIndexed != 24 {
+		t.Fatalf("counters wrong after flush: %+v", st)
+	}
+}

@@ -22,6 +22,12 @@ type Config struct {
 	// ReclaimFrac triggers a single-segment rewrite when at least this
 	// fraction of a segment's documents are tombstoned (default 0.25).
 	ReclaimFrac float64
+	// MaxPendingFlushes bounds how many frozen memtables may queue for
+	// the background flusher before writers stall (default 4). The bound
+	// is the async-flush pipeline's backpressure: without it a writer
+	// outrunning the flusher would accumulate unbounded frozen memtables.
+	// Ignored for durable indexes, which flush synchronously.
+	MaxPendingFlushes int
 	// RefreshEvery publishes a new snapshot every N mutations (default 1,
 	// i.e. every write is immediately searchable). Larger values batch
 	// publication work at the cost of staleness, the refresh-interval
@@ -45,6 +51,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReclaimFrac <= 0 {
 		c.ReclaimFrac = 0.25
+	}
+	if c.MaxPendingFlushes <= 0 {
+		c.MaxPendingFlushes = 4
 	}
 	if c.RefreshEvery <= 0 {
 		c.RefreshEvery = 1
@@ -84,6 +93,21 @@ type Stats struct {
 	Tombstones   int    `json:"tombstones"`
 	Flushes      int64  `json:"flushes"`
 	Merges       int64  `json:"merges"`
+	// DocsIndexed counts every document ever ingested through Add.
+	DocsIndexed int64 `json:"docs_indexed"`
+	// IngestRate is the recent ingest throughput in documents per second,
+	// averaged over the last five full one-second buckets.
+	IngestRate float64 `json:"ingest_rate"`
+	// SegmentsCut counts segments produced by memtable flushes (a flush
+	// whose documents were all already tombstoned cuts none).
+	SegmentsCut int64 `json:"segments_cut"`
+	// PendingFlushes is the number of frozen memtables queued for the
+	// background flusher — depth of the async-flush pipeline.
+	PendingFlushes int `json:"pending_flushes"`
+	// MergeBacklog is how many segments the index currently holds beyond
+	// its MaxSegments budget — the debt the background merger is working
+	// off.
+	MergeBacklog int `json:"merge_backlog"`
 	// Durable carries the sink's telemetry when the sink implements
 	// StatsSink; nil for in-memory indexes.
 	Durable *SinkStats `json:"durable,omitempty"`
@@ -103,6 +127,7 @@ type Index struct {
 	memPublished *Tombstones
 	memDirty     bool
 	segs         []*liveSeg
+	flushing     []*pendingFlush // frozen memtables awaiting build, oldest first
 	keyRefs      map[string]docRef
 	nextSegID    uint64
 	gen          uint64
@@ -110,13 +135,18 @@ type Index struct {
 	merging      bool
 	flushes      int64
 	merges       int64
+	docsIndexed  int64
+	segmentsCut  int64
+	rate         rateMeter
 	closed       bool
 
 	mergeCond *sync.Cond // signaled when a merge finishes
+	flushCond *sync.Cond // signaled when a pending flush splices in
 
 	cur atomic.Pointer[Snapshot]
 
 	mergeCh chan struct{}
+	flushCh chan struct{}
 	closeCh chan struct{}
 	wg      sync.WaitGroup
 }
@@ -131,12 +161,15 @@ func NewIndex(cfg Config) *Index {
 		keyRefs:   make(map[string]docRef),
 		nextSegID: 1,
 		mergeCh:   make(chan struct{}, 1),
+		flushCh:   make(chan struct{}, 1),
 		closeCh:   make(chan struct{}),
 	}
 	li.mergeCond = sync.NewCond(&li.mu)
+	li.flushCond = sync.NewCond(&li.mu)
 	li.publishLocked() // an empty but valid snapshot, so Acquire never nils
-	li.wg.Add(1)
+	li.wg.Add(2)
 	go li.mergeLoop()
+	go li.flushLoop()
 	return li
 }
 
@@ -155,6 +188,7 @@ func NewRecoveredIndex(cfg Config, segs []RecoveredSegment, nextSegID uint64) *I
 		keyRefs:   make(map[string]docRef),
 		nextSegID: 1,
 		mergeCh:   make(chan struct{}, 1),
+		flushCh:   make(chan struct{}, 1),
 		closeCh:   make(chan struct{}),
 	}
 	for _, rs := range segs {
@@ -179,9 +213,11 @@ func NewRecoveredIndex(cfg Config, segs []RecoveredSegment, nextSegID uint64) *I
 		li.nextSegID = nextSegID
 	}
 	li.mergeCond = sync.NewCond(&li.mu)
+	li.flushCond = sync.NewCond(&li.mu)
 	li.publishLocked()
-	li.wg.Add(1)
+	li.wg.Add(2)
 	go li.mergeLoop()
+	go li.flushLoop()
 	return li
 }
 
@@ -241,14 +277,27 @@ func (li *Index) Add(key, title, body string, quality float64) error {
 	}
 	local := li.mem.add(stored, key, terms)
 	li.keyRefs[key] = docRef{segID: 0, local: local}
+	li.docsIndexed++
+	li.rate.tick(timeNowUnix())
 	if len(li.mem.docs) >= li.cfg.MemtableMaxDocs {
-		// A commit failure here is post-apply: the document was journaled
-		// before it was applied and the un-rotated WAL still covers it,
-		// so it is durable and visible. Like the merge path, latching the
-		// error in the sink (it resurfaces via stats and the next commit
-		// retries the persist) beats reporting failure for a write that
-		// succeeded.
-		_ = li.flushLocked()
+		if li.cfg.Durable != nil {
+			// Durable indexes flush synchronously: the flush commit rotates
+			// the write-ahead log, which is only sound when every journaled
+			// mutation is captured by the persisted segments at commit time
+			// — an async splice would rotate away coverage of writes that
+			// landed after the freeze. A commit failure here is post-apply:
+			// the document was journaled before it was applied and the
+			// un-rotated WAL still covers it, so it is durable and visible.
+			// Like the merge path, latching the error in the sink (it
+			// resurfaces via stats and the next commit retries the persist)
+			// beats reporting failure for a write that succeeded.
+			_ = li.flushLocked()
+		} else {
+			// In-memory indexes hand the full memtable to the background
+			// flusher and keep ingesting: the expensive segment build runs
+			// off-lock while writes land in a fresh memtable.
+			li.freezeMemtableLocked()
+		}
 	}
 	li.afterMutationLocked()
 	return nil
@@ -319,13 +368,21 @@ func (li *Index) Refresh() uint64 {
 
 // Flush forces the memtable into an immutable segment and publishes.
 // With a durable sink, the flush is committed (segments persisted, WAL
-// rotated) before Flush returns.
+// rotated) before Flush returns; without one, Flush freezes the memtable
+// onto the background flusher and waits for every pending flush to
+// splice in.
 func (li *Index) Flush() error {
 	li.mu.Lock()
 	defer li.mu.Unlock()
-	err := li.flushLocked()
+	if li.cfg.Durable != nil {
+		err := li.flushLocked()
+		li.publishLocked()
+		return err
+	}
+	li.freezeMemtableLocked()
+	li.waitFlushesLocked()
 	li.publishLocked()
-	return err
+	return nil
 }
 
 // Stats returns a point-in-time summary.
@@ -333,17 +390,28 @@ func (li *Index) Stats() Stats {
 	li.mu.Lock()
 	defer li.mu.Unlock()
 	st := Stats{
-		Generation:   li.gen,
-		Segments:     len(li.segs),
-		MemtableDocs: len(li.mem.docs),
-		Tombstones:   li.memDead.Count(),
-		Flushes:      li.flushes,
-		Merges:       li.merges,
+		Generation:     li.gen,
+		Segments:       len(li.segs),
+		MemtableDocs:   len(li.mem.docs),
+		Tombstones:     li.memDead.Count(),
+		Flushes:        li.flushes,
+		Merges:         li.merges,
+		DocsIndexed:    li.docsIndexed,
+		IngestRate:     li.rate.rate(timeNowUnix()),
+		SegmentsCut:    li.segmentsCut,
+		PendingFlushes: len(li.flushing),
 	}
 	st.LiveDocs = int64(len(li.mem.docs) - li.memDead.Count())
+	for _, pf := range li.flushing {
+		st.Tombstones += pf.tomb.Count()
+		st.LiveDocs += int64(len(pf.mem.docs) - pf.tomb.Count())
+	}
 	for _, ls := range li.segs {
 		st.Tombstones += ls.tomb.Count()
 		st.LiveDocs += int64(ls.seg.NumDocs() - ls.tomb.Count())
+	}
+	if over := len(li.segs) - li.cfg.MaxSegments; over > 0 {
+		st.MergeBacklog = over
 	}
 	if ss, ok := li.cfg.Durable.(StatsSink); ok {
 		d := ss.SinkStats()
@@ -370,13 +438,25 @@ func analyze(a *textproc.Analyzer, title, body string) []memTermFreq {
 	return out
 }
 
-// tombstoneLocked marks ref's document deleted in its home structure.
+// tombstoneLocked marks ref's document deleted in its home structure —
+// the active memtable (segID 0), a frozen memtable still queued for its
+// background flush (the delete lands in the pending flush's tombstones
+// and is remapped onto the built segment at splice time), or an
+// immutable segment.
 func (li *Index) tombstoneLocked(ref docRef) {
 	if ref.segID == 0 {
 		if li.memDead.Set(ref.local) {
 			li.memDirty = true
 		}
 		return
+	}
+	for _, pf := range li.flushing {
+		if pf.id == ref.segID {
+			if pf.tomb.Set(ref.local) {
+				pf.dirty = true
+			}
+			return
+		}
 	}
 	for _, ls := range li.segs {
 		if ls.id == ref.segID {
@@ -431,6 +511,7 @@ func (li *Index) flushLocked() error {
 		id := li.nextSegID
 		li.nextSegID++
 		li.segs = append(li.segs, &liveSeg{id: id, seg: b.Finalize(), keys: keys, tomb: NewTombstones()})
+		li.segmentsCut++
 		for i := 0; i < n; i++ {
 			if remap[i] < 0 {
 				continue
@@ -495,31 +576,30 @@ func (li *Index) publishLocked() {
 		base += int32(ls.seg.NumDocs())
 		liveDocs += int64(ls.seg.NumDocs() - ls.published.Count())
 	}
+	memBase := base
+	mems := make([]*memView, 0, len(li.flushing)+1)
+	for _, pf := range li.flushing {
+		if pf.published == nil || pf.dirty {
+			pf.published = pf.tomb.Clone()
+			pf.dirty = false
+		}
+		mv := memViewOf(pf.mem, pf.published, base)
+		mems = append(mems, mv)
+		base += mv.upTo
+		liveDocs += int64(int(mv.upTo) - pf.published.Count())
+	}
 	if li.memPublished == nil || li.memDirty {
 		li.memPublished = li.memDead.Clone()
 		li.memDirty = false
 	}
-	m := li.mem
-	upTo := int32(len(m.docs))
-	var total int64
-	if upTo > 0 {
-		total = m.prefixLen[upTo-1]
-	}
-	mv := &memView{
-		mem:      m,
-		upTo:     upTo,
-		totalLen: total,
-		docLens:  m.docLens,
-		docs:     m.docs,
-		keys:     m.keys,
-		dead:     li.memPublished,
-	}
-	liveDocs += int64(int(upTo) - li.memPublished.Count())
+	mv := memViewOf(li.mem, li.memPublished, base)
+	mems = append(mems, mv)
+	liveDocs += int64(int(mv.upTo) - li.memPublished.Count())
 	snap := &Snapshot{
 		gen:      li.gen,
 		segs:     segViews,
-		mem:      mv,
-		memBase:  base,
+		mems:     mems,
+		memBase:  memBase,
 		live:     liveDocs,
 		analyzer: li.cfg.Analyzer,
 	}

@@ -88,7 +88,10 @@ func (m *memtable) postings(term string) (docs []int32, freqs []int32) {
 
 // memView is a point-in-time view of a memtable published with a
 // snapshot: only documents below upTo are visible, and documents flagged
-// in dead (an immutable tombstone clone) are hidden.
+// in dead (an immutable tombstone clone) are hidden. A snapshot holds
+// one memView per memtable still buffered in memory — the active one
+// plus any frozen memtables awaiting their background flush — each with
+// its own base offset in the snapshot's global docID space.
 type memView struct {
 	mem      *memtable
 	upTo     int32
@@ -97,6 +100,7 @@ type memView struct {
 	docs     []index.StoredDoc
 	keys     []string
 	dead     *Tombstones
+	base     int32
 }
 
 // search evaluates q against the view and returns the local top-k in the

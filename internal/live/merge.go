@@ -217,7 +217,13 @@ func (li *Index) applyMergeLocked(plan *mergePlan, merged *index.Segment, remaps
 // observed is compacted.
 func (li *Index) Compact() error {
 	li.mu.Lock()
-	err := li.flushLocked()
+	var err error
+	if li.cfg.Durable != nil {
+		err = li.flushLocked()
+	} else {
+		li.freezeMemtableLocked()
+		li.waitFlushesLocked()
+	}
 	li.publishLocked()
 	li.mu.Unlock()
 	if err != nil {
@@ -250,7 +256,7 @@ func (li *Index) Compact() error {
 func (li *Index) Segment() *index.Segment {
 	li.mu.Lock()
 	defer li.mu.Unlock()
-	if len(li.mem.docs) != 0 || len(li.segs) != 1 || li.segs[0].tomb.Count() != 0 {
+	if len(li.mem.docs) != 0 || len(li.flushing) != 0 || len(li.segs) != 1 || li.segs[0].tomb.Count() != 0 {
 		return nil
 	}
 	return li.segs[0].seg

@@ -37,11 +37,14 @@ type segView struct {
 // currently published snapshot holds one reference of its own, dropped
 // when a newer snapshot replaces it.
 type Snapshot struct {
-	gen      uint64
-	refs     atomic.Int32
-	segs     []*segView
-	mem      *memView
-	memBase  int32
+	gen  uint64
+	refs atomic.Int32
+	segs []*segView
+	// mems are the in-memory views: frozen memtables awaiting their
+	// background flush (oldest first), then the active memtable. Their
+	// bases follow the segments' in the global docID space.
+	mems     []*memView
+	memBase  int32 // base of mems[0]; docIDs >= memBase resolve in mems
 	live     int64
 	analyzer *textproc.Analyzer
 }
@@ -86,7 +89,7 @@ func (s *Snapshot) Search(q search.Query, k int) []Hit {
 	if s.refs.Load() <= 0 {
 		panic("live: Search on a released snapshot")
 	}
-	lists := make([][]search.Hit, 0, len(s.segs)+1)
+	lists := make([][]search.Hit, 0, len(s.segs)+len(s.mems))
 	for _, sv := range s.segs {
 		opts := search.Options{TopK: k, UseMaxScore: true, Analyzer: s.analyzer}
 		if sv.dead.Count() > 0 {
@@ -102,11 +105,13 @@ func (s *Snapshot) Search(q search.Query, k int) []Hit {
 		}
 		lists = append(lists, hits)
 	}
-	if mh := s.mem.search(q, k); len(mh) > 0 {
-		for i := range mh {
-			mh[i].Doc += s.memBase
+	for _, mv := range s.mems {
+		if mh := mv.search(q, k); len(mh) > 0 {
+			for i := range mh {
+				mh[i].Doc += mv.base
+			}
+			lists = append(lists, mh)
 		}
-		lists = append(lists, mh)
 	}
 	merged := search.MergeTopK(lists, k)
 	out := make([]Hit, len(merged))
@@ -125,8 +130,15 @@ func (s *Snapshot) SearchText(raw string, mode search.Mode, k int) []Hit {
 // document.
 func (s *Snapshot) resolve(h search.Hit) Hit {
 	if h.Doc >= s.memBase {
-		local := h.Doc - s.memBase
-		return Hit{Key: s.mem.keys[local], Score: h.Score, Doc: s.mem.docs[local]}
+		// Walk the (few) memtable views newest-first; each covers docIDs
+		// [base, base+upTo).
+		for i := len(s.mems) - 1; i >= 0; i-- {
+			mv := s.mems[i]
+			if h.Doc >= mv.base {
+				local := h.Doc - mv.base
+				return Hit{Key: mv.keys[local], Score: h.Score, Doc: mv.docs[local]}
+			}
+		}
 	}
 	i := sort.Search(len(s.segs), func(i int) bool { return s.segs[i].base > h.Doc }) - 1
 	sv := s.segs[i]

@@ -1,5 +1,7 @@
 package textproc
 
+import "sync"
+
 // Analyzer is the full text-analysis pipeline: tokenize, lowercase,
 // optionally drop stopwords, optionally stem. The default configuration
 // matches the standard analyzer of the Lucene-based index-serving stack
@@ -28,17 +30,31 @@ func (a *Analyzer) Analyze(text string) []string {
 	return terms
 }
 
+// stemScratchPool shares stemmer working buffers across AnalyzeFunc
+// calls: one Get/Put per document (or query) instead of two allocations
+// per stemmed token. The analyzer itself stays stateless and safe for
+// concurrent use — each call owns its scratch for its duration only.
+var stemScratchPool = sync.Pool{
+	New: func() any { return &stemScratch{buf: make([]byte, 0, 64)} },
+}
+
 // AnalyzeFunc runs the pipeline over text, calling fn for each resulting
 // term. It is the allocation-lean variant used on the indexing and query
-// hot paths.
+// hot paths: stemmer scratch is pooled, and terms the stemmer leaves
+// unchanged are passed through without copying.
 func (a *Analyzer) AnalyzeFunc(text string, fn func(term string)) {
+	var sc *stemScratch
+	if !a.DisableStemming {
+		sc = stemScratchPool.Get().(*stemScratch)
+		defer stemScratchPool.Put(sc)
+	}
 	TokenizeFunc(text, func(token string) {
 		term := Lowercase(token)
 		if !a.KeepStopwords && IsStopword(term) {
 			return
 		}
-		if !a.DisableStemming {
-			term = Stem(term)
+		if sc != nil {
+			term = sc.stem(term)
 		}
 		if term != "" {
 			fn(term)

@@ -10,7 +10,24 @@ package textproc
 // (after lowercasing), matching the behaviour of the reference stemmer as
 // used in search-engine analyzers.
 func Stem(word string) string {
-	word = Lowercase(word)
+	var sc stemScratch
+	return sc.stem(Lowercase(word))
+}
+
+// stemScratch holds a reusable working buffer for repeated stemming
+// calls, so the per-word []byte copy the one-shot Stem pays is amortized
+// across a whole document (or query). Not safe for concurrent use; the
+// analyzer pools instances per call.
+type stemScratch struct {
+	buf []byte
+}
+
+// stem is Stem over a pre-lowercased word using the scratch buffer. When
+// the Porter steps leave the word unchanged — the common case for short
+// and already-stemmed terms — the input string is returned as-is and no
+// allocation happens at all; otherwise only the final materialized stem
+// allocates.
+func (sc *stemScratch) stem(word string) string {
 	if len(word) < 3 {
 		return word
 	}
@@ -19,13 +36,18 @@ func Stem(word string) string {
 			return word
 		}
 	}
-	s := stemmer{b: []byte(word), k: len(word) - 1}
+	sc.buf = append(sc.buf[:0], word...)
+	s := stemmer{b: sc.buf, k: len(word) - 1}
 	s.step1ab()
 	s.step1c()
 	s.step2()
 	s.step3()
 	s.step4()
 	s.step5()
+	sc.buf = s.b // setto may have grown the buffer; keep it for reuse
+	if s.k+1 == len(word) && string(s.b[:s.k+1]) == word {
+		return word
+	}
 	return string(s.b[:s.k+1])
 }
 
