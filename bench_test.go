@@ -186,6 +186,13 @@ func BenchmarkE23ParallelIndexing(b *testing.B) {
 	benchExperiment(b, func(c *experiments.Context) { c.E23ParallelIndexing() })
 }
 
+// BenchmarkSharedThreshold regenerates the shared-threshold parallel
+// execution experiment (cross-partition pruning savings, bounded
+// executor vs goroutine-per-partition under load, live-path latency).
+func BenchmarkSharedThreshold(b *testing.B) {
+	benchExperiment(b, func(c *experiments.Context) { c.E24SharedExec() })
+}
+
 // BenchmarkAblationMaxScore regenerates the MaxScore pruning ablation.
 func BenchmarkAblationMaxScore(b *testing.B) {
 	benchExperiment(b, func(c *experiments.Context) { c.AblationMaxScore() })

@@ -1,5 +1,5 @@
 // Command benchrunner regenerates every table and figure of the paper's
-// reconstructed evaluation (E1..E13 plus the design ablations), printing
+// reconstructed evaluation (E1..E24 plus the design ablations), printing
 // each as a text table. See DESIGN.md for the experiment index and
 // EXPERIMENTS.md for the recorded results.
 //
@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"websearchbench/internal/experiments"
+	"websearchbench/internal/search/exec"
 )
 
 func main() {
@@ -26,11 +27,15 @@ func main() {
 	log.SetPrefix("benchrunner: ")
 
 	var (
-		scale = flag.Float64("scale", 1.0, "scale factor for corpus/queries/sim durations")
-		only  = flag.String("only", "", "run a single experiment (E1..E23, ABL-1..ABL-8)")
-		jsonO = flag.String("json", "", "write the run's measurements to this file as a JSON array of records (see experiments.Record for the schema)")
+		scale   = flag.Float64("scale", 1.0, "scale factor for corpus/queries/sim durations")
+		only    = flag.String("only", "", "run a single experiment (E1..E24, ABL-1..ABL-8)")
+		jsonO   = flag.String("json", "", "write the run's measurements to this file as a JSON array of records (see experiments.Record for the schema)")
+		workers = flag.Int("exec-workers", 0, "bounded search executor workers for the parallel-search experiments (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	if *workers > 0 {
+		exec.SetDefaultWorkers(*workers)
+	}
 
 	c := experiments.NewContext(os.Stdout, *scale)
 	defer func() {
@@ -69,6 +74,7 @@ func main() {
 		"E21":   func() { c.E21Replication() },
 		"E22":   func() { c.E22Durability() },
 		"E23":   func() { c.E23ParallelIndexing() },
+		"E24":   func() { c.E24SharedExec() },
 		"ABL-1": func() { c.AblationMaxScore() },
 		"ABL-2": func() { c.AblationCompression() },
 		"ABL-3": func() { c.AblationAssignment() },

@@ -50,6 +50,7 @@ import (
 	"websearchbench/internal/live"
 	"websearchbench/internal/partition"
 	"websearchbench/internal/search"
+	"websearchbench/internal/search/exec"
 )
 
 func main() {
@@ -69,6 +70,9 @@ func main() {
 		replica  = flag.Int("replica", 0, "this node's replica number within its shard (labeling only; replicas of a shard serve identical slices)")
 		topK     = flag.Int("topk", 10, "results per query")
 		drain    = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
+
+		execWorkers = flag.Int("exec-workers", 0, "bounded search executor workers shared by all queries (0 = GOMAXPROCS)")
+		sharedTh    = flag.Bool("shared-threshold", true, "share the top-k pruning threshold across a query's partitions")
 
 		// Live (near-real-time) serving.
 		liveMode    = flag.Bool("live", false, "serve a mutable live index (enables POST /docs and /delete)")
@@ -105,6 +109,9 @@ func main() {
 		// and /stats without requiring an explicit -name per process.
 		*name = fmt.Sprintf("node-%d-r%d", *shard, *replica)
 	}
+	if *execWorkers > 0 {
+		exec.SetDefaultWorkers(*execWorkers)
+	}
 
 	cfg := corpus.DefaultConfig()
 	cfg.NumDocs = *docs
@@ -123,6 +130,7 @@ func main() {
 			MemtableMaxDocs: *liveMemDocs,
 			MaxSegments:     *liveSegs,
 			RefreshEvery:    *liveRefresh,
+			Parallel:        *parallel,
 		}
 		var li *live.Index
 		if *dataDir != "" {
@@ -217,6 +225,9 @@ func main() {
 		})
 		idx := b.Finalize()
 		node = cluster.NewNode(*name, idx, search.Options{TopK: *topK}, *parallel)
+		if !*sharedTh {
+			node.Searcher().SetSharedPruning(false)
+		}
 		serving = fmt.Sprintf("%d docs in %d partitions", idx.NumDocs(), idx.NumPartitions())
 	}
 	node.SetDrainTimeout(*drain)

@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"websearchbench/internal/live"
 	"websearchbench/internal/metrics"
 	"websearchbench/internal/partition"
 	"websearchbench/internal/search"
+	"websearchbench/internal/search/exec"
 )
 
 // Node is one index-serving server: it owns a slice of the document
@@ -113,7 +115,8 @@ func (n *Node) handleSearch(w http.ResponseWriter, r *http.Request) {
 			if k <= 0 {
 				k = n.topK
 			}
-			hits := n.live.Search(req.Query, mode, k)
+			hp := liveHitsPool.Get().(*[]live.Hit)
+			hits := n.live.SearchInto(req.Query, mode, k, (*hp)[:0])
 			took := time.Since(start)
 			n.hist.Record(took)
 			resp = SearchResponse{
@@ -125,6 +128,12 @@ func (n *Node) handleSearch(w http.ResponseWriter, r *http.Request) {
 			for _, h := range hits {
 				resp.Hits = append(resp.Hits, WireHit{URL: h.Key, Title: h.Doc.Title, Score: h.Score})
 			}
+			// Hits pin snapshot keys and stored docs; clear before pooling.
+			for i := range hits {
+				hits[i] = live.Hit{}
+			}
+			*hp = hits[:0]
+			liveHitsPool.Put(hp)
 			done <- resp
 			return
 		}
@@ -161,6 +170,13 @@ func (n *Node) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 // Live returns the node's live index (nil for static nodes).
 func (n *Node) Live() *live.Index { return n.live }
+
+// Searcher returns the node's partitioned searcher (nil for live nodes),
+// so servers can tune executor and pruning behavior after construction.
+func (n *Node) Searcher() *partition.Searcher { return n.searcher }
+
+// liveHitsPool recycles the per-request live hit buffer of handleSearch.
+var liveHitsPool = sync.Pool{New: func() any { return new([]live.Hit) }}
 
 // handleAddDoc ingests one document into a live node.
 func (n *Node) handleAddDoc(w http.ResponseWriter, r *http.Request) {
@@ -202,6 +218,9 @@ func (n *Node) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if n.live != nil {
 		st := n.live.Stats()
 		resp.Live = &st
+	}
+	if es, ok := exec.DefaultStats(); ok {
+		resp.Exec = &es
 	}
 	writeJSON(w, resp)
 }

@@ -14,6 +14,7 @@ import (
 	"websearchbench/internal/live"
 	"websearchbench/internal/metrics"
 	"websearchbench/internal/search"
+	"websearchbench/internal/search/exec"
 )
 
 // SearchRequest is the wire form of a query.
@@ -124,8 +125,12 @@ type ShardBalanceStats struct {
 // search-latency histogram summary plus, on live nodes, the live index's
 // shape and, on the front-end, per-shard replica-balancer state.
 type MetricsResponse struct {
-	Node    string               `json:"node,omitempty"`
-	Search  metrics.JSONSnapshot `json:"search"`
-	Live    *live.Stats          `json:"live,omitempty"`
-	Balance []ShardBalanceStats  `json:"balance,omitempty"`
+	Node   string               `json:"node,omitempty"`
+	Search metrics.JSONSnapshot `json:"search"`
+	Live   *live.Stats          `json:"live,omitempty"`
+	// Exec reports the process-wide bounded search executor's gauges
+	// (queue depth, in-flight tasks); omitted until a parallel search
+	// has started the pool.
+	Exec    *exec.Stats         `json:"exec,omitempty"`
+	Balance []ShardBalanceStats `json:"balance,omitempty"`
 }

@@ -516,6 +516,42 @@ func TestE19LiveFaults(t *testing.T) {
 	}
 }
 
+func TestE24SharedExec(t *testing.T) {
+	c := smokeContext(t)
+	res := c.E24SharedExec()
+	if len(res.Prune) != 4 {
+		t.Fatalf("want 4 partition counts in the pruning sweep, got %d", len(res.Prune))
+	}
+	for _, r := range res.Prune {
+		// The acceptance invariant: the shared floor subsumes every local
+		// floor, so sharing can only skip postings, never add them.
+		if r.SharedPostings > r.IndepPostings {
+			t.Errorf("P=%d: shared pruning scanned MORE postings (%d vs %d)",
+				r.Parts, r.SharedPostings, r.IndepPostings)
+		}
+		if r.Parts == 1 && r.SharedPostings != r.IndepPostings {
+			t.Errorf("P=1: sharing changed postings scanned (%d vs %d) with nothing to share with",
+				r.SharedPostings, r.IndepPostings)
+		}
+	}
+	if len(res.Load) != 2 || res.Load[0].Name != "goroutine_per_part" || res.Load[1].Name != "executor" {
+		t.Fatalf("load rows = %+v", res.Load)
+	}
+	for _, r := range res.Load {
+		if r.P50 <= 0 || r.P99 < r.P50/2 || r.QPS <= 0 {
+			t.Errorf("implausible load row %+v", r)
+		}
+	}
+	if len(res.Live) != 2 {
+		t.Fatalf("want 2 live rows, got %d", len(res.Live))
+	}
+	for _, r := range res.Live {
+		if r.P50 <= 0 || r.QPS <= 0 || r.Segments <= 0 {
+			t.Errorf("implausible live row %+v", r)
+		}
+	}
+}
+
 func TestRunAllSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full RunAll in short mode")
@@ -523,11 +559,11 @@ func TestRunAllSmoke(t *testing.T) {
 	var buf bytes.Buffer
 	c := NewContext(&buf, 0.03)
 	names := c.RunAll()
-	if len(names) != 31 {
-		t.Errorf("ran %d experiments, want 31", len(names))
+	if len(names) != 32 {
+		t.Errorf("ran %d experiments, want 32", len(names))
 	}
 	out := buf.String()
-	for _, want := range []string{"E1", "E7", "E10", "E19", "E20", "E22", "E23", "ABL-4", "ABL-7", "ABL-8", "completed"} {
+	for _, want := range []string{"E1", "E7", "E10", "E19", "E20", "E22", "E23", "E24", "ABL-4", "ABL-7", "ABL-8", "completed"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q", want)
 		}

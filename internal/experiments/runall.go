@@ -33,6 +33,7 @@ func (c *Context) RunAll() []string {
 		{"E21", func() { c.E21Replication() }},
 		{"E22", func() { c.E22Durability() }},
 		{"E23", func() { c.E23ParallelIndexing() }},
+		{"E24", func() { c.E24SharedExec() }},
 		{"ABL-1", func() { c.AblationMaxScore() }},
 		{"ABL-2", func() { c.AblationCompression() }},
 		{"ABL-3", func() { c.AblationAssignment() }},

@@ -7,6 +7,7 @@ import (
 
 	"websearchbench/internal/index"
 	"websearchbench/internal/search"
+	"websearchbench/internal/search/exec"
 	"websearchbench/internal/textproc"
 )
 
@@ -40,6 +41,15 @@ type Config struct {
 	// every flush/merge commit; see the Sink docs. Nil means in-memory
 	// only (the default, and the pre-durability behavior).
 	Durable Sink
+	// Parallel runs each query's segment and memtable searches as tasks
+	// on the bounded search executor instead of a sequential loop. The
+	// default (false) preserves the original single-goroutine search
+	// path.
+	Parallel bool
+	// Executor overrides the worker pool Parallel searches run on; nil
+	// selects the process-wide exec.Default pool. Ignored unless
+	// Parallel is set.
+	Executor *exec.Executor
 }
 
 func (c Config) withDefaults() Config {
@@ -60,6 +70,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Analyzer == nil {
 		c.Analyzer = textproc.NewAnalyzer()
+	}
+	if c.Parallel && c.Executor == nil {
+		c.Executor = exec.Default()
 	}
 	return c
 }
@@ -338,11 +351,22 @@ func (li *Index) Search(raw string, mode search.Mode, k int) []Hit {
 	return li.SearchQuery(search.ParseQuery(li.cfg.Analyzer, raw, mode), k)
 }
 
+// SearchInto is Search appending into dst; see Snapshot.SearchInto.
+func (li *Index) SearchInto(raw string, mode search.Mode, k int, dst []Hit) []Hit {
+	return li.SearchQueryInto(search.ParseQuery(li.cfg.Analyzer, raw, mode), k, dst)
+}
+
 // SearchQuery evaluates an analyzed query on the current snapshot.
 func (li *Index) SearchQuery(q search.Query, k int) []Hit {
+	return li.SearchQueryInto(q, k, nil)
+}
+
+// SearchQueryInto is SearchQuery appending into dst; see
+// Snapshot.SearchInto.
+func (li *Index) SearchQueryInto(q search.Query, k int, dst []Hit) []Hit {
 	s := li.Acquire()
 	defer s.Release()
-	return s.Search(q, k)
+	return s.SearchInto(q, k, dst)
 }
 
 // SetRefreshEvery changes the refresh interval (values <= 0 select the
@@ -572,7 +596,16 @@ func (li *Index) publishLocked() {
 			ls.published = ls.tomb.Clone()
 			ls.dirty = false
 		}
-		segViews = append(segViews, &segView{seg: ls.seg, keys: ls.keys, dead: ls.published, base: base})
+		sv := &segView{seg: ls.seg, keys: ls.keys, dead: ls.published, base: base}
+		// One searcher per view, reused by every query against this
+		// snapshot; the tombstone filter binds the view's immutable
+		// published clone. Queries override TopK per call.
+		opts := search.Options{TopK: 10, UseMaxScore: true, Analyzer: li.cfg.Analyzer}
+		if ls.published.Count() > 0 {
+			opts.Deleted = ls.published.Has
+		}
+		sv.searcher = search.NewSearcher(ls.seg, opts)
+		segViews = append(segViews, sv)
 		base += int32(ls.seg.NumDocs())
 		liveDocs += int64(ls.seg.NumDocs() - ls.published.Count())
 	}
@@ -602,6 +635,9 @@ func (li *Index) publishLocked() {
 		memBase:  memBase,
 		live:     liveDocs,
 		analyzer: li.cfg.Analyzer,
+	}
+	if li.cfg.Parallel {
+		snap.pool = li.cfg.Executor
 	}
 	snap.refs.Store(1)
 	if old := li.cur.Swap(snap); old != nil {

@@ -1,0 +1,152 @@
+package live
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"websearchbench/internal/search"
+	"websearchbench/internal/search/exec"
+)
+
+// mutate applies a randomized add/update/delete stream, leaving the
+// index with several segments, a populated memtable and live tombstones.
+func mutate(t *testing.T, li *Index) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 400; i++ {
+		key := fmt.Sprintf("doc-%d", rng.Intn(150))
+		body := fmt.Sprintf("alpha beta gamma delta term%d term%d filler words", rng.Intn(40), rng.Intn(40))
+		if rng.Intn(10) == 0 {
+			if _, err := li.Delete(key); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if err := li.Add(key, "t "+key, body, rng.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	li.Refresh()
+}
+
+// searchIndependent evaluates q against the snapshot the pre-executor
+// way: every segment and memtable view independently (no threshold
+// sharing, no pool), then one merge — the reference the shared parallel
+// path must reproduce byte-for-byte.
+func searchIndependent(s *Snapshot, q search.Query, k int) []Hit {
+	var lists [][]search.Hit
+	for _, sv := range s.segs {
+		var res search.Result
+		sv.searcher.SearchIntoShared(q, &res, k, nil)
+		hits := append([]search.Hit(nil), res.Hits...)
+		for i := range hits {
+			hits[i].Doc += sv.base
+		}
+		lists = append(lists, hits)
+	}
+	for _, mv := range s.mems {
+		mh := mv.search(q, k)
+		for i := range mh {
+			mh[i].Doc += mv.base
+		}
+		lists = append(lists, mh)
+	}
+	merged := search.MergeTopK(lists, k)
+	out := make([]Hit, 0, len(merged))
+	for _, h := range merged {
+		out = append(out, s.resolve(h))
+	}
+	return out
+}
+
+// TestParallelSnapshotSearchIdentical: shared-threshold execution —
+// sequential and on the bounded executor — returns exactly the results
+// of independent per-view evaluation on the same snapshot, across
+// segments, the memtable and tombstones. Comparing within one snapshot
+// keeps global docIDs (the tie-break order) fixed, which is the
+// guarantee the engine actually makes; two separately-mutated indexes
+// can legally order equal-scored hits differently because their
+// asynchronous merges assign different docIDs.
+func TestParallelSnapshotSearchIdentical(t *testing.T) {
+	pool := exec.New(4)
+	defer pool.Close()
+	li := NewIndex(Config{MemtableMaxDocs: 32, Parallel: true, Executor: pool})
+	defer li.Close()
+	mutate(t, li)
+
+	snap := li.Acquire()
+	defer snap.Release()
+	if snap.NumSegments() < 2 {
+		t.Fatalf("want a multi-segment snapshot, got %d segments", snap.NumSegments())
+	}
+	tombs := 0
+	for _, sv := range snap.segs {
+		tombs += sv.dead.Count()
+	}
+	if tombs == 0 {
+		t.Fatal("want tombstones in the snapshot")
+	}
+
+	// Documents and ranks must match exactly; scores carry the repo-wide
+	// 1e-9 tolerance because MaxScore's term partitioning depends on the
+	// threshold, so sharing can reorder a score's floating-point
+	// additions by a final ULP.
+	check := func(label string, got, want []Hit, raw string, mode search.Mode) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s query %q (%v): %d hits vs %d", label, raw, mode, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Key != want[i].Key || got[i].Doc != want[i].Doc ||
+				math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+				t.Fatalf("%s query %q (%v): hit %d = %+v, want %+v",
+					label, raw, mode, i, got[i], want[i])
+			}
+		}
+	}
+
+	queries := []string{"alpha", "term3 term7", "beta term1 term2", "gamma delta", "term39", "filler alpha term5"}
+	for _, raw := range queries {
+		for _, mode := range []search.Mode{search.ModeOr, search.ModeAnd} {
+			q := search.ParseQuery(snap.analyzer, raw, mode)
+			want := searchIndependent(snap, q, 10)
+			check("parallel", snap.Search(q, 10), want, raw, mode)
+			// Same snapshot without the pool: the sequential shared path.
+			snap.pool = nil
+			check("sequential-shared", snap.Search(q, 10), want, raw, mode)
+			snap.pool = pool
+		}
+	}
+}
+
+// TestSearchIntoReusesBuffer: SearchInto appends into the caller's
+// buffer and matches Search exactly, so serving paths can recycle one
+// buffer across queries.
+func TestSearchIntoReusesBuffer(t *testing.T) {
+	li := NewIndex(Config{MemtableMaxDocs: 32})
+	defer li.Close()
+	for i := 0; i < 100; i++ {
+		if err := li.Add(fmt.Sprintf("k%d", i), "title", fmt.Sprintf("common word%d", i%7), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf []Hit
+	for _, raw := range []string{"common", "word1", "word2 common", "missing"} {
+		want := li.Search(raw, search.ModeOr, 10)
+		buf = li.SearchInto(raw, search.ModeOr, 10, buf[:0])
+		if len(buf) != len(want) {
+			t.Fatalf("query %q: SearchInto %d hits, Search %d", raw, len(buf), len(want))
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("query %q: hit %d = %+v, want %+v", raw, i, buf[i], want[i])
+			}
+		}
+	}
+	// The buffer grows once and is reused; capacity must survive resets.
+	if cap(buf) == 0 {
+		t.Fatal("buffer never grew")
+	}
+}

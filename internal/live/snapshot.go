@@ -2,10 +2,12 @@ package live
 
 import (
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"websearchbench/internal/index"
 	"websearchbench/internal/search"
+	"websearchbench/internal/search/exec"
 	"websearchbench/internal/textproc"
 )
 
@@ -26,6 +28,11 @@ type segView struct {
 	keys []string
 	dead *Tombstones
 	base int32
+	// searcher is built once at publication and reused by every query
+	// against this view, so the per-segment search loop shares the
+	// allocation-pooled SearchInto path instead of constructing a fresh
+	// Searcher and Options per segment per query.
+	searcher *search.Searcher
 }
 
 // Snapshot is a refcounted point-in-time view of the live index.
@@ -47,6 +54,9 @@ type Snapshot struct {
 	memBase  int32 // base of mems[0]; docIDs >= memBase resolve in mems
 	live     int64
 	analyzer *textproc.Analyzer
+	// pool is the bounded executor segment and memtable searches run on;
+	// nil keeps the sequential per-view loop.
+	pool *exec.Executor
 }
 
 // Generation returns the snapshot's publication generation. Generations
@@ -76,6 +86,31 @@ func (s *Snapshot) tryRef() bool {
 // Release drops one reference. The snapshot must not be used afterwards.
 func (s *Snapshot) Release() { s.refs.Add(-1) }
 
+// searchScratch is the per-query working set of a snapshot search: one
+// pooled Result per segment view (whose Hits arrays SearchInto refills
+// in place), the memtable hit lists, the merge input and the merged
+// top-k. Pooled so steady-state snapshot searches allocate only the
+// resolved hits that escape to the caller — and with SearchInto not
+// even those.
+type searchScratch struct {
+	partRes []search.Result
+	lists   [][]search.Hit
+	merged  []search.Hit
+}
+
+var searchScratchPool = sync.Pool{New: func() any { return new(searchScratch) }}
+
+func (sc *searchScratch) grow(n int) {
+	for len(sc.partRes) < n {
+		sc.partRes = append(sc.partRes, search.Result{})
+	}
+	sc.partRes = sc.partRes[:n]
+	for len(sc.lists) < n {
+		sc.lists = append(sc.lists, nil)
+	}
+	sc.lists = sc.lists[:n]
+}
+
 // Search evaluates an analyzed query against the snapshot and returns
 // the global top-k: each segment and the memtable view produce a local
 // top-k under their tombstone filters, and the lists are merged exactly
@@ -83,42 +118,75 @@ func (s *Snapshot) Release() { s.refs.Add(-1) }
 // to 10. The live segments carry no positions, so phrase queries match
 // nothing.
 func (s *Snapshot) Search(q search.Query, k int) []Hit {
+	return s.SearchInto(q, k, nil)
+}
+
+// SearchInto is Search appending the resolved hits to dst (which may be
+// nil), so steady-state callers can serve queries without allocating.
+// Segment views run on the index's executor when one is configured —
+// the live half of the bounded query execution engine — and share a
+// pruning threshold, so a segment that fills its heap first lets the
+// others skip postings below the global floor; the merged top-k is
+// identical to the sequential evaluation either way. The returned slice
+// aliases dst's backing array; its hits pin snapshot data (keys, stored
+// docs), so pooled buffers should be cleared before reuse.
+func (s *Snapshot) SearchInto(q search.Query, k int, dst []Hit) []Hit {
 	if k <= 0 {
 		k = 10
 	}
 	if s.refs.Load() <= 0 {
 		panic("live: Search on a released snapshot")
 	}
-	lists := make([][]search.Hit, 0, len(s.segs)+len(s.mems))
-	for _, sv := range s.segs {
-		opts := search.Options{TopK: k, UseMaxScore: true, Analyzer: s.analyzer}
-		if sv.dead.Count() > 0 {
-			opts.Deleted = sv.dead.Has
-		}
-		res := search.NewSearcher(sv.seg, opts).Search(q)
-		if len(res.Hits) == 0 {
-			continue
-		}
-		hits := res.Hits
-		for i := range hits {
-			hits[i].Doc += sv.base
-		}
-		lists = append(lists, hits)
+	nSegs := len(s.segs)
+	n := nSegs + len(s.mems)
+	sc := searchScratchPool.Get().(*searchScratch)
+	sc.grow(n)
+	var share *search.ThresholdShare
+	if nSegs > 1 {
+		share = search.GetThresholdShare()
 	}
-	for _, mv := range s.mems {
-		if mh := mv.search(q, k); len(mh) > 0 {
-			for i := range mh {
-				mh[i].Doc += mv.base
-			}
-			lists = append(lists, mh)
+	run := func(i int) {
+		if i < nSegs {
+			sv := s.segs[i]
+			sv.searcher.SearchIntoShared(q, &sc.partRes[i], k, share)
+			sc.lists[i] = sc.partRes[i].Hits
+			return
+		}
+		// Memtable views use the map-accumulator scorer: no pruning, so
+		// they neither consult nor publish the shared threshold.
+		sc.lists[i] = s.mems[i-nSegs].search(q, k)
+	}
+	if s.pool != nil && n > 1 {
+		s.pool.Map(n, run)
+	} else {
+		for i := 0; i < n; i++ {
+			run(i)
 		}
 	}
-	merged := search.MergeTopK(lists, k)
-	out := make([]Hit, len(merged))
-	for i, h := range merged {
-		out[i] = s.resolve(h)
+	// Rebase local docIDs into the snapshot's global space sequentially
+	// after the fork-join; the per-view lists are scratch.
+	for i, sv := range s.segs {
+		for j := range sc.lists[i] {
+			sc.lists[i][j].Doc += sv.base
+		}
 	}
-	return out
+	for i, mv := range s.mems {
+		for j := range sc.lists[nSegs+i] {
+			sc.lists[nSegs+i][j].Doc += mv.base
+		}
+	}
+	sc.merged = search.MergeTopKInto(sc.merged, sc.lists, k)
+	for _, h := range sc.merged {
+		dst = append(dst, s.resolve(h))
+	}
+	for i := range sc.lists {
+		sc.lists[i] = nil // drop hit references; partRes keeps its capacity
+	}
+	searchScratchPool.Put(sc)
+	if share != nil {
+		search.PutThresholdShare(share)
+	}
+	return dst
 }
 
 // SearchText parses raw query text and evaluates it against the snapshot.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"websearchbench/internal/search"
+	"websearchbench/internal/search/exec"
 )
 
 // Result is the outcome of a partitioned search: merged global-docID hits
@@ -13,13 +14,16 @@ type Result struct {
 	Hits            []search.Hit // global docIDs, descending score
 	Matches         int
 	PostingsScanned int64
-	// PartTimes[p] is partition p's wall-clock service time.
+	// PartTimes[p] is partition p's wall-clock service time. Timing
+	// collection is opt-in (see SetCollectPartTimes): nil when disabled.
 	PartTimes []time.Duration
 	// CriticalPath is the longest partition time: the fork-join span a
-	// parallel server pays before merging.
+	// parallel server pays before merging. Zero when timing collection
+	// is disabled.
 	CriticalPath time.Duration
 	// TotalWork is the sum of partition times: the CPU work a server
-	// pays regardless of parallelism.
+	// pays regardless of parallelism. Zero when timing collection is
+	// disabled.
 	TotalWork time.Duration
 	// MergeTime is the cost of combining the per-partition top-k lists.
 	MergeTime time.Duration
@@ -32,25 +36,66 @@ type Searcher struct {
 	searchers []*search.Searcher
 	opts      search.Options
 	parallel  bool
+	// pool is the bounded executor parallel searches run on; nil with
+	// parallel set selects the legacy goroutine-per-partition fork
+	// (kept for the E24 oversubscription comparison).
+	pool *exec.Executor
+	// shared enables cross-partition threshold sharing: one pooled
+	// ThresholdShare per query, every partition publishing its heap
+	// floor and pruning against the global maximum.
+	shared bool
+	// collectTimes enables the PartTimes/CriticalPath/TotalWork
+	// breakdown. On the serving path the slice would be allocated per
+	// query only to be discarded, so collection defaults off for
+	// parallel searchers and on for sequential ones (the calibration
+	// and fork-join measurement paths).
+	collectTimes bool
 }
 
 // NewSearcher builds per-partition searchers with the given options.
-// When parallel is true, partitions are searched by concurrent goroutines
-// (the intra-server parallelism of the paper's study); otherwise they are
-// searched sequentially on the calling goroutine, which isolates the pure
-// work measurements used to calibrate the server simulator.
+// When parallel is true, partitions are searched as tasks on the shared
+// bounded executor (exec.Default) — the intra-server parallelism of the
+// paper's study, bounded so concurrent queries multiplex over a fixed
+// worker pool; otherwise they are searched sequentially on the calling
+// goroutine, which isolates the pure work measurements used to
+// calibrate the server simulator. Cross-partition threshold sharing
+// defaults on in both modes (results are identical, postings scanned
+// strictly drop); per-partition timing defaults on only for sequential
+// searchers. SetExecutor, SetSharedPruning and SetCollectPartTimes
+// override the defaults.
 func NewSearcher(idx *Index, opts search.Options, parallel bool) *Searcher {
 	s := &Searcher{
-		idx:       idx,
-		searchers: make([]*search.Searcher, idx.NumPartitions()),
-		opts:      opts,
-		parallel:  parallel,
+		idx:          idx,
+		searchers:    make([]*search.Searcher, idx.NumPartitions()),
+		opts:         opts,
+		parallel:     parallel,
+		shared:       true,
+		collectTimes: !parallel,
+	}
+	if parallel {
+		s.pool = exec.Default()
 	}
 	for p := range s.searchers {
 		s.searchers[p] = search.NewSearcher(idx.Segment(p), opts)
 	}
 	return s
 }
+
+// SetExecutor overrides the worker pool parallel searches run on. nil
+// restores the pre-executor behavior of one goroutine per partition per
+// query; ignored by sequential searchers.
+func (s *Searcher) SetExecutor(e *exec.Executor) { s.pool = e }
+
+// SetSharedPruning toggles cross-partition threshold sharing (default
+// on). Off, every partition prunes against only its local top-k heap —
+// kept for the E24 shared-vs-independent comparison.
+func (s *Searcher) SetSharedPruning(on bool) { s.shared = on }
+
+// SetCollectPartTimes toggles the per-partition timing breakdown
+// (PartTimes, CriticalPath, TotalWork), which costs one slice
+// allocation per query. Defaults on for sequential searchers, off for
+// parallel (serving-path) ones.
+func (s *Searcher) SetCollectPartTimes(on bool) { s.collectTimes = on }
 
 // Index returns the underlying partitioned index.
 func (s *Searcher) Index() *Index { return s.idx }
@@ -91,15 +136,35 @@ func (s *Searcher) Search(q search.Query) Result {
 	parts := len(s.searchers)
 	sc := scratchPool.Get().(*partScratch)
 	sc.grow(parts)
-	// PartTimes escapes into the returned Result, so it cannot be pooled.
-	times := make([]time.Duration, parts)
+	// PartTimes escapes into the returned Result, so it cannot be
+	// pooled; it is only allocated when collection is enabled.
+	var times []time.Duration
+	if s.collectTimes {
+		times = make([]time.Duration, parts)
+	}
+	var share *search.ThresholdShare
+	if s.shared && parts > 1 {
+		share = search.GetThresholdShare()
+	}
 
 	runPart := func(p int) {
-		start := time.Now()
-		s.searchers[p].SearchInto(q, &sc.partRes[p])
-		times[p] = time.Since(start)
+		if times != nil {
+			start := time.Now()
+			s.searchers[p].SearchIntoShared(q, &sc.partRes[p], 0, share)
+			times[p] = time.Since(start)
+			return
+		}
+		s.searchers[p].SearchIntoShared(q, &sc.partRes[p], 0, share)
 	}
-	if s.parallel && parts > 1 {
+	switch {
+	case !s.parallel || parts == 1:
+		for p := 0; p < parts; p++ {
+			runPart(p)
+		}
+	case s.pool != nil:
+		s.pool.Map(parts, runPart)
+	default:
+		// Legacy unbounded fork: one goroutine per partition per query.
 		var wg sync.WaitGroup
 		wg.Add(parts)
 		for p := 0; p < parts; p++ {
@@ -109,10 +174,6 @@ func (s *Searcher) Search(q search.Query) Result {
 			}(p)
 		}
 		wg.Wait()
-	} else {
-		for p := 0; p < parts; p++ {
-			runPart(p)
-		}
 	}
 
 	mergeStart := time.Now()
@@ -141,5 +202,8 @@ func (s *Searcher) Search(q search.Query) Result {
 		sc.lists[p] = nil // drop hit references; partRes keeps its capacity
 	}
 	scratchPool.Put(sc)
+	if share != nil {
+		search.PutThresholdShare(share)
+	}
 	return res
 }

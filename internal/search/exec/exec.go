@@ -1,0 +1,217 @@
+// Package exec is the query execution engine's bounded search executor:
+// a process-wide worker pool that runs the per-partition and per-segment
+// search tasks of *all* concurrent queries. It replaces the
+// goroutine-per-partition-per-query fork of the original partitioned
+// searcher, which oversubscribed cores the moment concurrent load
+// arrived: with Q in-flight queries over P partitions the old scheme ran
+// Q*P runnable goroutines on GOMAXPROCS cores, and the resulting
+// context-switch churn is exactly the QoS collapse the capacity-planning
+// literature attributes to unbounded intra-query parallelism.
+//
+// The executor bounds that: a fixed set of workers (default GOMAXPROCS)
+// drains a shared task queue, and the goroutine submitting a fork-join
+// always participates in executing its own tasks. Saturation therefore
+// degrades gracefully — when every worker is busy with other queries a
+// new query simply runs its partitions inline on its own goroutine, the
+// sequential path, rather than adding runnable goroutines to the
+// scheduler. This also makes Map deadlock-free by construction: no
+// caller ever blocks waiting for a worker.
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Executor is a bounded worker pool for intra-query parallelism. It is
+// safe for concurrent use; a single Executor is meant to be shared by
+// every searcher in the process (see Default).
+type Executor struct {
+	queue   chan func()
+	workers int
+	quit    chan struct{}
+	once    sync.Once
+	wg      sync.WaitGroup
+
+	running   atomic.Int64
+	submitted atomic.Int64
+	inline    atomic.Int64
+}
+
+// New starts an executor with the given number of workers; workers <= 0
+// selects GOMAXPROCS. Close must be called to stop the workers.
+func New(workers int) *Executor {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Executor{
+		// The queue only holds helper wake-ups, never work a caller
+		// depends on (callers self-execute), so a small buffer suffices:
+		// once it fills, new fork-joins run inline — the intended
+		// saturation behavior.
+		queue:   make(chan func(), 4*workers),
+		workers: workers,
+		quit:    make(chan struct{}),
+	}
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+func (e *Executor) worker() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.quit:
+			return
+		case task := <-e.queue:
+			e.running.Add(1)
+			task()
+			e.running.Add(-1)
+		}
+	}
+}
+
+// Workers returns the pool size.
+func (e *Executor) Workers() int { return e.workers }
+
+// Close stops the workers and waits for them to exit. Queued helper
+// tasks are dropped — their iterations are picked up by the submitting
+// goroutines, which always execute their own Map calls to completion —
+// and later Map calls run entirely inline, so a closed executor is
+// still usable, just sequential. Close is idempotent.
+func (e *Executor) Close() {
+	e.once.Do(func() { close(e.quit) })
+	e.wg.Wait()
+}
+
+// Map runs fn(0) .. fn(n-1), distributing iterations between the
+// calling goroutine and the pool's workers, and returns when all n have
+// completed. Iterations are claimed from a shared counter, so a fast
+// worker takes more of them; the caller always participates, which
+// bounds total search concurrency at (pool workers + in-flight queries)
+// goroutines no matter how many queries fork at once. A nil executor
+// runs everything inline.
+func (e *Executor) Map(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if e == nil || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(n)
+	body := func() {
+		for {
+			i := next.Add(1) - 1
+			if i >= int64(n) {
+				return
+			}
+			fn(int(i))
+			wg.Done()
+		}
+	}
+	// Offer up to n-1 helper wake-ups to the pool without ever
+	// blocking: a full queue means the pool is saturated and this
+	// query's tasks run inline instead.
+	helpers := n - 1
+	if helpers > e.workers {
+		helpers = e.workers
+	}
+offer:
+	for h := 0; h < helpers; h++ {
+		select {
+		case e.queue <- body:
+			e.submitted.Add(1)
+		default:
+			break offer // saturated: the caller runs the rest inline
+		}
+	}
+	e.inline.Add(1)
+	body()
+	wg.Wait()
+}
+
+// Stats is a point-in-time snapshot of the executor's gauges and
+// counters, exposed on node /metrics.
+type Stats struct {
+	// Workers is the pool size.
+	Workers int `json:"workers"`
+	// QueueDepth is the number of helper tasks waiting for a worker —
+	// sustained non-zero depth means queries are arriving faster than
+	// the pool drains fork-joins.
+	QueueDepth int `json:"queue_depth"`
+	// Running is the number of workers currently executing a task.
+	Running int64 `json:"running"`
+	// Submitted counts helper tasks handed to the pool over its
+	// lifetime.
+	Submitted int64 `json:"submitted"`
+	// InlineMaps counts Map calls (each caller always participates);
+	// the ratio Submitted/InlineMaps approximates how much of the
+	// fork-join work the pool actually absorbed.
+	InlineMaps int64 `json:"inline_maps"`
+}
+
+// Stats returns the executor's current gauges.
+func (e *Executor) Stats() Stats {
+	return Stats{
+		Workers:    e.workers,
+		QueueDepth: len(e.queue),
+		Running:    e.running.Load(),
+		Submitted:  e.submitted.Load(),
+		InlineMaps: e.inline.Load(),
+	}
+}
+
+var (
+	defaultMu      sync.Mutex
+	defaultExec    *Executor
+	defaultWorkers int
+)
+
+// Default returns the process-wide executor every parallel search path
+// shares, starting it on first use with the size set by
+// SetDefaultWorkers (GOMAXPROCS when unset). The shared pool is the
+// point: partition searches, live-snapshot searches and every engine in
+// the process multiplex their fork-join tasks over one bounded set of
+// workers instead of spawning goroutines per query.
+func Default() *Executor {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if defaultExec == nil {
+		defaultExec = New(defaultWorkers)
+	}
+	return defaultExec
+}
+
+// SetDefaultWorkers sizes the process-wide executor (n <= 0 restores
+// GOMAXPROCS). If the default pool is already running it is replaced;
+// holders of the old pointer stay correct because a closed executor
+// degrades to inline execution.
+func SetDefaultWorkers(n int) {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	defaultWorkers = n
+	if defaultExec != nil {
+		defaultExec.Close()
+		defaultExec = New(n)
+	}
+}
+
+// DefaultStats reports the default executor's gauges without starting
+// it; ok is false when no parallel search has run yet.
+func DefaultStats() (Stats, bool) {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if defaultExec == nil {
+		return Stats{}, false
+	}
+	return defaultExec.Stats(), true
+}

@@ -1,0 +1,168 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapRunsEveryIterationOnce is the executor's core contract: Map
+// executes each index exactly once, no matter how iterations are split
+// between the caller and the workers.
+func TestMapRunsEveryIterationOnce(t *testing.T) {
+	e := New(4)
+	defer e.Close()
+	for _, n := range []int{1, 2, 3, 7, 64, 1000} {
+		counts := make([]atomic.Int32, n)
+		e.Map(n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("n=%d: fn(%d) ran %d times, want 1", n, i, got)
+			}
+		}
+	}
+}
+
+func TestMapZeroAndNegative(t *testing.T) {
+	e := New(2)
+	defer e.Close()
+	ran := false
+	e.Map(0, func(int) { ran = true })
+	e.Map(-3, func(int) { ran = true })
+	if ran {
+		t.Fatal("Map ran iterations for n <= 0")
+	}
+}
+
+// TestNilExecutorRunsInline: a nil pool is the sequential path.
+func TestNilExecutorRunsInline(t *testing.T) {
+	var e *Executor
+	var order []int
+	e.Map(4, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("inline order %v, want ascending", order)
+		}
+	}
+}
+
+// TestMapOnClosedExecutor: Close drains the workers but Map must still
+// complete every iteration (inline on the caller).
+func TestMapOnClosedExecutor(t *testing.T) {
+	e := New(4)
+	e.Close()
+	e.Close() // idempotent
+	var count atomic.Int32
+	e.Map(100, func(int) { count.Add(1) })
+	if count.Load() != 100 {
+		t.Fatalf("closed executor ran %d/100 iterations", count.Load())
+	}
+}
+
+// TestConcurrentMaps hammers one pool from many goroutines — the
+// many-queries-over-one-executor serving shape — and checks every Map
+// still covers its iterations exactly once under -race.
+func TestConcurrentMaps(t *testing.T) {
+	e := New(2)
+	defer e.Close()
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for trial := 0; trial < 50; trial++ {
+				var sum atomic.Int64
+				n := 1 + trial%16
+				e.Map(n, func(i int) { sum.Add(int64(i) + 1) })
+				want := int64(n * (n + 1) / 2)
+				if sum.Load() != want {
+					t.Errorf("sum=%d want %d", sum.Load(), want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestNestedMap: a Map body issuing its own Map must not deadlock —
+// callers always self-execute, so no level ever blocks on pool capacity.
+func TestNestedMap(t *testing.T) {
+	e := New(2)
+	defer e.Close()
+	var count atomic.Int32
+	e.Map(4, func(int) {
+		e.Map(4, func(int) { count.Add(1) })
+	})
+	if count.Load() != 16 {
+		t.Fatalf("nested maps ran %d/16 iterations", count.Load())
+	}
+}
+
+// TestNoGoroutineLeak: starting and closing executors must return the
+// process to its original goroutine count.
+func TestNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for trial := 0; trial < 10; trial++ {
+		e := New(8)
+		e.Map(32, func(int) {})
+		e.Close()
+	}
+	// Close waits for workers, but give the runtime a moment to reap.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+func TestWorkersDefault(t *testing.T) {
+	e := New(0)
+	defer e.Close()
+	if e.Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers() = %d, want GOMAXPROCS = %d", e.Workers(), runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestStats(t *testing.T) {
+	e := New(2)
+	defer e.Close()
+	e.Map(8, func(int) {})
+	st := e.Stats()
+	if st.Workers != 2 {
+		t.Fatalf("Stats.Workers = %d, want 2", st.Workers)
+	}
+	if st.InlineMaps < 1 {
+		t.Fatalf("Stats.InlineMaps = %d, want >= 1 (caller always participates)", st.InlineMaps)
+	}
+}
+
+func TestDefaultAndResize(t *testing.T) {
+	if _, ok := DefaultStats(); ok {
+		// Another test may have started the default pool; that is fine —
+		// the resize below still exercises replacement.
+		t.Log("default pool already running")
+	}
+	old := Default()
+	SetDefaultWorkers(3)
+	if got := Default().Workers(); got != 3 {
+		t.Fatalf("resized default has %d workers, want 3", got)
+	}
+	// The old pool was closed by the resize but must still complete Maps.
+	var count atomic.Int32
+	old.Map(10, func(int) { count.Add(1) })
+	if count.Load() != 10 {
+		t.Fatalf("old default ran %d/10 iterations after replacement", count.Load())
+	}
+	st, ok := DefaultStats()
+	if !ok || st.Workers != 3 {
+		t.Fatalf("DefaultStats = %+v, %v; want workers 3", st, ok)
+	}
+	SetDefaultWorkers(0) // restore GOMAXPROCS sizing for other tests
+}

@@ -42,6 +42,15 @@ type Options struct {
 	// never loosens the MaxScore/Block-Max pruning bounds (thresholds
 	// only ever come from surviving hits), so pruning stays exact.
 	Deleted func(doc int32) bool
+	// Shared, when non-nil, is the cross-searcher threshold share this
+	// searcher publishes its top-k heap floor to and prunes against —
+	// the second pillar of the query execution engine. Searchers over
+	// different partitions or segments evaluating the same query attach
+	// the same share; see ThresholdShare for the safety argument. A
+	// per-query share passed to SearchIntoShared overrides this field,
+	// which suits searchers that are built once and reused across
+	// queries.
+	Shared *ThresholdShare
 	// Stats, when non-nil, replaces the segment's local collection
 	// statistics (document count, document frequencies, average length)
 	// with global ones — the distributed-IDF refinement that makes
@@ -128,6 +137,27 @@ func (s *Searcher) Search(q Query) Result {
 // it is overwritten, so callers that reuse a Result must be done with
 // the old hits before searching again.
 func (s *Searcher) SearchInto(q Query, res *Result) {
+	s.searchInto(q, res, s.opts.TopK, s.opts.Shared)
+}
+
+// SearchIntoShared is SearchInto with per-query overrides: k overrides
+// Options.TopK when positive (the live path serves caller-chosen result
+// counts from pooled per-segment searchers), and shared overrides
+// Options.Shared when non-nil (the partition and live paths attach one
+// pooled ThresholdShare per query across their searchers). Phrase
+// queries always use Options.TopK; they are evaluated exhaustively, so
+// threshold sharing does not apply to them.
+func (s *Searcher) SearchIntoShared(q Query, res *Result, k int, shared *ThresholdShare) {
+	if k <= 0 {
+		k = s.opts.TopK
+	}
+	if shared == nil {
+		shared = s.opts.Shared
+	}
+	s.searchInto(q, res, k, shared)
+}
+
+func (s *Searcher) searchInto(q Query, res *Result, k int, shared *ThresholdShare) {
 	res.Reset()
 	if len(q.Phrases) > 0 {
 		s.searchPhrases(q, res)
@@ -172,18 +202,19 @@ func (s *Searcher) SearchInto(q Query, res *Result) {
 	}
 
 	scoreStart := time.Now()
-	heap := getTopK(s.opts.TopK)
+	heap := getTopK(k)
+	pc := pruneCtx{shared: shared}
 	switch {
 	case q.Mode == ModeAnd:
-		s.searchAnd(scorers, heap, res)
+		s.searchAnd(scorers, heap, res, pc)
 	case s.opts.UseMaxScore && s.opts.QualityBoost == 0 && len(scorers) > 1:
 		if s.useBlockMax() {
-			s.searchBlockMax(scorers, heap, res)
+			s.searchBlockMax(scorers, heap, res, pc)
 		} else {
-			s.searchMaxScore(scorers, heap, res)
+			s.searchMaxScore(scorers, heap, res, pc)
 		}
 	default:
-		s.searchOr(scorers, heap, res)
+		s.searchOr(scorers, heap, res, pc)
 	}
 	res.Phases.Score = time.Since(scoreStart)
 
@@ -239,8 +270,10 @@ func (s *Searcher) docScore(doc int32, termScore float64) float64 {
 	return termScore
 }
 
-// searchOr is the exhaustive document-at-a-time disjunction.
-func (s *Searcher) searchOr(scorers []termScorer, heap *topK, res *Result) {
+// searchOr is the exhaustive document-at-a-time disjunction. It never
+// prunes, but it still publishes its heap floor through pc so pruning
+// searchers over other partitions of the same query can tighten.
+func (s *Searcher) searchOr(scorers []termScorer, heap *topK, res *Result, pc pruneCtx) {
 	avg := s.avgDocLen()
 	bm := s.seg.BM25()
 	// Prime all iterators.
@@ -275,14 +308,15 @@ func (s *Searcher) searchOr(scorers []termScorer, heap *topK, res *Result) {
 		}
 		if s.alive(min) {
 			res.Matches++
-			heap.offer(Hit{Doc: min, Score: s.docScore(min, score)})
+			pc.offer(heap, Hit{Doc: min, Score: s.docScore(min, score)})
 		}
 	}
 }
 
 // searchAnd is a leapfrog conjunction: iterators sorted by selectivity,
-// rarest first, skipping via SkipTo.
-func (s *Searcher) searchAnd(scorers []termScorer, heap *topK, res *Result) {
+// rarest first, skipping via SkipTo. Like searchOr it publishes but
+// never prunes.
+func (s *Searcher) searchAnd(scorers []termScorer, heap *topK, res *Result, pc pruneCtx) {
 	avg := s.avgDocLen()
 	bm := s.seg.BM25()
 	// Rarest term (highest IDF, hence shortest posting list) drives the
@@ -327,7 +361,7 @@ func (s *Searcher) searchAnd(scorers []termScorer, heap *topK, res *Result) {
 				score += bm.Score(scorers[i].idf, scorers[i].it.Freq(), dl, avg)
 			}
 			res.Matches++
-			heap.offer(Hit{Doc: doc, Score: s.docScore(doc, score)})
+			pc.offer(heap, Hit{Doc: doc, Score: s.docScore(doc, score)})
 		}
 	}
 }
@@ -336,7 +370,10 @@ func (s *Searcher) searchAnd(scorers []termScorer, heap *topK, res *Result) {
 // scorers are ordered by ascending upper bound; a growing prefix of
 // "non-essential" lists whose combined bound cannot beat the current
 // top-k threshold is only probed, never used to generate candidates.
-func (s *Searcher) searchMaxScore(scorers []termScorer, heap *topK, res *Result) {
+// The threshold is the local heap floor raised to the cross-searcher
+// shared floor (pc.theta), so on multi-partition queries lists become
+// non-essential as soon as *any* partition's heap justifies it.
+func (s *Searcher) searchMaxScore(scorers []termScorer, heap *topK, res *Result, pc pruneCtx) {
 	avg := s.avgDocLen()
 	bm := s.seg.BM25()
 	sortAndPrime(scorers, res)
@@ -344,7 +381,7 @@ func (s *Searcher) searchMaxScore(scorers []termScorer, heap *topK, res *Result)
 	// with the lists before it, still beat the threshold.
 	firstEssential := 0
 	updateEssential := func() {
-		theta := heap.threshold()
+		theta := pc.theta(heap)
 		for firstEssential < len(scorers) && scorers[firstEssential].prefixUB <= theta {
 			firstEssential++
 		}
@@ -381,7 +418,7 @@ func (s *Searcher) searchMaxScore(scorers []termScorer, heap *topK, res *Result)
 		}
 		// Probe non-essential lists from the largest bound down, bailing
 		// out as soon as the remaining bounds cannot reach the threshold.
-		theta := heap.threshold()
+		theta := pc.theta(heap)
 		for i := firstEssential - 1; i >= 0; i-- {
 			if score+scorers[i].prefixUB <= theta {
 				score = -1 // provably not a top-k hit
@@ -403,7 +440,7 @@ func (s *Searcher) searchMaxScore(scorers []termScorer, heap *topK, res *Result)
 		}
 		if score >= 0 {
 			res.Matches++
-			if heap.offer(Hit{Doc: min, Score: score}) {
+			if pc.offer(heap, Hit{Doc: min, Score: score}) {
 				updateEssential()
 			}
 		}
@@ -442,13 +479,13 @@ func sortAndPrime(scorers []termScorer, res *Result) {
 // The bound is an upper bound on the candidate's final score, so the
 // top-k is identical to the exhaustive strategies — only decode work is
 // saved.
-func (s *Searcher) searchBlockMax(scorers []termScorer, heap *topK, res *Result) {
+func (s *Searcher) searchBlockMax(scorers []termScorer, heap *topK, res *Result, pc pruneCtx) {
 	avg := s.avgDocLen()
 	bm := s.seg.BM25()
 	sortAndPrime(scorers, res)
 	firstEssential := 0
 	updateEssential := func() {
-		theta := heap.threshold()
+		theta := pc.theta(heap)
 		for firstEssential < len(scorers) && scorers[firstEssential].prefixUB <= theta {
 			firstEssential++
 		}
@@ -480,7 +517,7 @@ func (s *Searcher) searchBlockMax(scorers []termScorer, heap *topK, res *Result)
 		if !s.alive(min) {
 			continue
 		}
-		theta := heap.threshold()
+		theta := pc.theta(heap)
 		for i := firstEssential - 1; i >= 0; i-- {
 			if score+scorers[i].prefixUB <= theta {
 				score = -1 // provably not a top-k hit
@@ -513,7 +550,7 @@ func (s *Searcher) searchBlockMax(scorers []termScorer, heap *topK, res *Result)
 		}
 		if score >= 0 {
 			res.Matches++
-			if heap.offer(Hit{Doc: min, Score: score}) {
+			if pc.offer(heap, Hit{Doc: min, Score: score}) {
 				updateEssential()
 			}
 		}

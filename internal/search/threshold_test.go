@@ -1,0 +1,74 @@
+package search
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestThresholdShareRaiseOnly(t *testing.T) {
+	ts := NewThresholdShare()
+	if got := ts.Load(); !math.IsInf(got, -1) {
+		t.Fatalf("fresh share loads %v, want -Inf", got)
+	}
+	ts.Raise(2.5)
+	if got := ts.Load(); got != 2.5 {
+		t.Fatalf("after Raise(2.5): %v", got)
+	}
+	ts.Raise(1.0) // lower: ignored
+	if got := ts.Load(); got != 2.5 {
+		t.Fatalf("Raise lowered the share to %v", got)
+	}
+	ts.Raise(3.75)
+	if got := ts.Load(); got != 3.75 {
+		t.Fatalf("after Raise(3.75): %v", got)
+	}
+	ts.Reset()
+	if got := ts.Load(); !math.IsInf(got, -1) {
+		t.Fatalf("after Reset: %v, want -Inf", got)
+	}
+}
+
+// TestThresholdShareConcurrent: under concurrent raises the share must
+// converge to the maximum, never losing a higher value to a lower CAS.
+func TestThresholdShareConcurrent(t *testing.T) {
+	ts := NewThresholdShare()
+	const goroutines = 8
+	const raisesPer = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < raisesPer; i++ {
+				ts.Raise(float64(g*raisesPer + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	want := float64(goroutines*raisesPer - 1)
+	if got := ts.Load(); got != want {
+		t.Fatalf("concurrent raises converged to %v, want %v", got, want)
+	}
+}
+
+func TestThresholdSharePool(t *testing.T) {
+	ts := GetThresholdShare()
+	ts.Raise(99)
+	PutThresholdShare(ts)
+	// Pooled shares must come back reset, not carrying a stale floor
+	// from the previous query (which would wrongly prune).
+	ts2 := GetThresholdShare()
+	if got := ts2.Load(); !math.IsInf(got, -1) {
+		t.Fatalf("pooled share loads %v, want -Inf", got)
+	}
+	PutThresholdShare(ts2)
+}
+
+func TestPublishFloorStrictlyBelow(t *testing.T) {
+	for _, f := range []float64{0, 1e-300, 0.5, 1, 12345.678, 1e300} {
+		if p := publishFloor(f); !(p < f) {
+			t.Fatalf("publishFloor(%v) = %v, want strictly below", f, p)
+		}
+	}
+}

@@ -14,6 +14,7 @@ package websearchbench
 
 import (
 	"fmt"
+	"sync"
 
 	"websearchbench/internal/corpus"
 	"websearchbench/internal/index"
@@ -21,6 +22,7 @@ import (
 	"websearchbench/internal/partition"
 	"websearchbench/internal/qcache"
 	"websearchbench/internal/search"
+	"websearchbench/internal/search/exec"
 	"websearchbench/internal/textproc"
 )
 
@@ -34,8 +36,19 @@ type Config struct {
 	Seed int64
 	// Partitions is the intra-server partition count (default 1).
 	Partitions int
-	// Parallel searches partitions with concurrent workers.
+	// Parallel searches partitions (or, with Live, segments) with
+	// concurrent workers on the process-wide bounded search executor.
 	Parallel bool
+	// ExecWorkers resizes the process-wide search executor that Parallel
+	// engines share (default GOMAXPROCS). It is a process-level knob:
+	// setting it on one engine affects every parallel searcher in the
+	// process.
+	ExecWorkers int
+	// IndependentPruning disables cross-partition threshold sharing, so
+	// every partition prunes against only its local top-k heap — the
+	// pre-sharing behavior, kept for measurement. Results are identical
+	// either way; sharing only reduces postings scanned.
+	IndependentPruning bool
 	// TopK is the number of results per query (default 10).
 	TopK int
 	// GlobalStats enables distributed-IDF scoring so results are
@@ -119,6 +132,9 @@ func New(cfg Config) (*Engine, error) {
 	ccfg.NumDocs = cfg.Docs
 	ccfg.VocabSize = cfg.VocabSize
 	ccfg.Seed = cfg.Seed
+	if cfg.ExecWorkers > 0 {
+		exec.SetDefaultWorkers(cfg.ExecWorkers)
+	}
 	if cfg.Live {
 		return newLive(cfg, ccfg)
 	}
@@ -145,6 +161,9 @@ func New(cfg Config) (*Engine, error) {
 		mode:     mode,
 		analyzer: textproc.NewAnalyzer(),
 	}
+	if cfg.IndependentPruning {
+		e.searcher.SetSharedPruning(false)
+	}
 	if cfg.CacheSize > 0 {
 		e.cache = qcache.New[[]Result](cfg.CacheSize)
 	}
@@ -163,6 +182,7 @@ func newLive(cfg Config, ccfg corpus.Config) (*Engine, error) {
 		return nil, fmt.Errorf("websearchbench: %w", err)
 	}
 	lcfg := cfg.LiveConfig
+	lcfg.Parallel = lcfg.Parallel || cfg.Parallel
 	seedRefresh := lcfg.RefreshEvery
 	// Seeding publishes once at the end, not once per document.
 	lcfg.RefreshEvery = 1 << 30
@@ -235,7 +255,8 @@ func (e *Engine) searchLive(query string) []Result {
 		}
 	}
 	q := search.ParseQuery(e.analyzer, query, e.mode)
-	hits := snap.Search(q, e.cfg.TopK)
+	hp := liveHitsPool.Get().(*[]live.Hit)
+	hits := snap.SearchInto(q, e.cfg.TopK, (*hp)[:0])
 	out := make([]Result, 0, len(hits))
 	for _, h := range hits {
 		snip := search.MakeSnippet(e.analyzer, h.Doc.Snippet, q.Terms, 0)
@@ -250,8 +271,20 @@ func (e *Engine) searchLive(query string) []Result {
 	if e.gcache != nil {
 		e.gcache.PutAt(snap.Generation(), query, out)
 	}
+	// Clear the pooled hits before returning them: live.Hit pins keys and
+	// stored documents, which a pool must not retain across queries.
+	for i := range hits {
+		hits[i] = live.Hit{}
+	}
+	*hp = hits[:0]
+	liveHitsPool.Put(hp)
 	return out
 }
+
+// liveHitsPool recycles the per-query live hit buffer the facade hands
+// to Snapshot.SearchInto, keeping the serving path allocation-free up to
+// the Results that escape to the caller.
+var liveHitsPool = sync.Pool{New: func() any { return new([]live.Hit) }}
 
 // mustLive guards the mutation API against static engines.
 func (e *Engine) mustLive() *live.Index {
