@@ -193,6 +193,12 @@ func BenchmarkSharedThreshold(b *testing.B) {
 	benchExperiment(b, func(c *experiments.Context) { c.E24SharedExec() })
 }
 
+// BenchmarkE25BlobServing regenerates the disaggregated-serving table
+// (cold start and block-cache sweep).
+func BenchmarkE25BlobServing(b *testing.B) {
+	benchExperiment(b, func(c *experiments.Context) { c.E25BlobServing() })
+}
+
 // BenchmarkAblationMaxScore regenerates the MaxScore pruning ablation.
 func BenchmarkAblationMaxScore(b *testing.B) {
 	benchExperiment(b, func(c *experiments.Context) { c.AblationMaxScore() })

@@ -1,0 +1,41 @@
+// Command blobd is the S3-like object server for disaggregated segment
+// storage: a flat key space of immutable blobs behind PUT/GET/DELETE
+// plus ranged GETs, which is all the searcher-side block cache needs.
+// Publishers (indexer -publish, a live searchd with -blob-publish)
+// upload segments and manifests here; stateless searchers point
+// -blob-store at it.
+//
+//	blobd -listen :9300 -dir /data/blobs
+//
+// With -dir the store survives restarts (objects are plain files,
+// written atomically); without it blobs live in process memory — enough
+// for tests and demos.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"websearchbench/internal/blob"
+)
+
+func main() {
+	listen := flag.String("listen", ":9300", "address to serve the object API on")
+	dir := flag.String("dir", "", "backing directory (empty: in-memory, non-durable)")
+	flag.Parse()
+
+	var st blob.Store
+	if *dir == "" {
+		st = blob.NewMemStore()
+		log.Printf("blobd: serving in-memory store on %s", *listen)
+	} else {
+		var err error
+		st, err = blob.NewDirStore(*dir)
+		if err != nil {
+			log.Fatalf("blobd: %v", err)
+		}
+		log.Printf("blobd: serving %s on %s", *dir, *listen)
+	}
+	log.Fatal(http.ListenAndServe(*listen, blob.NewServer(st)))
+}

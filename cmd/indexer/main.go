@@ -19,6 +19,12 @@
 // live searchd node runs, and proving the two paths produce equivalent
 // on-disk indexes. Live segments use packed compression and carry no
 // positions.
+//
+// With -publish the finished segment is also uploaded to a blob store
+// (a blobd URL or a shared directory) and committed as a manifest
+// generation, ready for stateless searchd -blob-store nodes:
+//
+//	indexer -docs 20000 -out index.seg -publish http://127.0.0.1:9300
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"runtime"
 	"time"
 
+	"websearchbench/internal/blob"
 	"websearchbench/internal/corpus"
 	"websearchbench/internal/durable"
 	"websearchbench/internal/index"
@@ -86,6 +93,7 @@ func main() {
 		raw      = flag.Bool("raw", false, "use raw (uncompressed) postings (shorthand for -encoding raw)")
 		liveMode = flag.Bool("live", false, "build through the live-ingest path, then compact")
 		out      = flag.String("out", "index.seg", "output segment file")
+		publish  = flag.String("publish", "", "also publish the segment to this blob store (blobd URL or directory)")
 		trace    = flag.String("trace", "", "also write a query trace to this file")
 		timed    = flag.String("timed", "", "also write a timed (replayable) trace to this file")
 		rate     = flag.Float64("rate", 100, "arrival rate for the timed trace (qps)")
@@ -187,6 +195,20 @@ func main() {
 	st := seg.ComputeStats(5)
 	fmt.Printf("wrote %s: %d docs, %d terms, %d postings, %d bytes (%s, compression %.2fx)\n",
 		*out, st.NumDocs, st.NumTerms, st.TotalPostings, n, st.Encoding, st.CompressionRatio)
+
+	if *publish != "" {
+		bst, err := blob.Open(*publish)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pub := &blob.Publisher{Store: bst, CreatedBy: "indexer", Retain: 3}
+		m, err := pub.Publish([]blob.PubSegment{{ID: 1, Seg: seg}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("published generation %d to %s (%d segment blobs)\n",
+			m.Generation, *publish, len(m.Segments))
+	}
 
 	if *trace != "" || *timed != "" {
 		gen, err := workload.NewGenerator(workload.DefaultConfig(), corpus.NewVocabulary(*vocab))

@@ -29,9 +29,26 @@
 // observing query latency under write pressure:
 //
 //	searchd -addr :8081 -live -live-ingest 500
+//
+// With -blob-store the node is stateless: it builds nothing and holds
+// no index files, serving instead from the manifest published to a blob
+// store (a blobd URL or a shared directory). Segment metadata loads
+// eagerly; posting blocks are fetched on demand through a block cache
+// of -block-cache-mb megabytes, and a background poller swaps in new
+// manifest generations as publishers commit them:
+//
+//	searchd -addr :8081 -blob-store http://127.0.0.1:9300 -block-cache-mb 64
+//
+// A live node can be the publisher feeding such searchers: with
+// -blob-publish every flush and merge uploads the post-change segment
+// set as a new generation (content-addressed, so unchanged segments are
+// not re-uploaded):
+//
+//	searchd -addr :8081 -live -data-dir /data/n0 -blob-publish http://127.0.0.1:9300
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -43,10 +60,12 @@ import (
 	"syscall"
 	"time"
 
+	"websearchbench/internal/blob"
 	"websearchbench/internal/cluster"
 	"websearchbench/internal/cluster/resilience"
 	"websearchbench/internal/corpus"
 	"websearchbench/internal/durable"
+	"websearchbench/internal/index"
 	"websearchbench/internal/live"
 	"websearchbench/internal/partition"
 	"websearchbench/internal/search"
@@ -88,6 +107,13 @@ func main() {
 		fsyncPolicy   = flag.String("fsync", "always", "with -data-dir: WAL fsync policy: always, interval or none")
 		fsyncInterval = flag.Duration("fsync-interval", 100*time.Millisecond, "with -fsync interval: background sync period")
 
+		// Disaggregated storage: serve from (or publish to) a blob store.
+		blobStore    = flag.String("blob-store", "", "serve statelessly from this blob store (blobd URL or directory) instead of building an index")
+		blockCacheMB = flag.Int("block-cache-mb", 64, "with -blob-store: posting-block cache budget in MiB")
+		blobPoll     = flag.Duration("blob-poll", 2*time.Second, "with -blob-store: manifest poll interval")
+		blobPublish  = flag.String("blob-publish", "", "with -live: publish every flush/merge to this blob store")
+		blobRetain   = flag.Int("blob-retain", 3, "with -blob-publish: manifest generations retained by the post-publish sweep")
+
 		// Fault injection, for resilience experiments against a live
 		// node: searchd can make itself a straggler, an error source,
 		// or a blackhole.
@@ -100,6 +126,12 @@ func main() {
 	flag.Parse()
 	if *shard < 0 || *shards <= 0 || *shard >= *shards {
 		log.Fatalf("invalid shard %d of %d", *shard, *shards)
+	}
+	if *liveMode && *blobStore != "" {
+		log.Fatal("-live and -blob-store are mutually exclusive (a live node publishes with -blob-publish)")
+	}
+	if *blobPublish != "" && !*liveMode {
+		log.Fatal("-blob-publish requires -live (offline builds publish via indexer -publish)")
 	}
 	if *replica < 0 {
 		log.Fatalf("invalid replica %d", *replica)
@@ -202,6 +234,31 @@ func main() {
 		}
 		li.SetRefreshEvery(*liveRefresh)
 		li.Refresh()
+		if *blobPublish != "" {
+			pst, err := blob.Open(*blobPublish)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pub := &blob.Publisher{Store: pst, CreatedBy: "live", Retain: *blobRetain}
+			sink := live.Sink(blob.NewLiveSink(pub))
+			if store != nil {
+				sink = live.MultiSink{store, sink}
+			}
+			li.SetDurableSink(sink)
+			// Make the current state visible to stateless searchers now:
+			// flush captures any seeded memtable, and if that was a no-op
+			// (recovered index, empty memtable) re-emit the segment set.
+			if err := li.Flush(); err != nil {
+				log.Fatal(err)
+			}
+			if _, ok, err := blob.LoadManifest(pst); err != nil {
+				log.Fatal(err)
+			} else if !ok {
+				if err := li.PublishCommit(); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
 		if *liveIngest > 0 {
 			go selfIngest(li, cfg, *liveIngest)
 		}
@@ -211,6 +268,76 @@ func main() {
 		if store != nil {
 			serving += fmt.Sprintf(", durable in %s (fsync %s)", *dataDir, *fsyncPolicy)
 		}
+		if *blobPublish != "" {
+			serving += fmt.Sprintf(", publishing to %s", *blobPublish)
+		}
+	} else if *blobStore != "" {
+		st, err := blob.Open(*blobStore)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cache := blob.NewBlockCache(int64(*blockCacheMB) << 20)
+		src := blob.NewCachedSegmentSource(st, cache)
+		makeSearcher := func(snap *blob.Snapshot) *partition.Searcher {
+			segs := snap.Segments
+			if len(segs) == 0 {
+				// An empty manifest still needs a servable searcher.
+				segs = []*index.Segment{index.NewBuilder().Finalize()}
+			}
+			idx := partition.FromSegments(segs)
+			sr := partition.NewSearcher(idx, search.Options{TopK: *topK}, *parallel)
+			if !*sharedTh {
+				sr.SetSharedPruning(false)
+			}
+			for p, data := range snap.Tombs {
+				if len(data) == 0 {
+					continue
+				}
+				t, err := live.UnmarshalTombstones(data)
+				if err != nil {
+					log.Printf("warning: partition %d tombstones: %v (serving without deletes)", p, err)
+					continue
+				}
+				if t.Count() > 0 {
+					sr.SetPartitionDeleted(p, t.Has)
+				}
+			}
+			return sr
+		}
+		// Block until a publisher has committed a first manifest.
+		var snap *blob.Snapshot
+		for logged := false; ; time.Sleep(500 * time.Millisecond) {
+			s, ok, err := src.LoadSnapshot()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if ok {
+				snap = s
+				break
+			}
+			if !logged {
+				log.Printf("waiting for a manifest in %s", *blobStore)
+				logged = true
+			}
+		}
+		node = cluster.NewNodeFromSearcher(*name, makeSearcher(snap), *topK)
+		poller := &blob.Poller{
+			Source:   src,
+			Interval: *blobPoll,
+			Logf:     log.Printf,
+			OnSwap:   func(s *blob.Snapshot) { node.SetSearcher(makeSearcher(s)) },
+		}
+		poller.SetGeneration(snap.Manifest.Generation)
+		node.SetBlobMetrics(func() *cluster.BlobMetrics {
+			return &cluster.BlobMetrics{SourceStats: src.Stats(), Generation: poller.Generation()}
+		})
+		go poller.Run(context.Background())
+		docs := 0
+		for _, seg := range snap.Segments {
+			docs += seg.NumDocs()
+		}
+		serving = fmt.Sprintf("generation %d from %s (%d segments, %d docs, %d MiB block cache)",
+			snap.Manifest.Generation, *blobStore, len(snap.Segments), docs, *blockCacheMB)
 	} else {
 		b, err := partition.NewBuilder(*parts, partition.RoundRobin, 0)
 		if err != nil {

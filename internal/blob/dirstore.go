@@ -1,0 +1,130 @@
+package blob
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"websearchbench/internal/durable"
+)
+
+// DirStore serves blobs from a directory tree — the shared-filesystem
+// deployment, and the zero-dependency way to hand a published index to
+// a stateless searcher on the same machine. Keys map to relative paths;
+// Put goes through the durable write-temp-fsync-rename dance, so a
+// concurrent reader (or a reader after a crash) sees whole objects
+// only.
+type DirStore struct {
+	root string
+	fs   durable.FS
+}
+
+// NewDirStore opens (creating if needed) a directory-backed store.
+func NewDirStore(root string) (*DirStore, error) {
+	st := &DirStore{root: root, fs: durable.NewOSFS()}
+	if err := st.fs.MkdirAll(root); err != nil {
+		return nil, fmt.Errorf("blob: open dir store: %w", err)
+	}
+	return st, nil
+}
+
+func (st *DirStore) path(key string) string {
+	return filepath.Join(st.root, filepath.FromSlash(key))
+}
+
+// Put stores data under key atomically.
+func (st *DirStore) Put(key string, data []byte) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	p := st.path(key)
+	if err := st.fs.MkdirAll(filepath.Dir(p)); err != nil {
+		return err
+	}
+	return durable.WriteFileAtomic(st.fs, p, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// Get returns the whole object stored under key.
+func (st *DirStore) Get(key string) ([]byte, error) {
+	if err := validKey(key); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(st.path(key))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return data, err
+}
+
+// GetRange reads n bytes at offset off from the object under key.
+func (st *DirStore) GetRange(key string, off, n int64) ([]byte, error) {
+	if err := validKey(key); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(st.path(key))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkRange(key, info.Size(), off, n); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// List returns the sorted keys under prefix.
+func (st *DirStore) List(prefix string) ([]string, error) {
+	var keys []string
+	err := filepath.WalkDir(st.root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		if strings.HasSuffix(p, ".tmp") {
+			return nil // in-flight atomic writes are not objects yet
+		}
+		rel, err := filepath.Rel(st.root, p)
+		if err != nil {
+			return err
+		}
+		key := filepath.ToSlash(rel)
+		if strings.HasPrefix(key, prefix) {
+			keys = append(keys, key)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Delete removes the object under key; absent keys are a no-op.
+func (st *DirStore) Delete(key string) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	err := os.Remove(st.path(key))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,287 @@
+package blob
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"websearchbench/internal/durable"
+	"websearchbench/internal/index"
+)
+
+// Store layout. Segments and tombstone bitmaps are content-addressed —
+// the key is the SHA-256 of the bytes — so uploads are idempotent,
+// unchanged segments are shared across generations for free, and a
+// reader can never observe a half-updated object (a different content
+// is a different key). Manifests are the only mutable point: each index
+// version is a generation-stamped manifest at manifests/<generation>,
+// and the MANIFEST pointer object is atomically overwritten with a copy
+// of the newest one. Both are framed in the durable package's
+// checksummed envelope (KindBlobManifest), so a torn or bit-rotted
+// manifest is detected before any segment key in it is trusted.
+//
+// Publishing order is what makes a crash harmless: segment blobs first,
+// the generation manifest second, the MANIFEST pointer last. A crash
+// before the pointer swap leaves orphaned blobs that no reader can
+// reach; Sweep reclaims them later. Readers holding an older generation
+// keep working after a swap because Sweep retains the blobs referenced
+// by the newest retain generations, not just the current one.
+const (
+	manifestPointerKey = "MANIFEST"
+	manifestPrefix     = "manifests/"
+	segPrefix          = "segs/"
+	tombPrefix         = "tombs/"
+)
+
+// SegmentRef is one segment within a manifest.
+type SegmentRef struct {
+	// ID is the publisher's segment ID (live durable IDs, or ordinal for
+	// offline builds); readers use it for stable ordering and logging.
+	ID uint64 `json:"id"`
+	// Key is the segment's content-addressed blob key (segs/<sha256>.seg).
+	Key string `json:"key"`
+	// Size is the blob size in bytes; readers locate the fixed-size
+	// footer with it instead of issuing a metadata request.
+	Size int64 `json:"size"`
+	// TombKey is the blob key of the segment's marshaled tombstone
+	// bitmap, empty when no documents are deleted.
+	TombKey string `json:"tomb_key,omitempty"`
+	// NumDocs is the segment's document count, for placement/logging.
+	NumDocs int `json:"num_docs"`
+}
+
+// Manifest is one published index version.
+type Manifest struct {
+	Generation uint64       `json:"generation"`
+	CreatedBy  string       `json:"created_by,omitempty"`
+	Segments   []SegmentRef `json:"segments"`
+}
+
+// Keys returns the set of blob keys the manifest references.
+func (m Manifest) Keys() map[string]bool {
+	keys := make(map[string]bool, 2*len(m.Segments))
+	for _, ref := range m.Segments {
+		keys[ref.Key] = true
+		if ref.TombKey != "" {
+			keys[ref.TombKey] = true
+		}
+	}
+	return keys
+}
+
+func manifestKey(gen uint64) string {
+	return fmt.Sprintf("%s%016d", manifestPrefix, gen)
+}
+
+// EncodeManifest frames the manifest as a checksummed envelope.
+func EncodeManifest(m Manifest) ([]byte, error) {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := durable.WriteEnvelope(&buf, durable.KindBlobManifest, payload); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeManifest verifies the envelope and unmarshals the manifest.
+func DecodeManifest(data []byte) (Manifest, error) {
+	var m Manifest
+	payload, err := durable.ReadEnvelope(data, durable.KindBlobManifest)
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return m, fmt.Errorf("blob: manifest payload: %w", err)
+	}
+	return m, nil
+}
+
+// LoadManifest reads the current manifest through the MANIFEST pointer.
+// ok is false when the store has never been published to.
+func LoadManifest(st Store) (m Manifest, ok bool, err error) {
+	data, err := st.Get(manifestPointerKey)
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			return m, false, nil
+		}
+		return m, false, err
+	}
+	m, err = DecodeManifest(data)
+	if err != nil {
+		return m, false, err
+	}
+	return m, true, nil
+}
+
+// contentKey returns the content-addressed key for data under prefix.
+func contentKey(prefix string, data []byte, suffix string) string {
+	sum := sha256.Sum256(data)
+	return prefix + hex.EncodeToString(sum[:]) + suffix
+}
+
+// putIfAbsent uploads data unless the key already exists. Since keys
+// are content hashes, an existing object is byte-identical by
+// construction and the upload can be skipped.
+func putIfAbsent(st Store, key string, data []byte) error {
+	keys, err := st.List(key)
+	if err == nil {
+		for _, k := range keys {
+			if k == key {
+				return nil
+			}
+		}
+	}
+	return st.Put(key, data)
+}
+
+// PubSegment is one segment handed to Publish: the in-memory segment
+// plus its publisher-side ID and optional marshaled tombstones.
+type PubSegment struct {
+	ID   uint64
+	Seg  *index.Segment
+	Tomb []byte
+}
+
+// Publisher uploads index versions to a Store. One publisher owns a
+// store's MANIFEST pointer; concurrent publishers to the same store are
+// not coordinated (last pointer write wins), matching the single-writer
+// deployment of both the offline indexer and the live index.
+type Publisher struct {
+	Store Store
+	// CreatedBy stamps published manifests ("indexer", "live", …).
+	CreatedBy string
+	// Retain, when > 0, runs Sweep after each publish keeping that many
+	// newest generations. Zero disables sweeping.
+	Retain int
+}
+
+// Publish uploads the given segment set as the next generation:
+// content-addressed segment and tombstone blobs first (skipping blobs
+// the store already has), then the generation manifest, then the
+// MANIFEST pointer swap that makes the version visible. It returns the
+// committed manifest.
+func (p *Publisher) Publish(segs []PubSegment) (Manifest, error) {
+	cur, ok, err := LoadManifest(p.Store)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("blob: publish: read current manifest: %w", err)
+	}
+	gen := uint64(1)
+	if ok {
+		gen = cur.Generation + 1
+	}
+	m := Manifest{Generation: gen, CreatedBy: p.CreatedBy}
+	for _, ps := range segs {
+		var buf bytes.Buffer
+		if _, err := ps.Seg.WriteTo(&buf); err != nil {
+			return Manifest{}, fmt.Errorf("blob: publish segment %d: %w", ps.ID, err)
+		}
+		data := buf.Bytes()
+		ref := SegmentRef{
+			ID:      ps.ID,
+			Key:     contentKey(segPrefix, data, ".seg"),
+			Size:    int64(len(data)),
+			NumDocs: ps.Seg.NumDocs(),
+		}
+		if err := putIfAbsent(p.Store, ref.Key, data); err != nil {
+			return Manifest{}, fmt.Errorf("blob: publish segment %d: %w", ps.ID, err)
+		}
+		if len(ps.Tomb) > 0 {
+			ref.TombKey = contentKey(tombPrefix, ps.Tomb, ".tomb")
+			if err := putIfAbsent(p.Store, ref.TombKey, ps.Tomb); err != nil {
+				return Manifest{}, fmt.Errorf("blob: publish tombstones for segment %d: %w", ps.ID, err)
+			}
+		}
+		m.Segments = append(m.Segments, ref)
+	}
+	enc, err := EncodeManifest(m)
+	if err != nil {
+		return Manifest{}, err
+	}
+	if err := p.Store.Put(manifestKey(gen), enc); err != nil {
+		return Manifest{}, fmt.Errorf("blob: publish manifest generation %d: %w", gen, err)
+	}
+	if err := p.Store.Put(manifestPointerKey, enc); err != nil {
+		return Manifest{}, fmt.Errorf("blob: swap manifest pointer: %w", err)
+	}
+	if p.Retain > 0 {
+		if _, err := Sweep(p.Store, p.Retain); err != nil {
+			return m, fmt.Errorf("blob: post-publish sweep: %w", err)
+		}
+	}
+	return m, nil
+}
+
+// SweepResult reports what a garbage-collection pass removed.
+type SweepResult struct {
+	ManifestsRemoved int
+	BlobsRemoved     int
+	RemovedKeys      []string
+}
+
+// Sweep garbage-collects the store: it keeps the newest retain
+// generation manifests and every blob any of them references, and
+// deletes the rest — older manifests, segments only they referenced,
+// and orphaned blobs from publishes that crashed before committing a
+// manifest. Retain must be >= 1; keeping more than one generation is
+// what lets readers still serving an older manifest keep fetching its
+// blocks across a swap. Sweep is run by the publisher (the single
+// writer), never by readers.
+func Sweep(st Store, retain int) (SweepResult, error) {
+	var res SweepResult
+	if retain < 1 {
+		return res, fmt.Errorf("blob: sweep must retain at least 1 generation, got %d", retain)
+	}
+	manifests, err := st.List(manifestPrefix)
+	if err != nil {
+		return res, err
+	}
+	sort.Strings(manifests) // generation keys are fixed-width, so sorted = oldest first
+	keep := manifests
+	if len(manifests) > retain {
+		keep = manifests[len(manifests)-retain:]
+	}
+	live := map[string]bool{manifestPointerKey: true}
+	for _, mk := range keep {
+		live[mk] = true
+		data, err := st.Get(mk)
+		if err != nil {
+			return res, fmt.Errorf("blob: sweep: read %s: %w", mk, err)
+		}
+		m, err := DecodeManifest(data)
+		if err != nil {
+			return res, fmt.Errorf("blob: sweep: %s: %w", mk, err)
+		}
+		for k := range m.Keys() {
+			live[k] = true
+		}
+	}
+	for _, prefix := range []string{manifestPrefix, segPrefix, tombPrefix} {
+		keys, err := st.List(prefix)
+		if err != nil {
+			return res, err
+		}
+		for _, k := range keys {
+			if live[k] {
+				continue
+			}
+			if err := st.Delete(k); err != nil {
+				return res, fmt.Errorf("blob: sweep: delete %s: %w", k, err)
+			}
+			res.RemovedKeys = append(res.RemovedKeys, k)
+			if strings.HasPrefix(k, manifestPrefix) {
+				res.ManifestsRemoved++
+			} else {
+				res.BlobsRemoved++
+			}
+		}
+	}
+	return res, nil
+}

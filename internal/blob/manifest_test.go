@@ -1,0 +1,266 @@
+package blob
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"websearchbench/internal/index"
+	"websearchbench/internal/live"
+)
+
+// testSegment builds a tiny distinct segment: n documents seeded from
+// tag so different tags produce different content (and thus different
+// content-addressed keys).
+func testSegment(tag string, n int) *index.Segment {
+	b := index.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddDocument(
+			fmt.Sprintf("title %s %d", tag, i),
+			fmt.Sprintf("the quick %s fox %d jumps over the lazy dog number %d", tag, i, i*i),
+			fmt.Sprintf("http://example.com/%s/%d", tag, i),
+			0.5,
+		)
+	}
+	return b.Finalize()
+}
+
+func TestPublishAndLoad(t *testing.T) {
+	st := NewMemStore()
+	if _, ok, err := LoadManifest(st); err != nil || ok {
+		t.Fatalf("LoadManifest on empty store = ok=%v err=%v, want ok=false", ok, err)
+	}
+	pub := &Publisher{Store: st, CreatedBy: "test"}
+	m1, err := pub.Publish([]PubSegment{{ID: 1, Seg: testSegment("a", 20)}})
+	if err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if m1.Generation != 1 {
+		t.Fatalf("first generation = %d, want 1", m1.Generation)
+	}
+	got, ok, err := LoadManifest(st)
+	if err != nil || !ok {
+		t.Fatalf("LoadManifest = ok=%v err=%v", ok, err)
+	}
+	if got.Generation != 1 || len(got.Segments) != 1 || got.CreatedBy != "test" {
+		t.Fatalf("loaded manifest = %+v", got)
+	}
+	ref := got.Segments[0]
+	if !strings.HasPrefix(ref.Key, "segs/") || !strings.HasSuffix(ref.Key, ".seg") {
+		t.Fatalf("segment key = %q", ref.Key)
+	}
+	if ref.NumDocs != 20 || ref.ID != 1 || ref.Size <= 0 {
+		t.Fatalf("segment ref = %+v", ref)
+	}
+	// The blob is really there and really that size.
+	data, err := st.Get(ref.Key)
+	if err != nil {
+		t.Fatalf("segment blob: %v", err)
+	}
+	if int64(len(data)) != ref.Size {
+		t.Fatalf("blob size %d, ref says %d", len(data), ref.Size)
+	}
+
+	m2, err := pub.Publish([]PubSegment{{ID: 2, Seg: testSegment("b", 10)}})
+	if err != nil {
+		t.Fatalf("second Publish: %v", err)
+	}
+	if m2.Generation != 2 {
+		t.Fatalf("second generation = %d, want 2", m2.Generation)
+	}
+	// Both generation manifests exist alongside the pointer.
+	mans, _ := st.List(manifestPrefix)
+	if len(mans) != 2 {
+		t.Fatalf("manifests = %v, want 2", mans)
+	}
+}
+
+func TestPublishDedupsUnchangedSegments(t *testing.T) {
+	st := NewMemStore()
+	pub := &Publisher{Store: st, CreatedBy: "test"}
+	shared := testSegment("shared", 30)
+	if _, err := pub.Publish([]PubSegment{{ID: 1, Seg: shared}}); err != nil {
+		t.Fatal(err)
+	}
+	puts := st.Counters().Puts
+	m2, err := pub.Publish([]PubSegment{{ID: 1, Seg: shared}, {ID: 2, Seg: testSegment("new", 10)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m2.Segments) != 2 || m2.Segments[0].Key == m2.Segments[1].Key {
+		t.Fatalf("manifest = %+v", m2)
+	}
+	// The second publish uploaded: the new segment, the generation
+	// manifest, and the pointer — not the unchanged shared segment.
+	if got := st.Counters().Puts - puts; got != 3 {
+		t.Fatalf("second publish issued %d puts, want 3 (new seg + manifest + pointer)", got)
+	}
+	segs, _ := st.List(segPrefix)
+	if len(segs) != 2 {
+		t.Fatalf("segment blobs = %v, want 2 (shared segment stored once)", segs)
+	}
+}
+
+func TestPublishTombstones(t *testing.T) {
+	st := NewMemStore()
+	tomb := live.NewTombstones()
+	tomb.Set(3)
+	tomb.Set(7)
+	pub := &Publisher{Store: st, CreatedBy: "test"}
+	m, err := pub.Publish([]PubSegment{{ID: 1, Seg: testSegment("a", 10), Tomb: tomb.Marshal()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk := m.Segments[0].TombKey
+	if !strings.HasPrefix(tk, "tombs/") {
+		t.Fatalf("tomb key = %q", tk)
+	}
+	data, err := st.Get(tk)
+	if err != nil {
+		t.Fatalf("tomb blob: %v", err)
+	}
+	got, err := live.UnmarshalTombstones(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Has(3) || !got.Has(7) || got.Count() != 2 {
+		t.Fatalf("round-tripped tombstones lost entries: count=%d", got.Count())
+	}
+}
+
+func TestManifestEnvelopeCorruptionDetected(t *testing.T) {
+	st := NewMemStore()
+	pub := &Publisher{Store: st, CreatedBy: "test"}
+	if _, err := pub.Publish([]PubSegment{{ID: 1, Seg: testSegment("a", 5)}}); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := st.Get(manifestPointerKey)
+	data[len(data)/2] ^= 0xFF
+	if err := st.Put(manifestPointerKey, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadManifest(st); err == nil {
+		t.Fatal("LoadManifest accepted a corrupted manifest")
+	}
+}
+
+// TestSweepReclaimsCrashedPublish simulates a publish that crashed after
+// uploading blobs but before the pointer swap: the orphans are invisible
+// to readers and a sweep reclaims them without touching live data.
+func TestSweepReclaimsCrashedPublish(t *testing.T) {
+	st := NewMemStore()
+	pub := &Publisher{Store: st, CreatedBy: "test"}
+	if _, err := pub.Publish([]PubSegment{{ID: 1, Seg: testSegment("live", 20)}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crashed publish": segment blob and generation manifest for gen 2
+	// exist, but MANIFEST still points at gen 1.
+	orphanSeg := []byte("orphaned segment bytes never committed")
+	orphanKey := contentKey(segPrefix, orphanSeg, ".seg")
+	if err := st.Put(orphanKey, orphanSeg); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := EncodeManifest(Manifest{Generation: 2, Segments: []SegmentRef{{ID: 9, Key: orphanKey, Size: int64(len(orphanSeg))}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(manifestKey(2), enc); err != nil {
+		t.Fatal(err)
+	}
+
+	// Readers are unaffected: the pointer still resolves to gen 1.
+	cur, ok, err := LoadManifest(st)
+	if err != nil || !ok || cur.Generation != 1 {
+		t.Fatalf("LoadManifest after crash = gen %d ok=%v err=%v, want gen 1", cur.Generation, ok, err)
+	}
+
+	// The restarted publisher allocates the next generation from the
+	// *pointer* (still gen 1), so its retry is gen 2 again and simply
+	// overwrites the crashed manifest at the same key — no gap, no stale
+	// leftover under a different name.
+	m2, err := pub.Publish([]PubSegment{{ID: 1, Seg: testSegment("retried", 20)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Generation != 2 {
+		t.Fatalf("retried publish got generation %d, want 2", m2.Generation)
+	}
+	res, err := Sweep(st, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BlobsRemoved == 0 || res.ManifestsRemoved == 0 {
+		t.Fatalf("sweep removed nothing: %+v", res)
+	}
+	if _, err := st.Get(orphanKey); err == nil {
+		t.Fatal("orphaned blob survived the sweep")
+	}
+	// The live generation is intact and loadable.
+	cur, ok, err = LoadManifest(st)
+	if err != nil || !ok {
+		t.Fatalf("LoadManifest after sweep: ok=%v err=%v", ok, err)
+	}
+	for _, ref := range cur.Segments {
+		if _, err := st.Get(ref.Key); err != nil {
+			t.Fatalf("live segment %s gone after sweep: %v", ref.Key, err)
+		}
+	}
+}
+
+func TestSweepRetainsGenerations(t *testing.T) {
+	st := NewMemStore()
+	pub := &Publisher{Store: st, CreatedBy: "test"}
+	var manifests []Manifest
+	for i := 0; i < 4; i++ {
+		m, err := pub.Publish([]PubSegment{{ID: 1, Seg: testSegment(fmt.Sprintf("g%d", i), 10)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		manifests = append(manifests, m)
+	}
+	res, err := Sweep(st, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ManifestsRemoved != 2 || res.BlobsRemoved != 2 {
+		t.Fatalf("sweep = %+v, want 2 manifests and 2 blobs removed", res)
+	}
+	// The two retained generations' blobs are all fetchable.
+	for _, m := range manifests[2:] {
+		for k := range m.Keys() {
+			if _, err := st.Get(k); err != nil {
+				t.Errorf("retained blob %s: %v", k, err)
+			}
+		}
+	}
+	// The swept generations' blobs are gone.
+	for _, m := range manifests[:2] {
+		for k := range m.Keys() {
+			if _, err := st.Get(k); err == nil {
+				t.Errorf("swept blob %s still present", k)
+			}
+		}
+	}
+	if _, err := Sweep(st, 0); err == nil {
+		t.Fatal("Sweep(0) should be rejected")
+	}
+}
+
+func TestPublisherRetainSweepsAutomatically(t *testing.T) {
+	st := NewMemStore()
+	pub := &Publisher{Store: st, CreatedBy: "test", Retain: 2}
+	for i := 0; i < 5; i++ {
+		if _, err := pub.Publish([]PubSegment{{ID: 1, Seg: testSegment(fmt.Sprintf("g%d", i), 10)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mans, _ := st.List(manifestPrefix)
+	if len(mans) != 2 {
+		t.Fatalf("manifests after auto-sweep = %v, want 2", mans)
+	}
+	segs, _ := st.List(segPrefix)
+	if len(segs) != 2 {
+		t.Fatalf("segment blobs after auto-sweep = %v, want 2", segs)
+	}
+}

@@ -1,0 +1,95 @@
+package blob
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Poller watches a store's MANIFEST pointer and opens each new
+// generation it sees, handing the snapshot to OnSwap — the hook a
+// stateless searchd uses to atomically swap its serving searcher. After
+// a successful swap the poller evicts cached blocks belonging to
+// segments the new generation no longer references; queries still
+// draining against the previous snapshot simply re-fetch on miss (the
+// publisher's sweep retention keeps their blobs alive), so invalidation
+// reclaims memory without ever breaking an in-flight reader.
+type Poller struct {
+	Source   *CachedSegmentSource
+	Interval time.Duration
+	// OnSwap receives each newly opened generation, including the first.
+	OnSwap func(*Snapshot)
+	// Logf, when set, receives progress and error lines (log.Printf
+	// signature); nil silences the poller.
+	Logf func(format string, args ...any)
+
+	// gen is the generation currently served; read from metrics handlers
+	// concurrently with the poll loop, hence atomic. Published
+	// generations start at 1, so 0 means "nothing served yet".
+	gen atomic.Uint64
+}
+
+// Poll checks the pointer once, swapping if a new generation appeared.
+// It reports whether a swap happened.
+func (p *Poller) Poll() (bool, error) {
+	m, ok, err := LoadManifest(p.Source.store)
+	if err != nil || !ok {
+		return false, err
+	}
+	if m.Generation <= p.gen.Load() {
+		return false, nil
+	}
+	snap, err := p.Source.Open(m)
+	if err != nil {
+		return false, err
+	}
+	p.gen.Store(m.Generation)
+	if p.OnSwap != nil {
+		p.OnSwap(snap)
+	}
+	if removed := p.Source.cache.InvalidateExcept(m.Keys()); removed > 0 {
+		p.logf("blob poller: generation %d: evicted %d stale cached blocks", m.Generation, removed)
+	}
+	return true, nil
+}
+
+// Run polls until ctx is done. The first check runs immediately so a
+// cold searcher starts serving without waiting out an interval.
+func (p *Poller) Run(ctx context.Context) {
+	interval := p.Interval
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	if _, err := p.Poll(); err != nil {
+		p.logf("blob poller: %v", err)
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if swapped, err := p.Poll(); err != nil {
+				p.logf("blob poller: %v", err)
+			} else if swapped {
+				p.logf("blob poller: serving generation %d", p.gen.Load())
+			}
+		}
+	}
+}
+
+// Generation returns the generation currently served (0 before the
+// first successful poll).
+func (p *Poller) Generation() uint64 { return p.gen.Load() }
+
+// SetGeneration marks gen as already being served, so subsequent polls
+// swap only on newer manifests — used when the caller opened the first
+// snapshot itself before starting the poll loop.
+func (p *Poller) SetGeneration(gen uint64) { p.gen.Store(gen) }
+
+func (p *Poller) logf(format string, args ...any) {
+	if p.Logf != nil {
+		p.Logf(format, args...)
+	}
+}

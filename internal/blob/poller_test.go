@@ -1,0 +1,65 @@
+package blob
+
+import (
+	"testing"
+)
+
+func TestPollerSwapsOnNewGeneration(t *testing.T) {
+	st := NewMemStore()
+	pub := &Publisher{Store: st, CreatedBy: "test"}
+	src := NewCachedSegmentSource(st, NewBlockCache(1<<20))
+
+	var swaps []*Snapshot
+	p := &Poller{Source: src, OnSwap: func(s *Snapshot) { swaps = append(swaps, s) }}
+
+	// Nothing published: no swap, no error.
+	if swapped, err := p.Poll(); err != nil || swapped {
+		t.Fatalf("Poll on empty store = %v, %v", swapped, err)
+	}
+	if p.Generation() != 0 {
+		t.Fatalf("Generation = %d, want 0", p.Generation())
+	}
+
+	if _, err := pub.Publish([]PubSegment{{ID: 1, Seg: testSegment("g1", 10)}}); err != nil {
+		t.Fatal(err)
+	}
+	swapped, err := p.Poll()
+	if err != nil || !swapped {
+		t.Fatalf("Poll after publish = %v, %v; want swap", swapped, err)
+	}
+	if p.Generation() != 1 || len(swaps) != 1 || swaps[0].Manifest.Generation != 1 {
+		t.Fatalf("generation %d, swaps %d", p.Generation(), len(swaps))
+	}
+
+	// Same generation: no repeat swap.
+	if swapped, err := p.Poll(); err != nil || swapped {
+		t.Fatalf("repeat Poll = %v, %v; want no swap", swapped, err)
+	}
+
+	// Next generation: swap, and stale cache entries are invalidated.
+	if _, err := pub.Publish([]PubSegment{{ID: 2, Seg: testSegment("g2", 10)}}); err != nil {
+		t.Fatal(err)
+	}
+	if swapped, err := p.Poll(); err != nil || !swapped {
+		t.Fatalf("Poll after second publish = %v, %v; want swap", swapped, err)
+	}
+	if p.Generation() != 2 || len(swaps) != 2 {
+		t.Fatalf("generation %d, swaps %d; want 2, 2", p.Generation(), len(swaps))
+	}
+}
+
+func TestPollerSetGeneration(t *testing.T) {
+	st := NewMemStore()
+	pub := &Publisher{Store: st, CreatedBy: "test"}
+	if _, err := pub.Publish([]PubSegment{{ID: 1, Seg: testSegment("g1", 10)}}); err != nil {
+		t.Fatal(err)
+	}
+	src := NewCachedSegmentSource(st, NewBlockCache(1<<20))
+	p := &Poller{Source: src, OnSwap: func(*Snapshot) { t.Fatal("unexpected swap") }}
+	// The caller already opened generation 1 itself; the poller must not
+	// re-swap it.
+	p.SetGeneration(1)
+	if swapped, err := p.Poll(); err != nil || swapped {
+		t.Fatalf("Poll = %v, %v; want no swap", swapped, err)
+	}
+}

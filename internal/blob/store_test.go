@@ -1,0 +1,189 @@
+package blob
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"testing"
+)
+
+// backends returns one instance of every Store implementation, each
+// named, so semantics tests run identically against all three.
+func backends(t *testing.T) map[string]Store {
+	t.Helper()
+	ds, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewDirStore: %v", err)
+	}
+	srv := httptest.NewServer(NewServer(NewMemStore()))
+	t.Cleanup(srv.Close)
+	return map[string]Store{
+		"dir":  ds,
+		"mem":  NewMemStore(),
+		"http": NewHTTPStore(srv.URL),
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	for name, st := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			data := []byte("hello blob world")
+			if err := st.Put("segs/abc.seg", data); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			got, err := st.Get("segs/abc.seg")
+			if err != nil {
+				t.Fatalf("Get: %v", err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("Get = %q, want %q", got, data)
+			}
+			// Ranged reads, including the last byte and a full-span range.
+			for _, r := range []struct{ off, n int64 }{{0, 5}, {6, 4}, {int64(len(data)) - 1, 1}, {0, int64(len(data))}} {
+				got, err := st.GetRange("segs/abc.seg", r.off, r.n)
+				if err != nil {
+					t.Fatalf("GetRange(%d,%d): %v", r.off, r.n, err)
+				}
+				if want := data[r.off : r.off+r.n]; !bytes.Equal(got, want) {
+					t.Fatalf("GetRange(%d,%d) = %q, want %q", r.off, r.n, got, want)
+				}
+			}
+			// Overwrite replaces content.
+			if err := st.Put("segs/abc.seg", []byte("v2")); err != nil {
+				t.Fatalf("overwrite: %v", err)
+			}
+			if got, _ := st.Get("segs/abc.seg"); string(got) != "v2" {
+				t.Fatalf("after overwrite Get = %q, want v2", got)
+			}
+		})
+	}
+}
+
+func TestStoreNotFound(t *testing.T) {
+	for name, st := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := st.Get("segs/missing"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get missing: err = %v, want ErrNotFound", err)
+			}
+			if _, err := st.GetRange("segs/missing", 0, 4); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("GetRange missing: err = %v, want ErrNotFound", err)
+			}
+			// Deleting an absent key is idempotent, not an error.
+			if err := st.Delete("segs/missing"); err != nil {
+				t.Fatalf("Delete missing: %v", err)
+			}
+		})
+	}
+}
+
+func TestStoreRangeOutOfBounds(t *testing.T) {
+	for name, st := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := st.Put("k", []byte("0123456789")); err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range []struct{ off, n int64 }{{8, 5}, {11, 1}, {-1, 2}, {0, -1}} {
+				if _, err := st.GetRange("k", r.off, r.n); err == nil {
+					t.Errorf("GetRange(%d,%d) succeeded, want error", r.off, r.n)
+				}
+			}
+		})
+	}
+}
+
+func TestStoreListAndDelete(t *testing.T) {
+	for name, st := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			keys := []string{"segs/a.seg", "segs/b.seg", "tombs/a.tomb", "MANIFEST"}
+			for _, k := range keys {
+				if err := st.Put(k, []byte(k)); err != nil {
+					t.Fatalf("Put %s: %v", k, err)
+				}
+			}
+			got, err := st.List("segs/")
+			if err != nil {
+				t.Fatalf("List: %v", err)
+			}
+			sort.Strings(got)
+			if fmt.Sprint(got) != "[segs/a.seg segs/b.seg]" {
+				t.Fatalf("List(segs/) = %v", got)
+			}
+			all, err := st.List("")
+			if err != nil {
+				t.Fatalf("List(\"\"): %v", err)
+			}
+			if len(all) != len(keys) {
+				t.Fatalf("List(\"\") = %v, want %d keys", all, len(keys))
+			}
+			if err := st.Delete("segs/a.seg"); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			if _, err := st.Get("segs/a.seg"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get after Delete: err = %v, want ErrNotFound", err)
+			}
+			got, _ = st.List("segs/")
+			if fmt.Sprint(got) != "[segs/b.seg]" {
+				t.Fatalf("List after Delete = %v", got)
+			}
+		})
+	}
+}
+
+func TestStoreRejectsBadKeys(t *testing.T) {
+	for name, st := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, k := range []string{"", "..", "a/../b", "/abs", "a//b", "sp ace", "trail/"} {
+				if err := st.Put(k, []byte("x")); err == nil {
+					t.Errorf("Put(%q) succeeded, want error", k)
+				}
+			}
+		})
+	}
+}
+
+func TestOpenSpec(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		spec string
+		want string
+	}{
+		{"mem:", "*blob.MemStore"},
+		{"http://127.0.0.1:1", "*blob.HTTPStore"},
+		{"https://example.com", "*blob.HTTPStore"},
+		{dir, "*blob.DirStore"},
+	} {
+		st, err := Open(tc.spec)
+		if err != nil {
+			t.Fatalf("Open(%q): %v", tc.spec, err)
+		}
+		if got := fmt.Sprintf("%T", st); got != tc.want {
+			t.Errorf("Open(%q) = %s, want %s", tc.spec, got, tc.want)
+		}
+	}
+}
+
+func TestMemStoreFaultInjection(t *testing.T) {
+	st := NewMemStore()
+	if err := st.Put("k", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("injected")
+	st.SetFault(func(op, key string) error {
+		if op == "getrange" {
+			return boom
+		}
+		return nil
+	})
+	if _, err := st.GetRange("k", 0, 2); !errors.Is(err, boom) {
+		t.Fatalf("GetRange under fault: err = %v, want injected", err)
+	}
+	if _, err := st.Get("k"); err != nil {
+		t.Fatalf("Get should not be faulted: %v", err)
+	}
+	st.SetFault(nil)
+	if _, err := st.GetRange("k", 0, 2); err != nil {
+		t.Fatalf("GetRange after clearing fault: %v", err)
+	}
+}

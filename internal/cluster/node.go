@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"websearchbench/internal/live"
@@ -21,13 +22,22 @@ import (
 // index — and answers /search requests. Every node exposes its
 // search-latency histogram on GET /metrics; live nodes additionally
 // accept POST /docs and POST /delete mutations.
+//
+// The partitioned searcher is held behind an atomic pointer so a
+// blob-manifest poller can swap in a newly opened generation while
+// queries are in flight: each request loads the pointer once and runs
+// entirely against that snapshot.
 type Node struct {
 	name     string
-	searcher *partition.Searcher
+	searcher atomic.Pointer[partition.Searcher]
 	live     *live.Index
 	topK     int
 	mux      *http.ServeMux
 	hist     metrics.ConcurrentHistogram
+
+	// blobMetrics, when set, contributes block-cache and manifest
+	// gauges to GET /metrics (stateless blob-serving nodes).
+	blobMetrics func() *BlobMetrics
 
 	drain time.Duration
 	srv   *http.Server
@@ -42,15 +52,42 @@ func NewNode(name string, idx *partition.Index, opts search.Options, parallel bo
 		opts.TopK = 10
 	}
 	n := &Node{
-		name:     name,
-		searcher: partition.NewSearcher(idx, opts, parallel),
-		topK:     opts.TopK,
-		mux:      http.NewServeMux(),
-		drain:    defaultDrainTimeout,
+		name:  name,
+		topK:  opts.TopK,
+		mux:   http.NewServeMux(),
+		drain: defaultDrainTimeout,
 	}
+	n.searcher.Store(partition.NewSearcher(idx, opts, parallel))
 	n.registerCommon()
 	return n
 }
+
+// NewNodeFromSearcher creates a serving node over an already-built
+// partitioned searcher — the stateless blob-serving path, where the
+// caller constructs searchers from manifest snapshots and swaps them in
+// with SetSearcher as generations advance.
+func NewNodeFromSearcher(name string, s *partition.Searcher, topK int) *Node {
+	if topK <= 0 {
+		topK = 10
+	}
+	n := &Node{
+		name:  name,
+		topK:  topK,
+		mux:   http.NewServeMux(),
+		drain: defaultDrainTimeout,
+	}
+	n.searcher.Store(s)
+	n.registerCommon()
+	return n
+}
+
+// SetSearcher atomically replaces the node's partitioned searcher.
+// In-flight requests finish against the searcher they started with.
+func (n *Node) SetSearcher(s *partition.Searcher) { n.searcher.Store(s) }
+
+// SetBlobMetrics installs the hook contributing blob-serving gauges
+// (block cache, manifest generation) to GET /metrics.
+func (n *Node) SetBlobMetrics(f func() *BlobMetrics) { n.blobMetrics = f }
 
 // NewLiveNode creates a serving node over a live (mutable) index:
 // /search answers from the current snapshot, POST /docs and POST /delete
@@ -137,7 +174,8 @@ func (n *Node) handleSearch(w http.ResponseWriter, r *http.Request) {
 			done <- resp
 			return
 		}
-		res := n.searcher.ParseAndSearch(req.Query, mode)
+		sr := n.searcher.Load()
+		res := sr.ParseAndSearch(req.Query, mode)
 		took := time.Since(start)
 		n.hist.Record(took)
 
@@ -151,7 +189,7 @@ func (n *Node) handleSearch(w http.ResponseWriter, r *http.Request) {
 			TookMicros: took.Microseconds(),
 			Node:       n.name,
 		}
-		idx := n.searcher.Index()
+		idx := sr.Index()
 		for _, h := range res.Hits[:k] {
 			doc := idx.Doc(h.Doc)
 			resp.Hits = append(resp.Hits, WireHit{URL: doc.URL, Title: doc.Title, Score: h.Score})
@@ -171,9 +209,10 @@ func (n *Node) handleSearch(w http.ResponseWriter, r *http.Request) {
 // Live returns the node's live index (nil for static nodes).
 func (n *Node) Live() *live.Index { return n.live }
 
-// Searcher returns the node's partitioned searcher (nil for live nodes),
-// so servers can tune executor and pruning behavior after construction.
-func (n *Node) Searcher() *partition.Searcher { return n.searcher }
+// Searcher returns the node's current partitioned searcher (nil for
+// live nodes), so servers can tune executor and pruning behavior after
+// construction.
+func (n *Node) Searcher() *partition.Searcher { return n.searcher.Load() }
 
 // liveHitsPool recycles the per-request live hit buffer of handleSearch.
 var liveHitsPool = sync.Pool{New: func() any { return new([]live.Hit) }}
@@ -222,6 +261,9 @@ func (n *Node) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if es, ok := exec.DefaultStats(); ok {
 		resp.Exec = &es
 	}
+	if n.blobMetrics != nil {
+		resp.Blob = n.blobMetrics()
+	}
 	writeJSON(w, resp)
 }
 
@@ -236,7 +278,7 @@ func (n *Node) handleStats(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	idx := n.searcher.Index()
+	idx := n.searcher.Load().Index()
 	var avg float64
 	if parts := idx.NumPartitions(); parts > 0 {
 		var totalLen, totalDocs int64

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"websearchbench/internal/blob"
 	"websearchbench/internal/live"
 	"websearchbench/internal/metrics"
 	"websearchbench/internal/search"
@@ -121,9 +122,18 @@ type ShardBalanceStats struct {
 	Replicas []ReplicaBalanceStats `json:"replicas"`
 }
 
+// BlobMetrics is the blob-serving section of a node's /metrics: the
+// block cache's hit/miss/bytes gauges, the fetch retry/failure
+// counters, and the manifest generation being served.
+type BlobMetrics struct {
+	blob.SourceStats
+	Generation uint64 `json:"generation"`
+}
+
 // MetricsResponse is the wire form of a server's /metrics endpoint: the
 // search-latency histogram summary plus, on live nodes, the live index's
-// shape and, on the front-end, per-shard replica-balancer state.
+// shape, on blob-serving nodes the block-cache gauges, and, on the
+// front-end, per-shard replica-balancer state.
 type MetricsResponse struct {
 	Node   string               `json:"node,omitempty"`
 	Search metrics.JSONSnapshot `json:"search"`
@@ -132,5 +142,6 @@ type MetricsResponse struct {
 	// (queue depth, in-flight tasks); omitted until a parallel search
 	// has started the pool.
 	Exec    *exec.Stats         `json:"exec,omitempty"`
+	Blob    *BlobMetrics        `json:"blob,omitempty"`
 	Balance []ShardBalanceStats `json:"balance,omitempty"`
 }

@@ -27,6 +27,10 @@ const (
 	KindSegment    byte = 1
 	KindTombstones byte = 2
 	KindManifest   byte = 3
+	// KindBlobManifest frames the generation-stamped remote manifests the
+	// blob store publishes (internal/blob); distinct from KindManifest so
+	// a local durable-store manifest can never be mistaken for one.
+	KindBlobManifest byte = 4
 )
 
 var envelopeMagic = [8]byte{'W', 'S', 'B', 'E', 'N', 'V', '0', '1'}

@@ -552,6 +552,51 @@ func TestE24SharedExec(t *testing.T) {
 	}
 }
 
+func TestE25BlobServing(t *testing.T) {
+	c := smokeContext(t)
+	res := c.E25BlobServing()
+	if res.SegmentBytes <= 0 {
+		t.Fatalf("segment blob size = %d", res.SegmentBytes)
+	}
+	if len(res.ColdStart) != 2 {
+		t.Fatalf("cold-start rows = %d, want 2", len(res.ColdStart))
+	}
+	for _, r := range res.ColdStart {
+		if r.TTFQ <= 0 || r.BytesRead <= 0 {
+			t.Errorf("implausible cold-start row %+v", r)
+		}
+	}
+	// The lazy open's start-up path reads strictly less than a full
+	// segment download.
+	if res.ColdStart[0].BytesRead >= res.ColdStart[1].BytesRead {
+		t.Errorf("lazy open read %d bytes, full download %d — lazy should read less",
+			res.ColdStart[0].BytesRead, res.ColdStart[1].BytesRead)
+	}
+	if len(res.Cache) != 4 {
+		t.Fatalf("cache rows = %d, want 4", len(res.Cache))
+	}
+	for _, r := range res.Cache {
+		if r.ColdHitRate < 0 || r.ColdHitRate > 1 || r.WarmHitRate < 0 || r.WarmHitRate > 1 {
+			t.Errorf("hit rate out of range: %+v", r)
+		}
+		if r.ColdBytes <= 0 {
+			t.Errorf("cold pass fetched nothing: %+v", r)
+		}
+		if r.WarmHitRate < r.ColdHitRate {
+			t.Errorf("warm hit rate below cold: %+v", r)
+		}
+		if r.ColdP99 <= 0 || r.WarmP99 <= 0 {
+			t.Errorf("implausible tail latencies: %+v", r)
+		}
+	}
+	// The largest cache holds the whole working set: the warm pass must
+	// not touch the store at all.
+	last := res.Cache[len(res.Cache)-1]
+	if last.WarmBytes != 0 {
+		t.Errorf("warm pass with a %dMB cache fetched %d bytes, want 0", last.CacheMB, last.WarmBytes)
+	}
+}
+
 func TestRunAllSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full RunAll in short mode")
@@ -559,11 +604,11 @@ func TestRunAllSmoke(t *testing.T) {
 	var buf bytes.Buffer
 	c := NewContext(&buf, 0.03)
 	names := c.RunAll()
-	if len(names) != 32 {
-		t.Errorf("ran %d experiments, want 32", len(names))
+	if len(names) != 33 {
+		t.Errorf("ran %d experiments, want 33", len(names))
 	}
 	out := buf.String()
-	for _, want := range []string{"E1", "E7", "E10", "E19", "E20", "E22", "E23", "E24", "ABL-4", "ABL-7", "ABL-8", "completed"} {
+	for _, want := range []string{"E1", "E7", "E10", "E19", "E20", "E22", "E23", "E24", "E25", "ABL-4", "ABL-7", "ABL-8", "completed"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q", want)
 		}

@@ -34,6 +34,7 @@ func (c *Context) RunAll() []string {
 		{"E22", func() { c.E22Durability() }},
 		{"E23", func() { c.E23ParallelIndexing() }},
 		{"E24", func() { c.E24SharedExec() }},
+		{"E25", func() { c.E25BlobServing() }},
 		{"ABL-1", func() { c.AblationMaxScore() }},
 		{"ABL-2", func() { c.AblationCompression() }},
 		{"ABL-3", func() { c.AblationAssignment() }},

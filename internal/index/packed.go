@@ -175,8 +175,11 @@ func (it *PostingsIterator) decodePackedBlock() bool {
 }
 
 // decodeFullBlock decodes one full bit-packed block starting at it.pos.
+// The block's bytes are read through the iterator's window, so lazy
+// (blob-served) lists pull exactly one block on demand.
 func (it *PostingsIterator) decodeFullBlock(prev int32) bool {
-	buf, pos := it.buf, it.pos
+	buf, base := it.window()
+	pos := it.pos - base
 	if pos+2 > len(buf) {
 		return false
 	}
@@ -215,7 +218,7 @@ func (it *PostingsIterator) decodeFullBlock(prev int32) bool {
 		it.bFreqs[i] += ref
 	}
 
-	it.pos = pos
+	it.pos = base + pos
 	it.bLen = packedBlockLen
 	it.bIdx = 0
 	return true
@@ -224,7 +227,8 @@ func (it *PostingsIterator) decodeFullBlock(prev int32) bool {
 // decodePackedTail decodes the final partial block (remaining <
 // packedBlockLen varint pairs continuing the delta chain).
 func (it *PostingsIterator) decodePackedTail(prev int32, remaining int) bool {
-	buf, pos := it.buf, it.pos
+	buf, base := it.window()
+	pos := it.pos - base
 	d := prev
 	for i := 0; i < remaining; i++ {
 		gap, n := uvarint(buf[pos:])
@@ -241,7 +245,7 @@ func (it *PostingsIterator) decodePackedTail(prev int32, remaining int) bool {
 		it.bDocs[i] = d
 		it.bFreqs[i] = int32(f)
 	}
-	it.pos = pos
+	it.pos = base + pos
 	it.bLen = int32(remaining)
 	it.bIdx = 0
 	return true

@@ -125,5 +125,11 @@ func (s *Segment) PositionsOf(term string) (PositionsIterator, bool) {
 	if !ok {
 		return PositionsIterator{doc: exhaustedDoc}, false
 	}
+	if s.lazy != nil {
+		// Phrase evaluation random-accesses the whole list; materialize it
+		// once rather than windowing (a failed fetch yields an empty,
+		// immediately exhausted list).
+		return newPositionsIterator(s.lazyListBytes(id), s.docFreqs[id]), true
+	}
 	return newPositionsIterator(s.postings[id], s.docFreqs[id]), true
 }

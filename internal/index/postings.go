@@ -89,6 +89,16 @@ type PostingsIterator struct {
 	blockMaxes []float32 // per-block score bounds, aligned with skips
 	shallow    int       // current block of the shallow (non-decoding) cursor
 
+	// Lazy (blob-served) lists decode through a sliding window instead of
+	// a fully resident buf: win holds the bytes of one block, winBase is
+	// win[0]'s offset within the posting list, and fetch pulls the block
+	// containing a byte offset on demand. Fully resident iterators set
+	// win = buf, winBase = 0, fetch = nil, making the window a no-op
+	// aliasing of the usual buffer.
+	win     []byte
+	winBase int
+	fetch   func(pos int) ([]byte, int)
+
 	// Packed-encoding batch state: the current block decoded into inline
 	// scratch arrays. Inline (not pointers) so iterators stay
 	// allocation-free; bIdx/bLen delimit the undelivered postings.
@@ -101,7 +111,26 @@ type PostingsIterator struct {
 // newPostingsIterator returns an iterator over an encoded posting list
 // holding count postings.
 func newPostingsIterator(comp Compression, buf []byte, count int32) PostingsIterator {
-	return PostingsIterator{comp: comp, buf: buf, count: count, initCount: count, doc: -1}
+	return PostingsIterator{comp: comp, buf: buf, win: buf, count: count, initCount: count, doc: -1}
+}
+
+// window returns the byte window containing it.pos and the window's
+// offset within the posting list. Fully resident iterators return
+// (buf, 0); lazy iterators pull the enclosing block through fetch when
+// the cursor has left the current window. A failed fetch yields an
+// empty window based at it.pos, which every decode path treats as a
+// truncated (exhausted) list rather than a crash.
+func (it *PostingsIterator) window() ([]byte, int) {
+	if it.fetch == nil || (it.pos >= it.winBase && it.pos < it.winBase+len(it.win)) {
+		return it.win, it.winBase
+	}
+	it.win, it.winBase = it.fetch(it.pos)
+	if it.pos < it.winBase || it.pos > it.winBase+len(it.win) {
+		// A window that does not cover the cursor would make the relative
+		// position negative or past the end; normalize to empty-at-cursor.
+		it.win, it.winBase = nil, it.pos
+	}
+	return it.win, it.winBase
 }
 
 // Next advances to the next posting. It returns false when the list is
@@ -128,10 +157,15 @@ func (it *PostingsIterator) Next() bool {
 	it.count--
 	switch it.comp {
 	case CompressionVarint:
-		delta, n := uvarint(it.buf[it.pos:])
-		it.pos += n
-		f, n2 := uvarint(it.buf[it.pos:])
-		it.pos += n2
+		// One encoded posting (and its interleaved positions) never
+		// crosses a block boundary, so a single window covers the whole
+		// decode step.
+		buf, base := it.window()
+		pos := it.pos - base
+		delta, n := uvarint(buf[pos:])
+		pos += n
+		f, n2 := uvarint(buf[pos:])
+		pos += n2
 		if n == 0 || n2 == 0 {
 			// Truncated list: treat as exhausted rather than spinning.
 			it.count = 0
@@ -147,15 +181,16 @@ func (it *PostingsIterator) Next() bool {
 		if it.positional {
 			// Skip the interleaved position deltas.
 			for i := int32(0); i < it.freq; i++ {
-				_, n := uvarint(it.buf[it.pos:])
+				_, n := uvarint(buf[pos:])
 				if n == 0 {
 					it.count = 0
 					it.doc = exhaustedDoc
 					return false
 				}
-				it.pos += n
+				pos += n
 			}
 		}
+		it.pos = base + pos
 	case CompressionRaw:
 		it.doc = int32(binary.LittleEndian.Uint32(it.buf[it.pos:]))
 		it.freq = int32(binary.LittleEndian.Uint32(it.buf[it.pos+4:]))

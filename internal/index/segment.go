@@ -33,13 +33,16 @@ type Segment struct {
 	docLens   []int32
 	totalLen  int64
 	docs      []StoredDoc
-	skips     [][]skipEntry // per-term skip tables (derived, not serialized)
+	skips     [][]skipEntry // per-term skip tables (derived; serialized in v05)
 	// blockMaxes[id][j] is the maximum BM25 contribution within block j
 	// of term id's posting list (blocks of skipInterval postings, aligned
 	// with the skip table). Serialized with the segment (format v03);
 	// nil on raw segments and legacy-format loads, which makes Block-Max
 	// pruning fall back to plain MaxScore.
 	blockMaxes [][]float32
+	// lazy is non-nil on segments opened via OpenLazySegment: postings is
+	// empty and posting bytes are demand-loaded through lazy.fetch.
+	lazy *lazyPostings
 }
 
 // NumDocs returns the number of documents in the segment.
@@ -120,6 +123,9 @@ func (s *Segment) Postings(term string) (PostingsIterator, bool) {
 
 // PostingsByID returns an iterator for a dictionary term ID.
 func (s *Segment) PostingsByID(id int32) PostingsIterator {
+	if s.lazy != nil {
+		return s.lazyIterator(id, true)
+	}
 	it := newPostingsIterator(s.comp, s.postings[id], s.docFreqs[id])
 	it.positional = s.positions
 	s.applySkips(id, &it)
@@ -134,14 +140,22 @@ func (s *Segment) PostingsWithoutSkips(term string) (PostingsIterator, bool) {
 	if !ok {
 		return PostingsIterator{doc: exhaustedDoc}, false
 	}
+	if s.lazy != nil {
+		return s.lazyIterator(id, false), true
+	}
 	it := newPostingsIterator(s.comp, s.postings[id], s.docFreqs[id])
 	it.positional = s.positions
 	return it, true
 }
 
 // PostingsBytes returns the total encoded posting-list bytes, used by the
-// characterization experiment for compression accounting.
+// characterization experiment for compression accounting. Lazy segments
+// report the size of the remote postings section; none of it need be
+// resident.
 func (s *Segment) PostingsBytes() int64 {
+	if s.lazy != nil {
+		return s.lazy.offs[len(s.lazy.offs)-1]
+	}
 	var n int64
 	for _, p := range s.postings {
 		n += int64(len(p))

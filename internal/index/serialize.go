@@ -62,9 +62,20 @@ func (cw *countingWriter) str(s string) {
 	cw.write([]byte(s))
 }
 
-// WriteTo serializes the segment in the current (v04) format, block-max
-// metadata included. It implements io.WriterTo.
+// WriteTo serializes the segment in the current (v05) sectioned format:
+// doc store, dictionary (skip tables included), and postings live in
+// separately addressable sections mapped by a fixed trailing footer, so
+// remote readers can open a segment without streaming the posting data.
+// It implements io.WriterTo.
 func (s *Segment) WriteTo(w io.Writer) (int64, error) {
+	return s.writeToV05(w)
+}
+
+// WriteToV04 serializes the segment in the previous (v04) interleaved
+// format — packed encoding but no section footer or serialized skip
+// tables. It exists for downgrade paths and for testing that v04 files
+// still load and search.
+func (s *Segment) WriteToV04(w io.Writer) (int64, error) {
 	return s.writeTo(w, 4)
 }
 
@@ -85,6 +96,9 @@ func (s *Segment) WriteToLegacy(w io.Writer) (int64, error) {
 }
 
 func (s *Segment) writeTo(w io.Writer, version int) (int64, error) {
+	if s.lazy != nil {
+		return 0, fmt.Errorf("index: cannot serialize a lazily-loaded segment")
+	}
 	if s.comp == CompressionPacked && version < 4 {
 		return 0, fmt.Errorf("index: packed segments require format v04, cannot write v%02d", version)
 	}
@@ -216,6 +230,8 @@ func ReadSegment(r io.Reader) (*Segment, error) {
 	}
 	var version int
 	switch magic {
+	case segmentMagicV05:
+		return readSegmentV05(rd)
 	case segmentMagic:
 		version = 4
 	case segmentMagicV03:

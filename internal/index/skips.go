@@ -7,8 +7,9 @@ import "math"
 // postings instead of decoding them one by one — the structure that makes
 // conjunctive (leapfrog) evaluation sublinear, exactly as in the Lucene
 // index the benchmark serves with. Tables are built in memory when a
-// segment is finalized or loaded; they are derived data and never
-// serialized.
+// segment is finalized or loaded from formats v02–v04; format v05 also
+// serializes them (their byte positions double as the block boundaries
+// remote readers use for range fetches — see v05.go).
 //
 // Block-max metadata rides on the same block structure: each run of
 // skipInterval postings between checkpoints is a "block", and the segment

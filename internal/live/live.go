@@ -369,6 +369,16 @@ func (li *Index) SearchQueryInto(q search.Query, k int, dst []Hit) []Hit {
 	return s.SearchInto(q, k, dst)
 }
 
+// SetDurableSink replaces the index's durability sink — the hook for
+// teeing an extra destination (e.g. a blob-store publisher via
+// MultiSink) onto an index opened with a sink already installed.
+// Mutations and commits in flight finish against the old sink.
+func (li *Index) SetDurableSink(s Sink) {
+	li.mu.Lock()
+	li.cfg.Durable = s
+	li.mu.Unlock()
+}
+
 // SetRefreshEvery changes the refresh interval (values <= 0 select the
 // default of 1). Bulk loaders raise it while seeding and restore it
 // before serving.

@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestSnapshotJSONUnits(t *testing.T) {
+	s := Snapshot{
+		Count: 42,
+		Mean:  1500 * time.Microsecond,
+		Min:   100 * time.Microsecond,
+		P50:   time.Millisecond,
+		P90:   2 * time.Millisecond,
+		P95:   5 * time.Millisecond,
+		P99:   20 * time.Millisecond,
+		Max:   time.Second,
+	}
+	j := s.JSON()
+	if j.Count != 42 {
+		t.Errorf("Count = %d, want 42", j.Count)
+	}
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"mean_ms", j.MeanMs, 1.5},
+		{"min_ms", j.MinMs, 0.1},
+		{"p50_ms", j.P50Ms, 1},
+		{"p90_ms", j.P90Ms, 2},
+		{"p95_ms", j.P95Ms, 5},
+		{"p99_ms", j.P99Ms, 20},
+		{"max_ms", j.MaxMs, 1000},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	j := h.Snapshot().JSON()
+
+	data, err := json.Marshal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back JSONSnapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != j {
+		t.Fatalf("round trip changed snapshot: %+v != %+v", back, j)
+	}
+
+	// Wire-field names are the stable /metrics contract.
+	var fields map[string]any
+	if err := json.Unmarshal(data, &fields); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"count", "mean_ms", "min_ms", "p50_ms", "p90_ms", "p95_ms", "p99_ms", "max_ms"} {
+		if _, ok := fields[name]; !ok {
+			t.Errorf("wire form is missing field %q (got %v)", name, fields)
+		}
+	}
+}
+
+func TestSnapshotJSONEmpty(t *testing.T) {
+	var h Histogram
+	j := h.Snapshot().JSON()
+	if j.Count != 0 || j.MeanMs != 0 || j.P99Ms != 0 {
+		t.Fatalf("empty histogram JSON = %+v, want zeros", j)
+	}
+}

@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTimelineWindows(t *testing.T) {
+	start := time.Unix(1000, 0)
+	tl := NewTimeline(start, time.Second)
+
+	// Three events in window 0, one in window 2, none in window 1.
+	tl.Record(start)
+	tl.Record(start.Add(200 * time.Millisecond))
+	tl.Record(start.Add(999 * time.Millisecond))
+	tl.Record(start.Add(2500 * time.Millisecond))
+
+	rates := tl.Rates()
+	if len(rates) != 3 {
+		t.Fatalf("Rates() has %d windows, want 3", len(rates))
+	}
+	want := []float64{3, 0, 1}
+	for i, w := range want {
+		if rates[i] != w {
+			t.Errorf("window %d rate = %v, want %v", i, rates[i], w)
+		}
+	}
+	if got := tl.Total(); got != 4 {
+		t.Errorf("Total() = %d, want 4", got)
+	}
+}
+
+func TestTimelineRateUnits(t *testing.T) {
+	// With a 500ms window, 2 events in one window is a rate of 4/s.
+	start := time.Unix(0, 0)
+	tl := NewTimeline(start, 500*time.Millisecond)
+	tl.Record(start.Add(100 * time.Millisecond))
+	tl.Record(start.Add(200 * time.Millisecond))
+	rates := tl.Rates()
+	if len(rates) != 1 || rates[0] != 4 {
+		t.Fatalf("rates = %v, want [4]", rates)
+	}
+}
+
+func TestTimelineBeforeAnchor(t *testing.T) {
+	// Events before the anchor land in the first window instead of
+	// panicking on a negative index.
+	start := time.Unix(1000, 0)
+	tl := NewTimeline(start, time.Second)
+	tl.Record(start.Add(-5 * time.Second))
+	tl.Record(start.Add(time.Second))
+	rates := tl.Rates()
+	if len(rates) != 2 || rates[0] != 1 || rates[1] != 1 {
+		t.Fatalf("rates = %v, want [1 1]", rates)
+	}
+}
+
+func TestTimelineZeroWindowDefaults(t *testing.T) {
+	start := time.Unix(0, 0)
+	tl := NewTimeline(start, 0)
+	tl.Record(start.Add(1500 * time.Millisecond))
+	rates := tl.Rates()
+	// Default window is one second, so the event lands in window 1.
+	if len(rates) != 2 || rates[1] != 1 {
+		t.Fatalf("rates = %v, want [0 1]", rates)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	tl := NewTimeline(time.Unix(0, 0), time.Second)
+	if got := tl.Total(); got != 0 {
+		t.Errorf("Total() = %d, want 0", got)
+	}
+	if rates := tl.Rates(); len(rates) != 0 {
+		t.Errorf("Rates() = %v, want empty", rates)
+	}
+}
+
+func TestTimelineConcurrent(t *testing.T) {
+	start := time.Unix(0, 0)
+	tl := NewTimeline(start, time.Second)
+	const goroutines, per = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tl.Record(start.Add(time.Duration(i%4) * time.Second))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := tl.Total(); got != goroutines*per {
+		t.Fatalf("Total() = %d, want %d", got, goroutines*per)
+	}
+	var sum float64
+	for _, r := range tl.Rates() {
+		sum += r
+	}
+	if int(sum) != goroutines*per {
+		t.Fatalf("sum of rates = %v, want %d", sum, goroutines*per)
+	}
+}

@@ -1,0 +1,52 @@
+package partition
+
+import (
+	"fmt"
+
+	"websearchbench/internal/index"
+	"websearchbench/internal/search"
+)
+
+// Support for serving pre-built segment sets — the stateless-searcher
+// path, where segments come from a blob-store manifest rather than from
+// this process's own builder. Each manifest segment becomes one
+// partition; global docIDs are assigned as consecutive ranges in
+// segment order, which is exactly the Range assignment's layout, so the
+// existing locate() logic maps results back without new machinery.
+
+// FromSegments wraps an already-built segment set as a partitioned
+// index: segment i is partition i and owns the next len-docs block of
+// global docIDs.
+func FromSegments(segs []*index.Segment) *Index {
+	idx := &Index{
+		segs:       segs,
+		globalIDs:  make([][]int32, len(segs)),
+		assignment: Range,
+	}
+	base := 0
+	for p, seg := range segs {
+		ids := make([]int32, seg.NumDocs())
+		for i := range ids {
+			ids[i] = int32(base + i)
+		}
+		idx.globalIDs[p] = ids
+		base += seg.NumDocs()
+	}
+	idx.numDocs = base
+	return idx
+}
+
+// SetPartitionDeleted installs a per-partition tombstone filter: local
+// docIDs for which del returns true are excluded from partition p's
+// results. Manifest-served live segments carry their deletes this way.
+// Must be called before the searcher starts serving queries (it swaps
+// the partition's underlying searcher, not a concurrent-safe field).
+func (s *Searcher) SetPartitionDeleted(p int, del func(int32) bool) error {
+	if p < 0 || p >= len(s.searchers) {
+		return fmt.Errorf("partition: no partition %d (have %d)", p, len(s.searchers))
+	}
+	opts := s.opts
+	opts.Deleted = del
+	s.searchers[p] = search.NewSearcher(s.idx.Segment(p), opts)
+	return nil
+}
